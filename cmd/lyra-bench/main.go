@@ -1,0 +1,100 @@
+// Command lyra-bench regenerates the paper's evaluation tables and figures
+// (§7) as text:
+//
+//	lyra-bench -experiment fig9     # Figure 9: portability comparison table
+//	lyra-bench -experiment fig10    # Figure 10: compile-time scalability
+//	lyra-bench -experiment ext      # §7.2 extensibility case study
+//	lyra-bench -experiment comp     # §7.3 composition case study
+//	lyra-bench -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lyra/internal/eval"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig9 | fig10 | ext | comp | ablation | all")
+		ks         = flag.String("k", "4,8,16,24,32", "fat-tree sizes for fig10")
+	)
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "lyra-bench %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig9", func() error {
+		rows, err := eval.Figure9()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 9: Lyra vs. human-written P4_14 ==")
+		fmt.Print(eval.FormatFigure9(rows))
+		fmt.Println()
+		return nil
+	})
+
+	run("fig10", func() error {
+		var sizes []int
+		for _, s := range strings.Split(*ks, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("bad -k: %w", err)
+			}
+			sizes = append(sizes, n)
+		}
+		points, err := eval.Figure10(sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 10: compile-time scalability ==")
+		fmt.Print(eval.FormatFigure10(points))
+		fmt.Println()
+		return nil
+	})
+
+	run("ext", func() error {
+		steps, err := eval.Extensibility()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== §7.2 Extensibility: growing ConnTable ==")
+		fmt.Print(eval.FormatExtensibility(steps))
+		fmt.Println()
+		return nil
+	})
+
+	run("ablation", func() error {
+		rows, err := eval.Ablations()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Ablations: synthesized P4 tables per optimization ==")
+		fmt.Print(eval.FormatAblations(rows))
+		fmt.Println()
+		return nil
+	})
+
+	run("comp", func() error {
+		steps, err := eval.Composition()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== §7.3 Composition: five algorithms, shrinking scope ==")
+		fmt.Print(eval.FormatComposition(steps))
+		fmt.Println()
+		return nil
+	})
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"testing"
+
+	"lyra"
+)
+
+func TestBuildNetwork(t *testing.T) {
+	n, err := buildNetwork("testbed", "")
+	if err != nil || len(n.Switches) != 10 {
+		t.Fatalf("testbed: %v / %d switches", err, len(n.Switches))
+	}
+	n, err = buildNetwork("fattree:8", "Tofino-32Q")
+	if err != nil || len(n.Switches) != 8 {
+		t.Fatalf("fattree: %v", err)
+	}
+	if _, err := buildNetwork("fattree:x", "Tofino-32Q"); err == nil {
+		t.Error("bad size accepted")
+	}
+	if _, err := buildNetwork("ring", ""); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if _, err := buildNetwork("fattree:4", "NoSuchChip"); err == nil {
+		t.Error("unknown chip accepted")
+	}
+}
+
+func TestChipModels(t *testing.T) {
+	for name, want := range map[string]*lyra.ChipModel{
+		"RMT":        lyra.RMT,
+		"Tofino-32Q": lyra.Tofino32Q,
+		"Tofino-64Q": lyra.Tofino64Q,
+		"SiliconOne": lyra.SiliconOne,
+		"Trident-4":  lyra.Trident4,
+	} {
+		got, err := chipModel(name)
+		if err != nil || got != want {
+			t.Errorf("%s: %v %v", name, got, err)
+		}
+	}
+	if _, err := chipModel("ghost"); err == nil {
+		t.Error("unknown chip accepted")
+	}
+}

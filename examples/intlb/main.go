@@ -1,0 +1,136 @@
+// The paper's motivating example (Figures 1, 4 and 7): in-band network
+// telemetry deployed per-switch across ToR and aggregation layers, plus a
+// stateful L4 load balancer realized across four switches — two programs,
+// five ASIC models, eight pieces of generated code.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lyra"
+)
+
+const program = `
+>HEADER:
+header_type ethernet_t { bit[48] dst_mac; bit[48] src_mac; bit[16] ether_type; }
+header ethernet_t ethernet;
+header_type ipv4_t { bit[8] ttl; bit[8] protocol; bit[32] srcAddr; bit[32] dstAddr; }
+header ipv4_t ipv4;
+header_type tcp_t { bit[16] srcPort; bit[16] dstPort; }
+header tcp_t tcp;
+header_type int_probe_hdr_t { bit[8] hop_count; bit[8] msg_type; }
+header int_probe_hdr_t int_probe_hdr;
+header_type int_md_t { bit[32] switch_id; bit[32] hop_latency; bit[32] queue_len; }
+header int_md_t int_md;
+
+>PIPELINES:
+pipeline[INT]{int_in -> int_transit -> int_out};
+pipeline[LB]{loadbalancer};
+
+algorithm int_in {
+  global bit[32][1024] packet_counter;
+  int_filtering();
+  if (int_enable) {
+    add_int_probe_header();
+    add_int_md_hdr();
+  }
+}
+algorithm int_transit {
+  transit_filter();
+  if (int_enable) {
+    add_int_md_hdr();
+  }
+}
+algorithm int_out {
+  sink_filter();
+  if (int_enable) {
+    add_int_md_hdr();
+    mirror();
+    remove_header(int_probe_hdr);
+  }
+}
+algorithm loadbalancer {
+  load_balancing();
+}
+
+>FUNCTIONS:
+func int_filtering() {
+  extern list<bit[32] ip>[1024] watch_src;
+  if (ipv4.srcAddr in watch_src) {
+    int_enable = 1;
+  }
+}
+func transit_filter() {
+  extern dict<bit[8] msg_type, bit[30] switch_id>[128] add_int_md_hdr_filter;
+  if (int_probe_hdr.msg_type in add_int_md_hdr_filter) {
+    int_enable = 1;
+  }
+}
+func sink_filter() {
+  extern dict<bit[8] msg_type, bit[30] sink>[128] int_sink_filter;
+  if (int_probe_hdr.msg_type in int_sink_filter) {
+    int_enable = 1;
+  }
+}
+func add_int_probe_header() {
+  add_header(int_probe_hdr);
+  int_probe_hdr.hop_count = 0;
+  int_probe_hdr.msg_type = 1;
+}
+func add_int_md_hdr() {
+  bit[48] ig_ts;
+  bit[48] eg_ts;
+  add_header(int_md);
+  ig_ts = get_ingress_timestamp();
+  eg_ts = get_egress_timestamp();
+  int_md.hop_latency = (eg_ts - ig_ts) & 0x0fffffff;
+  int_md.switch_id = get_switch_id();
+  int_md.queue_len = get_queue_len();
+  int_probe_hdr.hop_count = int_probe_hdr.hop_count + 1;
+}
+func load_balancing() {
+  extern dict<bit[32] hash, bit[32] ip>[1024] conn_table;
+  extern dict<bit[32] vip, bit[8] group>[1024] vip_table;
+  bit[32] hash;
+  hash = crc32_hash(ipv4.srcAddr, ipv4.dstAddr, ipv4.protocol, tcp.srcPort, tcp.dstPort);
+  if (hash in conn_table) {
+    ipv4.dstAddr = conn_table[hash];
+  }
+}
+`
+
+// Figure 7's scope: INT per switch on its layer, the LB spread MULTI-SW
+// over pod 2.
+const scopeSpec = `
+int_in:       [ ToR* | PER-SW | - ]
+int_transit:  [ Agg* | PER-SW | - ]
+int_out:      [ ToR* | PER-SW | - ]
+loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]
+`
+
+func main() {
+	res, err := lyra.Compile(lyra.Request{
+		Source:    program,
+		ScopeSpec: scopeSpec,
+		Network:   lyra.Testbed(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one Lyra program -> %d chip-specific programs in %s\n\n",
+		len(res.Artifacts), res.CompileTime.Round(1e6))
+	for _, sw := range res.Switches() {
+		a := res.Artifact(sw)
+		fmt.Printf("%-8s %-10s %-6s  %3d LoC  %2d tables  %2d actions  %d registers\n",
+			sw, a.Model.Name, a.Dialect, a.LoC, a.Tables, a.Actions, a.Registers)
+	}
+	fmt.Println("\nflow paths considered for the load balancer:")
+	for _, p := range res.FlowPaths("loadbalancer") {
+		fmt.Printf("  %v\n", p)
+	}
+	if err := res.WriteTo("intlb-out"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nartifacts written to intlb-out/")
+}

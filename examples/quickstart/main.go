@@ -1,0 +1,56 @@
+// Quickstart: compile a minimal stateful load balancer for the paper's
+// testbed network and print the generated chip-specific code.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lyra"
+)
+
+const program = `
+header_type ipv4_t { bit[32] srcAddr; bit[32] dstAddr; bit[8] protocol; }
+header ipv4_t ipv4;
+header_type tcp_t { bit[16] srcPort; bit[16] dstPort; }
+header tcp_t tcp;
+
+pipeline[LB]{loadbalancer};
+
+algorithm loadbalancer {
+  extern dict<bit[32] hash, bit[32] ip>[1024] conn_table;
+  extern dict<bit[32] vip, bit[32] dip>[1024] vip_table;
+  bit[32] hash;
+  hash = crc32_hash(ipv4.srcAddr, ipv4.dstAddr, ipv4.protocol, tcp.srcPort, tcp.dstPort);
+  if (hash in conn_table) {
+    ipv4.dstAddr = conn_table[hash];
+  } else {
+    if (ipv4.dstAddr in vip_table) {
+      ipv4.dstAddr = vip_table[ipv4.dstAddr];
+    }
+  }
+}
+`
+
+// The algorithm scope (§3.3): one logical load balancer realized across the
+// pod-2 aggregation and ToR switches, for traffic flowing downward.
+const scopeSpec = `loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]`
+
+func main() {
+	res, err := lyra.Compile(lyra.Request{
+		Source:    program,
+		ScopeSpec: scopeSpec,
+		Network:   lyra.Testbed(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled in %s (SMT solve %s)\n\n", res.CompileTime.Round(1e6), res.SolveTime.Round(1e6))
+	for _, sw := range res.Switches() {
+		art := res.Artifact(sw)
+		fmt.Printf("================ %s (%s, %s) ================\n", sw, art.Model.Name, art.Dialect)
+		fmt.Println(art.Code)
+		fmt.Println("---- control plane ----")
+		fmt.Println(art.ControlPlane)
+	}
+}

@@ -1,0 +1,95 @@
+// Simulation demo: compile the load balancer, deploy it on the simulated
+// testbed with control-plane entries, and push packets along every flow
+// path — verifying that the distributed, compiled programs transform each
+// packet exactly like the source program's one-big-pipeline semantics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"lyra"
+)
+
+const program = `
+header_type ipv4_t { bit[32] srcAddr; bit[32] dstAddr; bit[8] protocol; }
+header ipv4_t ipv4;
+header_type tcp_t { bit[16] srcPort; bit[16] dstPort; }
+header tcp_t tcp;
+pipeline[LB]{loadbalancer};
+algorithm loadbalancer {
+  extern dict<bit[32] hash, bit[32] ip>[64] conn_table;
+  extern dict<bit[32] vip, bit[32] dip>[64] vip_table;
+  bit[32] hash;
+  hash = crc32_hash(ipv4.srcAddr, ipv4.dstAddr, ipv4.protocol, tcp.srcPort, tcp.dstPort);
+  if (hash in conn_table) {
+    ipv4.dstAddr = conn_table[hash];
+  } else {
+    if (ipv4.dstAddr in vip_table) {
+      ipv4.dstAddr = vip_table[ipv4.dstAddr];
+    }
+  }
+}
+`
+
+const scopeSpec = `loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]`
+
+func main() {
+	res, err := lyra.Compile(lyra.Request{
+		Source:    program,
+		ScopeSpec: scopeSpec,
+		Network:   lyra.Testbed(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Control plane: map 8 VIPs to backend DIPs.
+	tables := lyra.NewTables()
+	for vip := uint64(0); vip < 8; vip++ {
+		tables.Set("vip_table", vip, 0x0A000000+vip) // 10.0.0.x
+	}
+	sim, err := res.Simulate(tables)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	ctx := &lyra.SimContext{}
+	agree, total := 0, 0
+	for i := 0; i < 50; i++ {
+		pkt := lyra.NewPacket()
+		pkt.Valid["ipv4"] = true
+		pkt.Valid["tcp"] = true
+		pkt.Fields["ipv4.srcAddr"] = uint64(rng.Uint32())
+		pkt.Fields["ipv4.dstAddr"] = uint64(rng.Intn(8))
+		pkt.Fields["ipv4.protocol"] = 6
+		pkt.Fields["tcp.srcPort"] = uint64(rng.Intn(1 << 16))
+		pkt.Fields["tcp.dstPort"] = 80
+
+		ref, err := sim.RunReference(ctx, pkt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, path := range res.FlowPaths("loadbalancer") {
+			got, err := sim.RunPath(path, ctx, pkt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total++
+			if got.Summary() == ref.Summary() {
+				agree++
+			} else {
+				fmt.Printf("MISMATCH on %v:\n  ref:  %s\n  dist: %s\n", path, ref.Summary(), got.Summary())
+			}
+		}
+		if i < 3 {
+			fmt.Printf("packet %d: dst %d -> %#x\n", i, pkt.Fields["ipv4.dstAddr"], ref.Fields["ipv4.dstAddr"])
+		}
+	}
+	fmt.Printf("\n%d/%d path runs matched the one-big-pipeline reference\n", agree, total)
+	if agree != total {
+		log.Fatal("equivalence violated")
+	}
+}

@@ -1,0 +1,3 @@
+module lyra
+
+go 1.22

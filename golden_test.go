@@ -1,0 +1,83 @@
+package lyra
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenArtifacts locks the exact generated text for a representative
+// program on each dialect; regenerate with `go test -run Golden -update`.
+func TestGoldenArtifacts(t *testing.T) {
+	src := loadProgram(t, "simple_router")
+	cases := []struct {
+		name    string
+		sw      string
+		dialect Dialect
+		file    string
+	}{
+		{"p414", "ToR1", P414, "simple_router_tor1.p4"},
+		{"p416", "ToR1", P416, "simple_router_tor1_16.p4"},
+		{"npl", "Agg1", P414, "simple_router_agg1.npl"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := Compile(Request{
+				Source:    src,
+				ScopeSpec: perSwitchScope(t, src, c.sw),
+				Network:   Testbed(),
+				Dialect:   c.dialect,
+			})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			got := res.Artifact(c.sw).Code
+			path := filepath.Join("testdata", "golden", c.file)
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("generated %s differs from golden %s;\nrun `go test -run Golden -update` if the change is intended.\n--- got ---\n%s",
+					c.name, c.file, got)
+			}
+		})
+	}
+}
+
+// TestGoldenControlPlane locks the control-plane stub shape.
+func TestGoldenControlPlane(t *testing.T) {
+	src := loadProgram(t, "simple_router")
+	res, err := Compile(Request{
+		Source:    src,
+		ScopeSpec: perSwitchScope(t, src, "ToR1"),
+		Network:   Testbed(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Artifact("ToR1").ControlPlane
+	path := filepath.Join("testdata", "golden", "simple_router_tor1_cp.py")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("control plane differs from golden:\n%s", got)
+	}
+}

@@ -1,0 +1,329 @@
+package asic
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryBlocksEq11Vs12(t *testing.T) {
+	// Appendix A.4 example: 48-bit rows in 80b×1K blocks.
+	packed := RMT.MemoryBlocksFor(3072, 48) // 3 rows of 1K, 48b each → ceil(3*48/80)=2
+	if packed != 2 {
+		t.Errorf("packed blocks = %d, want 2", packed)
+	}
+	noPack := &Model{SRAMBlockEntries: 1024, SRAMBlockWidth: 80}
+	if got := noPack.MemoryBlocksFor(3072, 48); got != 3 {
+		t.Errorf("unpacked blocks = %d, want 3", got)
+	}
+	// Word packing never uses more blocks than the naive layout (Eq. 11 ≤ Eq. 12).
+	cmp := func(entries int16, width int8) bool {
+		e, w := int64(entries), int(width)
+		if e <= 0 || w <= 0 {
+			return true
+		}
+		withPack := RMT.MemoryBlocksFor(e, w)
+		noPackM := *RMT
+		noPackM.WordPacking = false
+		return withPack <= noPackM.MemoryBlocksFor(e, w)
+	}
+	if err := quick.Check(cmp, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntriesForBlocksInverse(t *testing.T) {
+	// Whatever entriesForBlocks claims fits must actually fit (property).
+	f := func(blocks uint8, width uint8) bool {
+		b := int64(blocks%100) + 1
+		w := int(width%200) + 1
+		fit := EntriesInBlocks(RMT, b, w)
+		if fit <= 0 {
+			return true
+		}
+		return RMT.MemoryBlocksFor(fit, w) <= b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackingStrategies(t *testing.T) {
+	// A 48-bit field packs as 6×8, 3×16, 1×32+1×16, 1×32+2×8, 2×16+2×8 ...
+	got := PackingStrategies(48)
+	if len(got) == 0 {
+		t.Fatal("no strategies")
+	}
+	for _, p := range got {
+		if p.Bits() < 48 {
+			t.Errorf("strategy %+v too small", p)
+		}
+		if p.Bits()-48 >= 16 {
+			t.Errorf("strategy %+v wasteful", p)
+		}
+	}
+	seen := map[PHVWords]bool{}
+	for _, p := range got {
+		if seen[p] {
+			t.Errorf("duplicate strategy %+v", p)
+		}
+		seen[p] = true
+	}
+	if !seen[PHVWords{W16: 3}] || !seen[PHVWords{W32: 1, W16: 1}] {
+		t.Errorf("missing canonical strategies: %+v", got)
+	}
+}
+
+func TestPackingStrategiesProperty(t *testing.T) {
+	f := func(w uint8) bool {
+		bits := int(w%128) + 1
+		for _, p := range PackingStrategies(bits) {
+			if p.Bits() < bits {
+				return false
+			}
+		}
+		return len(PackingStrategies(bits)) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocateSimple(t *testing.T) {
+	spec := &ProgramSpec{
+		Tables: []TableSpec{
+			{Name: "t0", Entries: 1024, MatchBits: 32, Actions: 1},
+			{Name: "t1", Entries: 1024, MatchBits: 32, Actions: 1, Deps: []int{0}},
+		},
+		Fields:        []int{32, 32, 16, 8},
+		ParserEntries: 4,
+	}
+	a, err := Allocate(Tofino32Q, spec)
+	if err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	p0, p1 := a.Tables["t0"], a.Tables["t1"]
+	if p0.Start != 1 {
+		t.Errorf("t0 start = %d", p0.Start)
+	}
+	if p1.Start <= p0.End {
+		t.Errorf("dependency violated: t1 start %d, t0 end %d", p1.Start, p0.End)
+	}
+}
+
+func TestAllocateLargeTableSpansStages(t *testing.T) {
+	// 1M entries of 32b match cannot fit in one stage.
+	spec := &ProgramSpec{
+		Tables: []TableSpec{{Name: "conn", Entries: 1_000_000, MatchBits: 32, Actions: 1}},
+	}
+	a, err := Allocate(Tofino32Q, spec)
+	if err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	pl := a.Tables["conn"]
+	if pl.End <= pl.Start {
+		t.Errorf("expected multi-stage placement, got %d..%d", pl.Start, pl.End)
+	}
+	var total int64
+	for _, e := range pl.Entries {
+		total += e
+	}
+	if total != 1_000_000 {
+		t.Errorf("entries sum = %d", total)
+	}
+}
+
+func TestAllocateOverflow(t *testing.T) {
+	spec := &ProgramSpec{
+		Tables: []TableSpec{{Name: "huge", Entries: 50_000_000, MatchBits: 64, Actions: 1}},
+	}
+	_, err := Allocate(Tofino64Q, spec)
+	var ae *AllocError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want AllocError, got %v", err)
+	}
+	if ae.Table != "huge" {
+		t.Errorf("offending table = %q", ae.Table)
+	}
+}
+
+func TestAllocateTableCountPerStage(t *testing.T) {
+	// More tiny independent tables than TablesPerStage must spill over.
+	var tables []TableSpec
+	for i := 0; i < 20; i++ {
+		tables = append(tables, TableSpec{Name: string(rune('a' + i)), Entries: 2, MatchBits: 8, Actions: 1})
+	}
+	a, err := Allocate(Tofino32Q, spec(tables))
+	if err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	if a.StagesUsed < 3 {
+		t.Errorf("20 tables with 8/stage should use >=3 stages, used %d", a.StagesUsed)
+	}
+}
+
+func spec(tables []TableSpec) *ProgramSpec { return &ProgramSpec{Tables: tables} }
+
+func chainTables(n int) []TableSpec {
+	var tables []TableSpec
+	for i := 0; i < n; i++ {
+		ts := TableSpec{Name: fmt.Sprintf("t%d", i), Entries: 1, MatchBits: 8, Actions: 1}
+		if i > 0 {
+			ts.Deps = []int{i - 1}
+		}
+		tables = append(tables, ts)
+	}
+	return tables
+}
+
+func TestAllocateRecirculationExtendsStages(t *testing.T) {
+	// A dependency chain one longer than the pipeline fits only by
+	// recirculating (§8): the allocation must mark a second pass.
+	a, err := Allocate(Tofino64Q, spec(chainTables(Tofino64Q.Stages+1)))
+	if err != nil {
+		t.Fatalf("recirculation should admit the chain: %v", err)
+	}
+	if a.RecirculationPasses != 2 {
+		t.Errorf("passes = %d, want 2", a.RecirculationPasses)
+	}
+	// A single-pipeline-depth chain needs no recirculation.
+	a, err = Allocate(Tofino64Q, spec(chainTables(Tofino64Q.Stages)))
+	if err != nil || a.RecirculationPasses != 1 {
+		t.Errorf("short chain: passes=%d err=%v", a.RecirculationPasses, err)
+	}
+}
+
+func TestAllocateDependencyChainTooLong(t *testing.T) {
+	// Even recirculation doubles the budget only once.
+	_, err := Allocate(Tofino64Q, spec(chainTables(2*Tofino64Q.Stages+1)))
+	if err == nil {
+		t.Fatal("chain longer than 2x stages must fail")
+	}
+	// Without recirculation, one pipeline depth is the hard limit.
+	noRecirc := *Tofino64Q
+	noRecirc.Recirculation = false
+	_, err = Allocate(&noRecirc, spec(chainTables(noRecirc.Stages+1)))
+	if err == nil {
+		t.Fatal("chain longer than stages must fail without recirculation")
+	}
+}
+
+func TestExtraCheckPlugin(t *testing.T) {
+	// §8: operators can encode a missing constraint as a plug-in patch.
+	custom := *Tofino32Q
+	custom.ExtraCheck = func(s *ProgramSpec) error {
+		if len(s.Tables) > 2 {
+			return errors.New("site policy: at most 2 tables")
+		}
+		return nil
+	}
+	if _, err := Allocate(&custom, spec(chainTables(2))); err != nil {
+		t.Fatalf("within policy: %v", err)
+	}
+	if _, err := Allocate(&custom, spec(chainTables(3))); err == nil {
+		t.Fatal("policy violation must be rejected")
+	}
+}
+
+func TestAllocatePoolNPL(t *testing.T) {
+	a, err := Allocate(Trident4, &ProgramSpec{
+		Tables: []TableSpec{
+			{Name: "conn", Entries: 2_500_000, MatchBits: 32, Actions: 1},
+		},
+		CodePathLen: 10,
+	})
+	if err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	if a.BlocksUsed != 2_500_000 {
+		t.Errorf("words = %d", a.BlocksUsed)
+	}
+	// Adding VIPTable (1M) exceeds the 3M pool — the §7.2 scenario.
+	_, err = Allocate(Trident4, &ProgramSpec{
+		Tables: []TableSpec{
+			{Name: "conn", Entries: 2_500_000, MatchBits: 32, Actions: 1},
+			{Name: "vip", Entries: 1_000_000, MatchBits: 32, Actions: 1},
+		},
+		CodePathLen: 10,
+	})
+	if err == nil {
+		t.Fatal("2.5M + 1M must overflow Trident-4's 3M pool")
+	}
+}
+
+func TestAllocatePoolCodePath(t *testing.T) {
+	_, err := Allocate(Trident4, &ProgramSpec{CodePathLen: 1000})
+	if err == nil {
+		t.Fatal("code path over limit must fail")
+	}
+}
+
+func TestPHVOverflow(t *testing.T) {
+	fields := make([]int, 0, 200)
+	for i := 0; i < 200; i++ {
+		fields = append(fields, 32)
+	}
+	_, err := Allocate(Tofino32Q, &ProgramSpec{Fields: fields})
+	if err == nil {
+		t.Fatal("200×32b fields must overflow the PHV")
+	}
+}
+
+func TestPHVPackingMixedFields(t *testing.T) {
+	// 48b MAC + 32b IPs + small flags should pack fine.
+	_, err := Allocate(Tofino32Q, &ProgramSpec{Fields: []int{48, 48, 32, 32, 16, 9, 1, 1}})
+	if err != nil {
+		t.Fatalf("packing failed: %v", err)
+	}
+}
+
+func TestParserOverflow(t *testing.T) {
+	_, err := Allocate(Tofino32Q, &ProgramSpec{ParserEntries: 10_000})
+	if err == nil {
+		t.Fatal("parser overflow must fail")
+	}
+}
+
+func TestNonProgrammable(t *testing.T) {
+	_, err := Allocate(Tomahawk, &ProgramSpec{Tables: []TableSpec{{Name: "t", Entries: 1, MatchBits: 8}}})
+	if err == nil {
+		t.Fatal("placement on Tomahawk must fail")
+	}
+	if _, err := Allocate(Tomahawk, &ProgramSpec{}); err != nil {
+		t.Fatalf("empty program on fixed chip should pass: %v", err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"RMT", "Tofino-32Q", "Tofino-64Q", "SiliconOne", "Trident-4", "Tomahawk"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("missing model %s", name)
+		}
+	}
+	if _, ok := ByName("nonsense"); ok {
+		t.Error("unexpected model")
+	}
+}
+
+func TestTotalCapacityThreeMillionShape(t *testing.T) {
+	// §7.2: both Tofino and Trident-4 hold about three million entries.
+	tofino := Tofino32Q.TotalSRAMCapacityEntries(32 + 32) // match+action
+	if tofino < 2_000_000 || tofino > 8_000_000 {
+		t.Errorf("Tofino capacity out of plausible range: %d", tofino)
+	}
+	trident := Trident4.TotalSRAMCapacityEntries(64)
+	if trident < 2_000_000 || trident > 4_000_000 {
+		t.Errorf("Trident capacity out of plausible range: %d", trident)
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	_, err := topoOrder([]TableSpec{
+		{Name: "a", Deps: []int{1}},
+		{Name: "b", Deps: []int{0}},
+	})
+	if err == nil {
+		t.Fatal("cycle must be rejected")
+	}
+}

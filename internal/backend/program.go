@@ -1,0 +1,382 @@
+// Package backend translates a solved placement plan into chip-specific
+// artifacts (§5.7): P4_14, P4_16, or NPL source per switch, plus the
+// control-plane interface stubs of §5.8. It first normalizes each switch's
+// share of the plan into a SwitchProgram — an ordered, self-contained
+// description of headers, parser, metadata, tables, registers, and
+// cross-switch bridge variables (Algorithm 2) — which the language printers
+// and the data-plane simulator both consume.
+package backend
+
+import (
+	"fmt"
+	"sort"
+
+	"lyra/internal/asic"
+	"lyra/internal/encode"
+	"lyra/internal/ir"
+	"lyra/internal/lang/ast"
+	"lyra/internal/lang/lib"
+)
+
+// HeaderDef is a header type used by a switch program.
+type HeaderDef struct {
+	Name   string // instance name
+	Type   string // header type name
+	Fields []ast.Field
+}
+
+// Width returns the header width in bits.
+func (h *HeaderDef) Width() int {
+	w := 0
+	for _, f := range h.Fields {
+		w += f.Type.Bits
+	}
+	return w
+}
+
+// MetaVar is one SSA variable materialized as a metadata field.
+type MetaVar struct {
+	Name string // sanitized field name
+	Var  *ir.Var
+	Bits int
+}
+
+// RegisterDef is a stateful register array (from a global declaration).
+type RegisterDef struct {
+	Name string
+	Bits int
+	Len  int
+}
+
+// SwitchProgram is everything one switch runs.
+type SwitchProgram struct {
+	Switch string
+	Model  *asic.Model
+
+	Headers []*HeaderDef
+	// Bridge is the cross-switch header carrying exported variables; nil
+	// when the switch neither imports nor exports.
+	Bridge *HeaderDef
+
+	Metadata  []*MetaVar
+	Registers []*RegisterDef
+
+	// Tables in apply order (dependencies first).
+	Tables []*encode.PlacedTable
+	// Instrs are this switch's placed instructions in program order.
+	Instrs []*ir.Instr
+
+	// Imports are bridge variables this switch reads from upstream;
+	// Exports are those it must write into the bridge header.
+	Imports []encode.BridgeVar
+	Exports []encode.BridgeVar
+
+	// HitGuards maps a shard table name to the bridged hit variable that
+	// gates it (downstream shards apply only when upstream missed).
+	HitGuards map[string]*ir.Var
+
+	// EgressTables marks tables that must run in the egress pipeline: they
+	// (or a table they depend on) read egress-only state such as queue
+	// occupancy or the egress timestamp (§8 multi-pipeline support).
+	EgressTables map[string]bool
+}
+
+// BridgeFieldName returns the bridge header field for a variable.
+func BridgeFieldName(alg string, v *ir.Var) string {
+	return fmt.Sprintf("%s_%s_%d", alg, v.Name, v.Ver)
+}
+
+// MetaFieldName returns the metadata field name of an SSA variable.
+func MetaFieldName(v *ir.Var) string {
+	return fmt.Sprintf("%s_%d", v.Name, v.Ver)
+}
+
+// Build normalizes a plan into per-switch programs.
+func Build(plan *encode.Plan) (map[string]*SwitchProgram, error) {
+	irp := plan.Input.IR
+	out := map[string]*SwitchProgram{}
+
+	// Global bridge layout: consistent across the network.
+	var bridgeVars []encode.BridgeVar
+	seenBridge := map[string]bool{}
+	var bridgeSwitches []string
+	for sw := range plan.Bridges {
+		bridgeSwitches = append(bridgeSwitches, sw)
+	}
+	sort.Strings(bridgeSwitches)
+	for _, sw := range bridgeSwitches {
+		for _, bv := range plan.Bridges[sw] {
+			key := BridgeFieldName(bv.Alg, bv.Var)
+			if !seenBridge[key] {
+				seenBridge[key] = true
+				bridgeVars = append(bridgeVars, bv)
+			}
+		}
+	}
+	bridgeHeader := buildBridgeHeader(bridgeVars)
+
+	for _, sw := range plan.Input.Net.Switches {
+		var instrs []*ir.Instr
+		placedSet := map[string]map[int]bool{}
+		for alg, m := range plan.Placement {
+			for id, hosts := range m {
+				for _, h := range hosts {
+					if h == sw.Name {
+						if placedSet[alg] == nil {
+							placedSet[alg] = map[int]bool{}
+						}
+						placedSet[alg][id] = true
+					}
+				}
+			}
+		}
+		for _, a := range irp.Algorithms {
+			if set := placedSet[a.Name]; set != nil {
+				for _, in := range a.Instrs {
+					if set[in.ID] {
+						instrs = append(instrs, in)
+					}
+				}
+			}
+		}
+		if len(instrs) == 0 {
+			continue
+		}
+		sp := &SwitchProgram{
+			Switch:    sw.Name,
+			Model:     sw.ASIC,
+			Instrs:    instrs,
+			HitGuards: map[string]*ir.Var{},
+		}
+		sp.Headers = headersUsed(irp, instrs)
+		sp.Metadata = metadataVars(instrs)
+		sp.Registers = registersUsed(irp, instrs)
+		sp.Tables = orderTables(plan.Tables[sw.Name])
+		sp.Exports = plan.Bridges[sw.Name]
+		sp.Imports = importsOf(plan, sw.Name, instrs)
+		if len(sp.Exports) > 0 || len(sp.Imports) > 0 {
+			sp.Bridge = bridgeHeader
+		}
+		sp.EgressTables = egressTables(sp.Tables)
+		// Downstream shards of a split extern are gated on the bridged hit
+		// signal of the member/lookup instruction.
+		for _, pt := range sp.Tables {
+			if pt.ShardCount > 1 && pt.ShardIndex > 0 {
+				for _, in := range pt.Table.Instrs() {
+					if (in.Op == ir.IMember || in.Op == ir.ILookup) && in.WritesVar() != nil {
+						sp.HitGuards[pt.Name] = in.WritesVar()
+						break
+					}
+				}
+			}
+		}
+		out[sw.Name] = sp
+	}
+	return out, nil
+}
+
+func buildBridgeHeader(vars []encode.BridgeVar) *HeaderDef {
+	if len(vars) == 0 {
+		return nil
+	}
+	h := &HeaderDef{Name: "lyra_bridge", Type: "lyra_bridge_t"}
+	for _, bv := range vars {
+		bits := bv.Bits
+		if bits <= 0 {
+			bits = 32
+		}
+		h.Fields = append(h.Fields, ast.Field{
+			Type: ast.Type{Bits: bits},
+			Name: BridgeFieldName(bv.Alg, bv.Var),
+		})
+	}
+	return h
+}
+
+// headersUsed collects the header instances referenced by the instructions.
+func headersUsed(irp *ir.Program, instrs []*ir.Instr) []*HeaderDef {
+	names := map[string]bool{}
+	for _, in := range instrs {
+		for _, a := range in.Args {
+			if a.Kind == ir.OpdField {
+				names[a.Hdr] = true
+			}
+		}
+		if in.Dest.Kind == ir.DestField {
+			names[in.Dest.Hdr] = true
+		}
+		if in.Op == ir.IHeaderAdd || in.Op == ir.IHeaderRemove {
+			names[in.Table] = true
+		}
+	}
+	var sorted []string
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	var out []*HeaderDef
+	for _, n := range sorted {
+		hd := &HeaderDef{Name: n}
+		if inst := irp.Source.Instance(n); inst != nil {
+			hd.Type = inst.TypeName
+			if ht := irp.Source.Header(inst.TypeName); ht != nil {
+				hd.Fields = ht.Fields
+			}
+		} else {
+			// Packet metadata declaration.
+			for _, pk := range irp.Source.Packets {
+				if pk.Name == n {
+					hd.Type = n + "_t"
+					hd.Fields = pk.Fields
+				}
+			}
+		}
+		out = append(out, hd)
+	}
+	return out
+}
+
+// metadataVars collects the SSA variables the switch materializes.
+func metadataVars(instrs []*ir.Instr) []*MetaVar {
+	seen := map[*ir.Var]bool{}
+	var vars []*ir.Var
+	add := func(v *ir.Var) {
+		if v != nil && !seen[v] {
+			seen[v] = true
+			vars = append(vars, v)
+		}
+	}
+	for _, in := range instrs {
+		add(in.WritesVar())
+		for _, v := range in.Reads() {
+			add(v)
+		}
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].String() < vars[j].String() })
+	out := make([]*MetaVar, len(vars))
+	for i, v := range vars {
+		bits := v.Bits
+		if bits <= 0 {
+			bits = 32
+		}
+		out[i] = &MetaVar{Name: MetaFieldName(v), Var: v, Bits: bits}
+	}
+	return out
+}
+
+func registersUsed(irp *ir.Program, instrs []*ir.Instr) []*RegisterDef {
+	seen := map[string]bool{}
+	var out []*RegisterDef
+	for _, in := range instrs {
+		if in.Op != ir.IGlobalRead && in.Op != ir.IGlobalWrite {
+			continue
+		}
+		if seen[in.Table] {
+			continue
+		}
+		seen[in.Table] = true
+		g := irp.Global(in.Table)
+		if g == nil {
+			continue
+		}
+		out = append(out, &RegisterDef{Name: g.Name, Bits: g.Bits, Len: g.Len})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// orderTables sorts placed tables so dependencies come first, preserving
+// the original order among independents.
+func orderTables(tables []*encode.PlacedTable) []*encode.PlacedTable {
+	byName := map[string]int{}
+	for i, t := range tables {
+		byName[t.Name] = i
+	}
+	state := make([]int, len(tables))
+	var out []*encode.PlacedTable
+	var visit func(i int)
+	visit = func(i int) {
+		if state[i] != 0 {
+			return
+		}
+		state[i] = 1
+		for _, d := range tables[i].Deps {
+			if di, ok := byName[d.Name]; ok {
+				visit(di)
+			}
+		}
+		state[i] = 2
+		out = append(out, tables[i])
+	}
+	for i := range tables {
+		visit(i)
+	}
+	return out
+}
+
+// egressTables identifies tables pinned to the egress pipeline: any table
+// containing an egress-only library call (queue depth, egress timestamp),
+// plus everything downstream of one in the table dependency graph — the
+// egress pipeline cannot hand results back to ingress (§8).
+func egressTables(tables []*encode.PlacedTable) map[string]bool {
+	out := map[string]bool{}
+	for _, pt := range tables {
+		for _, in := range pt.Table.Instrs() {
+			if in.Op != ir.ILib && in.Op != ir.IHash {
+				continue
+			}
+			if lf, ok := lib.Lookup(in.Table); ok && lf.EgressOnly {
+				out[pt.Name] = true
+			}
+		}
+	}
+	// Propagate to dependents until fixpoint (tables are few; O(n²) fine).
+	for changed := true; changed; {
+		changed = false
+		for _, pt := range tables {
+			if out[pt.Name] {
+				continue
+			}
+			for _, d := range pt.Deps {
+				if out[d.Name] {
+					out[pt.Name] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// importsOf finds bridge variables the switch reads from upstream. A var
+// that is also defined locally is still imported when another switch
+// exports it: shard copies of a split table need the upstream hit signal
+// and value at switch entry (the local copy overwrites them only when it
+// actually executes).
+func importsOf(plan *encode.Plan, sw string, instrs []*ir.Instr) []encode.BridgeVar {
+	seen := map[*ir.Var]bool{}
+	var out []encode.BridgeVar
+	for _, in := range instrs {
+		for _, v := range in.Reads() {
+			if seen[v] {
+				continue
+			}
+			// Import if some other switch exports it.
+			for other, bvs := range plan.Bridges {
+				if other == sw {
+					continue
+				}
+				for _, bv := range bvs {
+					if bv.Var == v && !seen[v] {
+						seen[v] = true
+						out = append(out, bv)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Var.String() < out[j].Var.String()
+	})
+	return out
+}

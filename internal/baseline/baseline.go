@@ -1,0 +1,91 @@
+// Package baseline holds human-written-style P4_14 reference
+// implementations of the ten Figure-9 evaluation programs. The paper
+// compares Lyra-generated code against programs written by researchers and
+// engineers; since that code is not public, these re-implementations keep
+// the idiomatic structure that drives the comparison — one table per small
+// feature, per-feature actions, explicit header/parser boilerplate — so the
+// relative shape (Lyra needs fewer lines and no more tables) is preserved.
+package baseline
+
+import (
+	"sort"
+	"strings"
+)
+
+// Metrics summarizes one baseline program (the Figure 9 columns).
+type Metrics struct {
+	Name      string
+	LoC       int
+	LogicLoC  int
+	Tables    int
+	Actions   int
+	Registers int
+}
+
+// Programs maps program name to its P4_14 source.
+var Programs = map[string]string{
+	"ingress_int":       ingressINT,
+	"transit_int":       transitINT,
+	"egress_int":        egressINT,
+	"speedlight":        speedlight,
+	"netcache":          netcache,
+	"netchain":          netchain,
+	"netpaxos":          netpaxos,
+	"flowlet_switching": flowletSwitching,
+	"simple_router":     simpleRouter,
+	"switch":            switchP4,
+}
+
+// Names returns the program names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(Programs))
+	for n := range Programs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Measure computes the metrics of a baseline program.
+func Measure(name string) Metrics {
+	src := Programs[name]
+	m := Metrics{Name: name}
+	skipping := false
+	depth := 0
+	for _, raw := range strings.Split(src, "\n") {
+		l := strings.TrimSpace(raw)
+		if l == "" || strings.HasPrefix(l, "//") {
+			continue
+		}
+		m.LoC++
+		switch {
+		case strings.HasPrefix(l, "table "):
+			m.Tables++
+		case strings.HasPrefix(l, "action "):
+			m.Actions++
+		case strings.HasPrefix(l, "register "):
+			m.Registers++
+		}
+		// Logic LoC: skip header_type/header/parser/field_list sections.
+		if !skipping && (strings.HasPrefix(l, "header") || strings.HasPrefix(l, "parser") ||
+			strings.HasPrefix(l, "field_list") || strings.HasPrefix(l, "metadata")) {
+			if strings.Contains(l, "{") {
+				skipping = true
+				depth = strings.Count(l, "{") - strings.Count(l, "}")
+				if depth <= 0 {
+					skipping = false
+				}
+			}
+			continue
+		}
+		if skipping {
+			depth += strings.Count(l, "{") - strings.Count(l, "}")
+			if depth <= 0 {
+				skipping = false
+			}
+			continue
+		}
+		m.LogicLoC++
+	}
+	return m
+}

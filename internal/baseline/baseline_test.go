@@ -1,0 +1,87 @@
+package baseline
+
+import "testing"
+
+func TestAllProgramsPresent(t *testing.T) {
+	want := []string{
+		"ingress_int", "transit_int", "egress_int", "speedlight",
+		"netcache", "netchain", "netpaxos", "flowlet_switching",
+		"simple_router", "switch",
+	}
+	if len(Names()) != len(want) {
+		t.Fatalf("Names() = %v", Names())
+	}
+	for _, n := range want {
+		if Programs[n] == "" {
+			t.Errorf("missing program %s", n)
+		}
+	}
+}
+
+func TestMeasureShape(t *testing.T) {
+	for _, n := range Names() {
+		m := Measure(n)
+		if m.LoC <= 0 {
+			t.Errorf("%s: LoC = %d", n, m.LoC)
+		}
+		if m.LogicLoC <= 0 || m.LogicLoC >= m.LoC {
+			t.Errorf("%s: LogicLoC = %d (LoC %d)", n, m.LogicLoC, m.LoC)
+		}
+		if m.Tables <= 0 || m.Actions <= 0 {
+			t.Errorf("%s: tables=%d actions=%d", n, m.Tables, m.Actions)
+		}
+	}
+}
+
+func TestMeasureKnownValues(t *testing.T) {
+	m := Measure("simple_router")
+	if m.Tables != 4 {
+		t.Errorf("simple_router tables = %d, want 4 (Figure 9)", m.Tables)
+	}
+	if m.Registers != 0 {
+		t.Errorf("simple_router registers = %d", m.Registers)
+	}
+	nc := Measure("netcache")
+	if nc.Registers != 2 {
+		t.Errorf("netcache registers = %d", nc.Registers)
+	}
+	// The paper's NetCache resource win hinges on the two valid-bit tables
+	// existing independently in the manual code.
+	if !contains(netcache, "table check_cache_valid") || !contains(netcache, "table set_cache_valid") {
+		t.Error("netcache baseline missing the famous valid-bit tables")
+	}
+	sw := Measure("switch")
+	if sw.Tables < 30 {
+		t.Errorf("switch tables = %d, want the largest program", sw.Tables)
+	}
+	if sw.LoC <= Measure("netcache").LoC {
+		t.Error("switch should be the biggest baseline")
+	}
+}
+
+func TestBalancedBraces(t *testing.T) {
+	for _, n := range Names() {
+		src := Programs[n]
+		open, close := 0, 0
+		for _, c := range src {
+			switch c {
+			case '{':
+				open++
+			case '}':
+				close++
+			}
+		}
+		if open != close {
+			t.Errorf("%s: %d open vs %d close braces", n, open, close)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,390 @@
+package baseline
+
+// ingressINT is a human-written-style P4_14 ingress INT program: separate
+// tables for source/destination filtering, probe insertion, each metadata
+// field, and counting — the modular per-feature structure engineers keep
+// for maintainability (§7.1).
+const ingressINT = `
+header_type ethernet_t {
+    fields {
+        dst_mac : 48;
+        src_mac : 48;
+        ether_type : 16;
+    }
+}
+header ethernet_t ethernet;
+
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        diffserv : 8;
+        total_len : 16;
+        identification : 16;
+        flags : 3;
+        frag_offset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdr_checksum : 16;
+        src_ip : 32;
+        dst_ip : 32;
+    }
+}
+header ipv4_t ipv4;
+
+header_type int_probe_hdr_t {
+    fields {
+        hop_count : 8;
+        msg_type : 8;
+        probe_len : 16;
+    }
+}
+header int_probe_hdr_t int_probe_hdr;
+
+header_type int_md_t {
+    fields {
+        switch_id : 32;
+        hop_latency : 32;
+        queue_len : 32;
+    }
+}
+header int_md_t int_md;
+
+header_type int_meta_t {
+    fields {
+        int_enable : 1;
+        counter_idx : 32;
+    }
+}
+metadata int_meta_t int_meta;
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.ether_type) {
+        0x0800 : parse_ipv4;
+        default : ingress;
+    }
+}
+parser parse_ipv4 {
+    extract(ipv4);
+    return ingress;
+}
+
+register packet_counter {
+    width : 32;
+    instance_count : 1024;
+}
+
+field_list flow_fl {
+    ipv4.src_ip;
+    ipv4.dst_ip;
+}
+field_list_calculation flow_hash_calc {
+    input { flow_fl; }
+    algorithm : crc32;
+    output_width : 32;
+}
+
+action a_enable_int() {
+    modify_field(int_meta.int_enable, 1);
+}
+table check_src_ip {
+    reads { ipv4.src_ip : exact; }
+    actions { a_enable_int; }
+    size : 1024;
+}
+table check_dst_ip {
+    reads { ipv4.dst_ip : exact; }
+    actions { a_enable_int; }
+    size : 1024;
+}
+
+action a_insert_probe() {
+    add_header(int_probe_hdr);
+    modify_field(int_probe_hdr.hop_count, 1);
+    modify_field(int_probe_hdr.msg_type, 1);
+    modify_field(int_probe_hdr.probe_len, 12);
+}
+table insert_probe {
+    reads { int_meta.int_enable : exact; }
+    actions { a_insert_probe; }
+}
+
+action a_add_md() {
+    add_header(int_md);
+    modify_field(int_md.switch_id, intrinsic_metadata.switch_id);
+}
+table add_md {
+    reads { int_meta.int_enable : exact; }
+    actions { a_add_md; }
+}
+
+action a_latency() {
+    subtract(int_md.hop_latency, intrinsic_metadata.egress_global_tstamp,
+             intrinsic_metadata.ingress_global_tstamp);
+    bit_and(int_md.hop_latency, int_md.hop_latency, 0x0fffffff);
+}
+table set_latency {
+    reads { int_meta.int_enable : exact; }
+    actions { a_latency; }
+}
+
+action a_queue_len() {
+    modify_field(int_md.queue_len, intrinsic_metadata.deq_qdepth);
+}
+table set_queue_len {
+    reads { int_meta.int_enable : exact; }
+    actions { a_queue_len; }
+}
+
+action a_hash_idx() {
+    modify_field_with_hash_based_offset(int_meta.counter_idx, 0, flow_hash_calc, 1024);
+}
+table hash_idx {
+    actions { a_hash_idx; }
+}
+
+action a_count() {
+    register_read(int_meta.counter_idx, packet_counter, int_meta.counter_idx);
+    add(int_meta.counter_idx, int_meta.counter_idx, 1);
+    register_write(packet_counter, int_meta.counter_idx, int_meta.counter_idx);
+}
+table count_probe {
+    reads { int_meta.int_enable : exact; }
+    actions { a_count; }
+}
+
+control ingress {
+    apply(check_src_ip);
+    apply(check_dst_ip);
+    apply(insert_probe);
+    apply(add_md);
+    apply(set_latency);
+    apply(set_queue_len);
+    apply(hash_idx);
+    apply(count_probe);
+}
+control egress { }
+`
+
+// transitINT is the transit-switch INT program in the same modular style.
+const transitINT = `
+header_type ethernet_t {
+    fields {
+        dst_mac : 48;
+        src_mac : 48;
+        ether_type : 16;
+    }
+}
+header ethernet_t ethernet;
+
+header_type int_probe_hdr_t {
+    fields {
+        hop_count : 8;
+        msg_type : 8;
+        probe_len : 16;
+    }
+}
+header int_probe_hdr_t int_probe_hdr;
+
+header_type int_md_t {
+    fields {
+        switch_id : 32;
+        hop_latency : 32;
+        queue_len : 32;
+    }
+}
+header int_md_t int_md;
+
+header_type int_meta_t {
+    fields {
+        int_enable : 1;
+    }
+}
+metadata int_meta_t int_meta;
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.ether_type) {
+        0x0801 : parse_probe;
+        default : ingress;
+    }
+}
+parser parse_probe {
+    extract(int_probe_hdr);
+    return ingress;
+}
+
+action a_enable_int() {
+    modify_field(int_meta.int_enable, 1);
+}
+table check_msg_type {
+    reads { int_probe_hdr.msg_type : exact; }
+    actions { a_enable_int; }
+    size : 128;
+}
+
+action a_push_md() {
+    add_header(int_md);
+    modify_field(int_md.switch_id, intrinsic_metadata.switch_id);
+}
+table push_md {
+    reads { int_meta.int_enable : exact; }
+    actions { a_push_md; }
+}
+
+action a_latency() {
+    subtract(int_md.hop_latency, intrinsic_metadata.egress_global_tstamp,
+             intrinsic_metadata.ingress_global_tstamp);
+    bit_and(int_md.hop_latency, int_md.hop_latency, 0x0fffffff);
+}
+table set_latency {
+    reads { int_meta.int_enable : exact; }
+    actions { a_latency; }
+}
+
+action a_queue_len() {
+    modify_field(int_md.queue_len, intrinsic_metadata.deq_qdepth);
+}
+table set_queue_len {
+    reads { int_meta.int_enable : exact; }
+    actions { a_queue_len; }
+}
+
+action a_bump_hops() {
+    add(int_probe_hdr.hop_count, int_probe_hdr.hop_count, 1);
+}
+table bump_hops {
+    reads { int_meta.int_enable : exact; }
+    actions { a_bump_hops; }
+}
+
+control ingress {
+    apply(check_msg_type);
+    apply(push_md);
+    apply(set_latency);
+    apply(set_queue_len);
+    apply(bump_hops);
+}
+control egress { }
+`
+
+// egressINT terminates the INT path: final metadata, mirroring, stripping.
+const egressINT = `
+header_type ethernet_t {
+    fields {
+        dst_mac : 48;
+        src_mac : 48;
+        ether_type : 16;
+    }
+}
+header ethernet_t ethernet;
+
+header_type int_probe_hdr_t {
+    fields {
+        hop_count : 8;
+        msg_type : 8;
+        probe_len : 16;
+    }
+}
+header int_probe_hdr_t int_probe_hdr;
+
+header_type int_md_t {
+    fields {
+        switch_id : 32;
+        hop_latency : 32;
+        queue_len : 32;
+    }
+}
+header int_md_t int_md;
+
+header_type int_meta_t {
+    fields {
+        int_enable : 1;
+    }
+}
+metadata int_meta_t int_meta;
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.ether_type) {
+        0x0801 : parse_probe;
+        default : ingress;
+    }
+}
+parser parse_probe {
+    extract(int_probe_hdr);
+    return ingress;
+}
+
+action a_enable_int() {
+    modify_field(int_meta.int_enable, 1);
+}
+table check_sink {
+    reads { int_probe_hdr.msg_type : exact; }
+    actions { a_enable_int; }
+    size : 128;
+}
+
+action a_push_md() {
+    add_header(int_md);
+    modify_field(int_md.switch_id, intrinsic_metadata.switch_id);
+}
+table push_final_md {
+    reads { int_meta.int_enable : exact; }
+    actions { a_push_md; }
+}
+
+action a_latency() {
+    subtract(int_md.hop_latency, intrinsic_metadata.egress_global_tstamp,
+             intrinsic_metadata.ingress_global_tstamp);
+    bit_and(int_md.hop_latency, int_md.hop_latency, 0x0fffffff);
+}
+table set_latency {
+    reads { int_meta.int_enable : exact; }
+    actions { a_latency; }
+}
+
+action a_queue_len() {
+    modify_field(int_md.queue_len, intrinsic_metadata.deq_qdepth);
+}
+table set_queue_len {
+    reads { int_meta.int_enable : exact; }
+    actions { a_queue_len; }
+}
+
+action a_bump_hops() {
+    add(int_probe_hdr.hop_count, int_probe_hdr.hop_count, 1);
+}
+table bump_hops {
+    reads { int_meta.int_enable : exact; }
+    actions { a_bump_hops; }
+}
+
+action a_report() {
+    clone_ingress_pkt_to_egress(COLLECTOR_SESSION);
+}
+table report_to_collector {
+    reads { int_meta.int_enable : exact; }
+    actions { a_report; }
+}
+
+action a_strip() {
+    remove_header(int_probe_hdr);
+}
+table strip_probe {
+    reads { int_meta.int_enable : exact; }
+    actions { a_strip; }
+}
+
+control ingress {
+    apply(check_sink);
+    apply(push_final_md);
+    apply(set_latency);
+    apply(set_queue_len);
+    apply(bump_hops);
+    apply(report_to_collector);
+    apply(strip_probe);
+}
+control egress { }
+`

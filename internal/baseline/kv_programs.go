@@ -1,0 +1,527 @@
+package baseline
+
+// netcache is the human-written NetCache-style program. The paper singles
+// out its check_cache_valid/set_cache_valid tables (no match fields, one
+// action each) as the case Lyra merges for an 87.5% resource saving; this
+// baseline keeps them independent, as the original authors did for
+// modularity.
+const netcache = `
+header_type ethernet_t {
+    fields {
+        dst_mac : 48;
+        src_mac : 48;
+        ether_type : 16;
+    }
+}
+header ethernet_t ethernet;
+
+header_type nc_hdr_t {
+    fields {
+        op : 8;
+        key : 32;
+        value : 32;
+        cache_hit : 8;
+    }
+}
+header nc_hdr_t nc_hdr;
+
+header_type nc_meta_t {
+    fields {
+        cache_valid : 1;
+        cache_exist : 1;
+        key_idx : 32;
+        hit_count : 32;
+        miss_count : 32;
+        is_hot : 1;
+    }
+}
+metadata nc_meta_t nc_meta;
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.ether_type) {
+        0x1234 : parse_nc;
+        default : ingress;
+    }
+}
+parser parse_nc {
+    extract(nc_hdr);
+    return ingress;
+}
+
+register hit_counter {
+    width : 32;
+    instance_count : 1024;
+}
+register miss_counter {
+    width : 32;
+    instance_count : 1024;
+}
+
+action a_cache_exist() {
+    modify_field(nc_meta.cache_exist, 1);
+}
+table check_cache_exist {
+    reads { nc_hdr.key : exact; }
+    actions { a_cache_exist; }
+    size : 1024;
+}
+
+action a_check_cache_valid() {
+    modify_field(nc_meta.cache_valid, 1);
+}
+table check_cache_valid {
+    actions { a_check_cache_valid; }
+}
+
+action a_set_cache_valid() {
+    modify_field(nc_meta.cache_valid, 0);
+}
+table set_cache_valid {
+    actions { a_set_cache_valid; }
+}
+
+action a_read_value(val) {
+    modify_field(nc_hdr.value, val);
+    modify_field(nc_hdr.cache_hit, 1);
+}
+table read_value {
+    reads { nc_hdr.key : exact; }
+    actions { a_read_value; }
+    size : 1024;
+}
+
+action a_key_idx() {
+    bit_and(nc_meta.key_idx, nc_hdr.key, 1023);
+}
+table compute_key_idx {
+    actions { a_key_idx; }
+}
+
+action a_count_hit() {
+    register_read(nc_meta.hit_count, hit_counter, nc_meta.key_idx);
+    add(nc_meta.hit_count, nc_meta.hit_count, 1);
+    register_write(hit_counter, nc_meta.key_idx, nc_meta.hit_count);
+}
+table count_hit {
+    reads { nc_meta.cache_valid : exact; }
+    actions { a_count_hit; }
+}
+
+action a_count_miss() {
+    register_read(nc_meta.miss_count, miss_counter, nc_meta.key_idx);
+    add(nc_meta.miss_count, nc_meta.miss_count, 1);
+    register_write(miss_counter, nc_meta.key_idx, nc_meta.miss_count);
+}
+table count_miss {
+    reads { nc_meta.cache_valid : exact; }
+    actions { a_count_miss; }
+}
+
+action a_invalidate() {
+    modify_field(nc_meta.cache_valid, 0);
+    clone_ingress_pkt_to_egress(CONTROLLER_SESSION);
+}
+table invalidate_on_update {
+    reads { nc_hdr.key : exact; }
+    actions { a_invalidate; }
+    size : 1024;
+}
+
+action a_mark_hot() {
+    modify_field(nc_meta.is_hot, 1);
+}
+table hot_key_candidates {
+    reads { nc_hdr.key : exact; }
+    actions { a_mark_hot; }
+    size : 64;
+}
+
+action a_report_hot() {
+    clone_ingress_pkt_to_egress(CONTROLLER_SESSION);
+}
+table report_hot {
+    reads { nc_meta.is_hot : exact; }
+    actions { a_report_hot; }
+}
+
+control ingress {
+    apply(check_cache_exist);
+    if (nc_hdr.op == 1) {
+        apply(check_cache_valid);
+    } else {
+        if (nc_hdr.op == 2) {
+            apply(set_cache_valid);
+        }
+    }
+    apply(compute_key_idx);
+    apply(read_value);
+    apply(count_hit);
+    apply(count_miss);
+    apply(invalidate_on_update);
+    apply(hot_key_candidates);
+    apply(report_hot);
+}
+control egress { }
+`
+
+// netchain is a chain-replication key-value program.
+const netchain = `
+header_type ethernet_t {
+    fields {
+        dst_mac : 48;
+        src_mac : 48;
+        ether_type : 16;
+    }
+}
+header ethernet_t ethernet;
+
+header_type chain_t {
+    fields {
+        op : 8;
+        key : 32;
+        chain_value : 32;
+        seq : 16;
+        chain_pos : 8;
+    }
+}
+header chain_t chain;
+
+header_type chain_meta_t {
+    fields {
+        next_seq : 16;
+    }
+}
+metadata chain_meta_t chain_meta;
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.ether_type) {
+        0x1235 : parse_chain;
+        default : ingress;
+    }
+}
+parser parse_chain {
+    extract(chain);
+    return ingress;
+}
+
+register seq_counter {
+    width : 16;
+    instance_count : 1;
+}
+
+field_list write_digest {
+    chain.key;
+    chain.chain_value;
+    chain.seq;
+}
+
+action a_route(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+table chain_route {
+    reads { chain.key : exact; }
+    actions { a_route; }
+    size : 4096;
+}
+
+action a_read(val) {
+    modify_field(chain.chain_value, val);
+}
+table kv_read {
+    reads { chain.key : exact; }
+    actions { a_read; }
+    size : 4096;
+}
+
+action a_sequence() {
+    register_read(chain_meta.next_seq, seq_counter, 0);
+    add(chain_meta.next_seq, chain_meta.next_seq, 1);
+    register_write(seq_counter, 0, chain_meta.next_seq);
+    modify_field(chain.seq, chain_meta.next_seq);
+    add(chain.chain_pos, chain.chain_pos, 1);
+}
+table sequence_write {
+    actions { a_sequence; }
+}
+
+action a_learn_write() {
+    generate_digest(LEARN_RECEIVER, write_digest);
+}
+table store_value {
+    reads { chain.key : exact; }
+    actions { a_learn_write; }
+    size : 4096;
+}
+
+control ingress {
+    apply(chain_route);
+    if (chain.op == 1) {
+        apply(kv_read);
+    } else {
+        if (chain.op == 2) {
+            apply(sequence_write);
+            apply(store_value);
+        }
+    }
+}
+control egress { }
+`
+
+// netpaxos is the acceptor logic of in-network Paxos.
+const netpaxos = `
+header_type ethernet_t {
+    fields {
+        dst_mac : 48;
+        src_mac : 48;
+        ether_type : 16;
+    }
+}
+header ethernet_t ethernet;
+
+header_type paxos_t {
+    fields {
+        msgtype : 8;
+        inst : 16;
+        ballot : 16;
+        paxos_value : 32;
+    }
+}
+header paxos_t paxos;
+
+header_type paxos_meta_t {
+    fields {
+        idx : 16;
+        highest : 16;
+        newer : 1;
+    }
+}
+metadata paxos_meta_t paxos_meta;
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.ether_type) {
+        0x88B5 : parse_paxos;
+        default : ingress;
+    }
+}
+parser parse_paxos {
+    extract(paxos);
+    return ingress;
+}
+
+register ballot_state {
+    width : 16;
+    instance_count : 1024;
+}
+register vballot_state {
+    width : 16;
+    instance_count : 1024;
+}
+register value_state {
+    width : 32;
+    instance_count : 1024;
+}
+
+action a_idx() {
+    bit_and(paxos_meta.idx, paxos.inst, 1023);
+    register_read(paxos_meta.highest, ballot_state, paxos_meta.idx);
+}
+table read_state {
+    actions { a_idx; }
+}
+
+action a_cmp() {
+    subtract(paxos_meta.newer, paxos.ballot, paxos_meta.highest);
+}
+table compare_ballot {
+    actions { a_cmp; }
+}
+
+action a_promise() {
+    register_write(ballot_state, paxos_meta.idx, paxos.ballot);
+}
+table do_promise {
+    reads { paxos_meta.newer : exact; }
+    actions { a_promise; }
+}
+
+action a_fwd_coord(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+table coordinator_port {
+    reads { paxos.msgtype : exact; }
+    actions { a_fwd_coord; }
+    size : 16;
+}
+
+action a_accept() {
+    register_write(ballot_state, paxos_meta.idx, paxos.ballot);
+    register_write(vballot_state, paxos_meta.idx, paxos.ballot);
+    register_write(value_state, paxos_meta.idx, paxos.paxos_value);
+}
+table do_accept {
+    reads { paxos_meta.newer : exact; }
+    actions { a_accept; }
+}
+
+action a_fwd_learner(port) {
+    modify_field(standard_metadata.egress_spec, port);
+    clone_ingress_pkt_to_egress(LEARNER_SESSION);
+}
+table learner_ports {
+    reads { paxos.msgtype : exact; }
+    actions { a_fwd_learner; }
+    size : 16;
+}
+
+control ingress {
+    apply(read_state);
+    apply(compare_ballot);
+    if (paxos.msgtype == 1) {
+        apply(do_promise);
+        apply(coordinator_port);
+    } else {
+        if (paxos.msgtype == 2) {
+            apply(do_accept);
+            apply(learner_ports);
+        }
+    }
+}
+control egress { }
+`
+
+// speedlight is the synchronized-snapshot program.
+const speedlight = `
+header_type ethernet_t {
+    fields {
+        dst_mac : 48;
+        src_mac : 48;
+        ether_type : 16;
+    }
+}
+header ethernet_t ethernet;
+
+header_type snap_t {
+    fields {
+        snapshot_id : 16;
+        channel : 16;
+        is_marker : 8;
+    }
+}
+header snap_t snap;
+
+header_type snap_meta_t {
+    fields {
+        ch : 16;
+        cur_id : 16;
+        counter_val : 32;
+        marker_cnt : 32;
+        newer : 1;
+    }
+}
+metadata snap_meta_t snap_meta;
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.ether_type) {
+        0x2323 : parse_snap;
+        default : ingress;
+    }
+}
+parser parse_snap {
+    extract(snap);
+    return ingress;
+}
+
+register counter_state {
+    width : 32;
+    instance_count : 256;
+}
+register snapshot_value {
+    width : 32;
+    instance_count : 256;
+}
+register snapshot_id_state {
+    width : 16;
+    instance_count : 256;
+}
+register marker_seen {
+    width : 32;
+    instance_count : 256;
+}
+
+action a_channel() {
+    bit_and(snap_meta.ch, snap.channel, 255);
+    register_read(snap_meta.cur_id, snapshot_id_state, snap_meta.ch);
+}
+table read_channel_state {
+    actions { a_channel; }
+}
+
+action a_count() {
+    register_read(snap_meta.counter_val, counter_state, snap_meta.ch);
+    add(snap_meta.counter_val, snap_meta.counter_val, 1);
+    register_write(counter_state, snap_meta.ch, snap_meta.counter_val);
+}
+table update_counter {
+    actions { a_count; }
+}
+
+action a_cmp_snapshot() {
+    subtract(snap_meta.newer, snap.snapshot_id, snap_meta.cur_id);
+}
+table compare_snapshot_id {
+    actions { a_cmp_snapshot; }
+}
+
+action a_snapshot() {
+    register_write(snapshot_value, snap_meta.ch, snap_meta.counter_val);
+    register_write(snapshot_id_state, snap_meta.ch, snap.snapshot_id);
+}
+table take_snapshot {
+    reads { snap_meta.newer : exact; }
+    actions { a_snapshot; }
+}
+
+action a_mark() {
+    register_read(snap_meta.marker_cnt, marker_seen, snap_meta.ch);
+    add(snap_meta.marker_cnt, snap_meta.marker_cnt, 1);
+    register_write(marker_seen, snap_meta.ch, snap_meta.marker_cnt);
+}
+table record_marker {
+    reads { snap_meta.newer : exact; }
+    actions { a_mark; }
+}
+
+action a_notify(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+table neighbor_table {
+    reads { snap.channel : exact; }
+    actions { a_notify; }
+    size : 256;
+}
+
+action a_to_cpu() {
+    clone_ingress_pkt_to_egress(CPU_SESSION);
+}
+table notify_cpu {
+    reads { snap.is_marker : exact; }
+    actions { a_to_cpu; }
+}
+
+control ingress {
+    apply(read_channel_state);
+    apply(update_counter);
+    if (snap.is_marker == 1) {
+        apply(compare_snapshot_id);
+        apply(take_snapshot);
+        apply(record_marker);
+        apply(neighbor_table);
+        apply(notify_cpu);
+    }
+}
+control egress { }
+`

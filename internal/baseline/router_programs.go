@@ -1,0 +1,228 @@
+package baseline
+
+// flowletSwitching is the classic flowlet-switching program.
+const flowletSwitching = `
+header_type ethernet_t {
+    fields {
+        dst_mac : 48;
+        src_mac : 48;
+        ether_type : 16;
+    }
+}
+header ethernet_t ethernet;
+
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        diffserv : 8;
+        ttl : 8;
+        protocol : 8;
+        src_ip : 32;
+        dst_ip : 32;
+    }
+}
+header ipv4_t ipv4;
+
+header_type tcp_t {
+    fields {
+        src_port : 16;
+        dst_port : 16;
+    }
+}
+header tcp_t tcp;
+
+header_type flowlet_meta_t {
+    fields {
+        fid : 32;
+        now : 48;
+        last : 48;
+        gap : 48;
+        hop : 16;
+    }
+}
+metadata flowlet_meta_t flowlet_meta;
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.ether_type) {
+        0x0800 : parse_ipv4;
+        default : ingress;
+    }
+}
+parser parse_ipv4 {
+    extract(ipv4);
+    return select(ipv4.protocol) {
+        6 : parse_tcp;
+        default : ingress;
+    }
+}
+parser parse_tcp {
+    extract(tcp);
+    return ingress;
+}
+
+register last_seen {
+    width : 48;
+    instance_count : 1024;
+}
+register flowlet_hop {
+    width : 16;
+    instance_count : 1024;
+}
+
+field_list flow_fl {
+    ipv4.src_ip;
+    ipv4.dst_ip;
+    ipv4.protocol;
+    tcp.src_port;
+    tcp.dst_port;
+}
+field_list_calculation flow_hash_calc {
+    input { flow_fl; }
+    algorithm : crc32;
+    output_width : 32;
+}
+field_list hop_fl {
+    ipv4.src_ip;
+    tcp.src_port;
+}
+field_list_calculation hop_hash_calc {
+    input { hop_fl; }
+    algorithm : crc16;
+    output_width : 16;
+}
+
+action a_flow_id() {
+    modify_field_with_hash_based_offset(flowlet_meta.fid, 0, flow_hash_calc, 1024);
+    modify_field(flowlet_meta.now, intrinsic_metadata.ingress_global_tstamp);
+}
+table compute_flow_id {
+    actions { a_flow_id; }
+}
+
+action a_gap() {
+    register_read(flowlet_meta.last, last_seen, flowlet_meta.fid);
+    subtract(flowlet_meta.gap, flowlet_meta.now, flowlet_meta.last);
+}
+table compute_gap {
+    actions { a_gap; }
+}
+
+action a_new_hop() {
+    modify_field_with_hash_based_offset(flowlet_meta.hop, 0, hop_hash_calc, 4);
+    register_write(flowlet_hop, flowlet_meta.fid, flowlet_meta.hop);
+}
+table pick_new_hop {
+    actions { a_new_hop; }
+}
+
+action a_touch() {
+    register_write(last_seen, flowlet_meta.fid, flowlet_meta.now);
+    register_read(flowlet_meta.hop, flowlet_hop, flowlet_meta.fid);
+}
+table touch_flowlet {
+    actions { a_touch; }
+}
+
+action a_route(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+table ecmp_table {
+    reads { flowlet_meta.hop : exact; }
+    actions { a_route; }
+    size : 64;
+}
+
+control ingress {
+    apply(compute_flow_id);
+    apply(compute_gap);
+    if (flowlet_meta.gap > 50000) {
+        apply(pick_new_hop);
+    }
+    apply(touch_flowlet);
+    apply(ecmp_table);
+}
+control egress { }
+`
+
+// simpleRouter is the canonical introductory P4 router.
+const simpleRouter = `
+header_type ethernet_t {
+    fields {
+        dst_mac : 48;
+        src_mac : 48;
+        ether_type : 16;
+    }
+}
+header ethernet_t ethernet;
+
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        diffserv : 8;
+        ttl : 8;
+        protocol : 8;
+        src_ip : 32;
+        dst_ip : 32;
+    }
+}
+header ipv4_t ipv4;
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.ether_type) {
+        0x0800 : parse_ipv4;
+        default : ingress;
+    }
+}
+parser parse_ipv4 {
+    extract(ipv4);
+    return ingress;
+}
+
+action a_drop() {
+    drop();
+}
+table ttl_check {
+    reads { ipv4.ttl : exact; }
+    actions { a_drop; }
+}
+
+action a_decrement_ttl() {
+    subtract(ipv4.ttl, ipv4.ttl, 1);
+}
+table decrement_ttl {
+    actions { a_decrement_ttl; }
+}
+
+action a_forward(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+action a_miss() {
+    drop();
+}
+table ipv4_route {
+    reads { ipv4.dst_ip : exact; }
+    actions { a_forward; a_miss; }
+    size : 16384;
+}
+
+action a_rewrite(mac) {
+    modify_field(ethernet.src_mac, mac);
+}
+table port_smac {
+    reads { standard_metadata.egress_spec : exact; }
+    actions { a_rewrite; }
+    size : 512;
+}
+
+control ingress {
+    apply(ttl_check);
+    apply(decrement_ttl);
+    apply(ipv4_route);
+    apply(port_smac);
+}
+control egress { }
+`

@@ -1,0 +1,511 @@
+package baseline
+
+// switchP4 is the big composite data-center switch program in the style of
+// the open-source switch.p4: port and VLAN admission, spanning tree, MAC
+// learning and forwarding, IPv4 host/LPM routing with ECMP groups, ACLs,
+// QoS classification, metering, storm control, mirroring, LAG, and tunnel
+// handling — each feature as its own table group, the way the reference
+// program is organized.
+const switchP4 = `
+header_type ethernet_t {
+    fields {
+        dst_mac : 48;
+        src_mac : 48;
+        ether_type : 16;
+    }
+}
+header ethernet_t ethernet;
+
+header_type vlan_t {
+    fields {
+        pcp : 3;
+        cfi : 1;
+        vid : 12;
+        inner_type : 16;
+    }
+}
+header vlan_t vlan;
+
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        diffserv : 8;
+        total_len : 16;
+        identification : 16;
+        flags : 3;
+        frag_offset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdr_checksum : 16;
+        src_ip : 32;
+        dst_ip : 32;
+    }
+}
+header ipv4_t ipv4;
+
+header_type tcp_t {
+    fields {
+        src_port : 16;
+        dst_port : 16;
+        seq_no : 32;
+        ack_no : 32;
+        flags : 8;
+    }
+}
+header tcp_t tcp;
+
+header_type sw_meta_t {
+    fields {
+        port_lag_index : 16;
+        port_type : 4;
+        port_ok : 1;
+        bd : 16;
+        stp_state : 2;
+        smac_known : 1;
+        l2_hit : 1;
+        do_l3 : 1;
+        routed : 1;
+        nh_group : 16;
+        ecmp_base : 16;
+        ecmp_size : 8;
+        ecmp_member : 16;
+        tc : 8;
+        meter_val : 32;
+        meter_color : 2;
+        storm_val : 32;
+    }
+}
+metadata sw_meta_t sw_meta;
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.ether_type) {
+        0x8100 : parse_vlan;
+        0x0800 : parse_ipv4;
+        default : ingress;
+    }
+}
+parser parse_vlan {
+    extract(vlan);
+    return select(vlan.inner_type) {
+        0x0800 : parse_ipv4;
+        default : ingress;
+    }
+}
+parser parse_ipv4 {
+    extract(ipv4);
+    return select(ipv4.protocol) {
+        6 : parse_tcp;
+        default : ingress;
+    }
+}
+parser parse_tcp {
+    extract(tcp);
+    return ingress;
+}
+
+register meter_bytes {
+    width : 32;
+    instance_count : 256;
+}
+register bcast_counter {
+    width : 32;
+    instance_count : 512;
+}
+
+field_list ecmp_fl {
+    ipv4.src_ip;
+    ipv4.dst_ip;
+    tcp.src_port;
+    tcp.dst_port;
+}
+field_list_calculation ecmp_hash_calc {
+    input { ecmp_fl; }
+    algorithm : crc16;
+    output_width : 16;
+}
+field_list mac_learn_digest {
+    ethernet.src_mac;
+    standard_metadata.ingress_port;
+}
+action a_set_port_props(lag_index, port_type) {
+    modify_field(sw_meta.port_lag_index, lag_index);
+    modify_field(sw_meta.port_type, port_type);
+}
+table port_mapping {
+    reads { standard_metadata.ingress_port : exact; }
+    actions { a_set_port_props; }
+    size : 512;
+}
+
+action a_port_permit() {
+    modify_field(sw_meta.port_ok, 1);
+}
+table port_acl {
+    reads { standard_metadata.ingress_port : exact; }
+    actions { a_port_permit; }
+    size : 512;
+}
+
+action a_set_bd(bd) {
+    modify_field(sw_meta.bd, bd);
+}
+table vlan_membership {
+    reads { vlan.vid : exact; }
+    actions { a_set_bd; }
+    size : 4096;
+}
+
+action a_xlate_vlan(new_vid) {
+    modify_field(vlan.vid, new_vid);
+}
+table vlan_xlate {
+    reads { vlan.vid : exact; }
+    actions { a_xlate_vlan; }
+    size : 4096;
+}
+
+action a_set_stp_state(stp_state) {
+    modify_field(sw_meta.stp_state, stp_state);
+}
+table stp_group {
+    reads { sw_meta.bd : exact; }
+    actions { a_set_stp_state; }
+    size : 1024;
+}
+
+action a_smac_hit() {
+    modify_field(sw_meta.smac_known, 1);
+}
+table smac_lookup {
+    reads { ethernet.src_mac : exact; }
+    actions { a_smac_hit; }
+    size : 65536;
+}
+
+action a_learn() {
+    generate_digest(LEARN_RECEIVER, mac_learn_digest);
+}
+table smac_learn_notify {
+    reads { sw_meta.smac_known : exact; }
+    actions { a_learn; }
+}
+
+action a_l2_forward(port) {
+    modify_field(standard_metadata.egress_spec, port);
+    modify_field(sw_meta.l2_hit, 1);
+}
+table dmac_lookup {
+    reads { ethernet.dst_mac : exact; }
+    actions { a_l2_forward; }
+    size : 65536;
+}
+
+action a_flood(flood_group) {
+    modify_field(intrinsic_metadata.mcast_grp, flood_group);
+}
+table dmac_flood {
+    reads { sw_meta.l2_hit : exact; }
+    actions { a_flood; }
+}
+
+action a_do_l3() {
+    modify_field(sw_meta.do_l3, 1);
+}
+table rmac_check {
+    reads { ethernet.dst_mac : exact; }
+    actions { a_do_l3; }
+    size : 512;
+}
+
+action a_ttl_expired() {
+    drop();
+}
+table ipv4_ttl_check {
+    reads { ipv4.ttl : exact; }
+    actions { a_ttl_expired; }
+    size : 2;
+}
+
+action a_dec_ttl() {
+    subtract(ipv4.ttl, ipv4.ttl, 1);
+}
+table ipv4_ttl_dec {
+    reads { sw_meta.do_l3 : exact; }
+    actions { a_dec_ttl; }
+}
+
+action a_fib_hit_host(nh) {
+    modify_field(sw_meta.nh_group, nh);
+    modify_field(sw_meta.routed, 1);
+}
+table ipv4_fib_host {
+    reads { ipv4.dst_ip : exact; }
+    actions { a_fib_hit_host; }
+    size : 16384;
+}
+
+action a_fib_hit_lpm(nh) {
+    modify_field(sw_meta.nh_group, nh);
+    modify_field(sw_meta.routed, 1);
+}
+table ipv4_fib_lpm {
+    reads { ipv4.dst_ip : ternary; }
+    actions { a_fib_hit_lpm; }
+    size : 8192;
+}
+
+action a_fib_miss() {
+    clone_ingress_pkt_to_egress(CPU_SESSION);
+}
+table fib_miss_cpu {
+    reads { sw_meta.routed : exact; }
+    actions { a_fib_miss; }
+}
+
+action a_set_ecmp_base(base, group_size) {
+    modify_field(sw_meta.ecmp_base, base);
+    modify_field(sw_meta.ecmp_size, group_size);
+}
+table ecmp_group {
+    reads { sw_meta.nh_group : exact; }
+    actions { a_set_ecmp_base; }
+    size : 1024;
+}
+
+action a_set_nexthop(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+table ecmp_select {
+    reads { sw_meta.ecmp_member : exact; }
+    actions { a_set_nexthop; }
+    size : 1024;
+}
+
+action a_rewrite_dmac(dmac) {
+    modify_field(ethernet.dst_mac, dmac);
+}
+table nexthop_dmac {
+    reads { sw_meta.nh_group : exact; }
+    actions { a_rewrite_dmac; }
+    size : 1024;
+}
+
+action a_rewrite_smac(smac) {
+    modify_field(ethernet.src_mac, smac);
+}
+table nexthop_smac {
+    reads { standard_metadata.egress_spec : exact; }
+    actions { a_rewrite_smac; }
+    size : 512;
+}
+
+action a_acl_mac_deny() {
+    drop();
+}
+table acl_mac {
+    reads { ethernet.src_mac : ternary; }
+    actions { a_acl_mac_deny; }
+    size : 4096;
+}
+
+action a_acl_src_deny() {
+    drop();
+}
+table acl_ipv4_src {
+    reads { ipv4.src_ip : ternary; }
+    actions { a_acl_src_deny; }
+    size : 4096;
+}
+
+action a_acl_dst_deny() {
+    drop();
+}
+table acl_ipv4_dst {
+    reads { ipv4.dst_ip : ternary; }
+    actions { a_acl_dst_deny; }
+    size : 4096;
+}
+
+action a_acl_sport_deny() {
+    drop();
+}
+table acl_l4_sport {
+    reads { tcp.src_port : range; }
+    actions { a_acl_sport_deny; }
+    size : 1024;
+}
+
+action a_acl_dport_deny() {
+    drop();
+}
+table acl_l4_dport {
+    reads { tcp.dst_port : range; }
+    actions { a_acl_dport_deny; }
+    size : 1024;
+}
+
+action a_acl_redirect(redirect_port) {
+    modify_field(standard_metadata.egress_spec, redirect_port);
+}
+table acl_redirect {
+    reads { ipv4.dst_ip : ternary; }
+    actions { a_acl_redirect; }
+    size : 1024;
+}
+
+action a_mark_dscp(dscp) {
+    modify_field(ipv4.diffserv, dscp);
+}
+table qos_dscp_map {
+    reads { tcp.dst_port : exact; }
+    actions { a_mark_dscp; }
+    size : 256;
+}
+
+action a_set_tc(tc) {
+    modify_field(sw_meta.tc, tc);
+}
+table qos_tc_map {
+    reads { ipv4.diffserv : exact; }
+    actions { a_set_tc; }
+    size : 64;
+}
+
+action a_set_queue(qid) {
+    modify_field(intrinsic_metadata.qid, qid);
+}
+table qos_queue_map {
+    reads { sw_meta.tc : exact; }
+    actions { a_set_queue; }
+    size : 32;
+}
+
+action a_meter_read() {
+    register_read(sw_meta.meter_val, meter_bytes, sw_meta.tc);
+    add(sw_meta.meter_val, sw_meta.meter_val, 1);
+    register_write(meter_bytes, sw_meta.tc, sw_meta.meter_val);
+}
+table meter_index {
+    reads { sw_meta.tc : exact; }
+    actions { a_meter_read; }
+    size : 256;
+}
+
+action a_police_drop() {
+    drop();
+}
+table meter_police {
+    reads { sw_meta.meter_color : exact; }
+    actions { a_police_drop; }
+    size : 4;
+}
+
+action a_storm_count() {
+    register_read(sw_meta.storm_val, bcast_counter, standard_metadata.ingress_port);
+    add(sw_meta.storm_val, sw_meta.storm_val, 1);
+    register_write(bcast_counter, standard_metadata.ingress_port, sw_meta.storm_val);
+}
+table storm_control {
+    reads { standard_metadata.ingress_port : exact; }
+    actions { a_storm_count; }
+    size : 512;
+}
+
+action a_storm_drop() {
+    drop();
+}
+table storm_police {
+    reads { sw_meta.storm_val : exact; }
+    actions { a_storm_drop; }
+}
+
+action a_mirror_flow() {
+    clone_ingress_pkt_to_egress(MIRROR_SESSION);
+}
+table mirror_acl {
+    reads { ipv4.src_ip : ternary; }
+    actions { a_mirror_flow; }
+    size : 1024;
+}
+
+action a_copy_to_cpu() {
+    clone_ingress_pkt_to_egress(CPU_SESSION);
+}
+table system_acl {
+    reads { ipv4.protocol : exact; }
+    actions { a_copy_to_cpu; }
+    size : 512;
+}
+
+action a_lag_member(member_port) {
+    modify_field(standard_metadata.egress_spec, member_port);
+}
+table lag_select {
+    reads { sw_meta.port_lag_index : exact; }
+    actions { a_lag_member; }
+    size : 1024;
+}
+
+action a_decap() {
+    remove_header(vlan);
+}
+table tunnel_decap {
+    reads { ipv4.protocol : exact; }
+    actions { a_decap; }
+    size : 64;
+}
+
+action a_tag(out_vid) {
+    add_header(vlan);
+    modify_field(vlan.vid, out_vid);
+}
+table egress_vlan_tag {
+    reads { sw_meta.bd : exact; }
+    actions { a_tag; }
+    size : 4096;
+}
+
+control ingress {
+    apply(port_mapping);
+    apply(port_acl);
+    apply(vlan_membership);
+    apply(vlan_xlate);
+    apply(stp_group);
+    apply(smac_lookup);
+    apply(smac_learn_notify);
+    apply(dmac_lookup);
+    apply(dmac_flood);
+    apply(rmac_check);
+    apply(ipv4_ttl_check);
+    apply(ipv4_ttl_dec);
+    apply(ipv4_fib_host);
+    apply(ipv4_fib_lpm);
+    apply(fib_miss_cpu);
+    apply(ecmp_group);
+    apply(ecmp_select);
+    apply(nexthop_dmac);
+    apply(nexthop_smac);
+    apply(acl_mac);
+    apply(acl_ipv4_src);
+    apply(acl_ipv4_dst);
+    apply(acl_l4_sport);
+    apply(acl_l4_dport);
+    apply(acl_redirect);
+    apply(qos_dscp_map);
+    apply(qos_tc_map);
+    apply(qos_queue_map);
+    apply(meter_index);
+    apply(meter_police);
+    apply(storm_control);
+    apply(storm_police);
+    apply(mirror_acl);
+    apply(system_acl);
+    apply(lag_select);
+}
+control egress {
+    apply(tunnel_decap);
+    apply(egress_vlan_tag);
+}
+`

@@ -1,0 +1,120 @@
+// Package core drives Lyra's end-to-end compilation pipeline — the paper's
+// primary contribution (§2.2, Figure 3): front-end (parse, check,
+// preprocess, analyze), back-end (synthesize, encode, SMT solve,
+// translate), and verification. The public lyra package wraps this driver
+// with a stable API.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"lyra/internal/backend"
+	"lyra/internal/encode"
+	"lyra/internal/frontend"
+	"lyra/internal/ir"
+	"lyra/internal/lang/checker"
+	"lyra/internal/lang/parser"
+	"lyra/internal/scope"
+	"lyra/internal/topo"
+	"lyra/internal/verify"
+)
+
+// Request is one compilation request.
+type Request struct {
+	Source     string
+	SourceName string
+	ScopeSpec  string
+	Network    *topo.Network
+
+	Dialect      backend.Dialect
+	Objective    encode.Objective
+	PreferSwitch string
+	SolveBudget  time.Duration
+	SkipVerify   bool
+}
+
+// Result is a successful compilation, exposing every intermediate product
+// the tools and the simulator need.
+type Result struct {
+	IR        *ir.Program
+	Plan      *encode.Plan
+	Artifacts map[string]*backend.Artifact
+	Reports   []verify.Report
+
+	CompileTime time.Duration
+	SolveTime   time.Duration
+}
+
+// Compile runs the full pipeline of Figure 3.
+func Compile(req Request) (*Result, error) {
+	start := time.Now()
+	if req.Network == nil {
+		return nil, fmt.Errorf("core: network is required")
+	}
+	name := req.SourceName
+	if name == "" {
+		name = "input.lyra"
+	}
+
+	// Front-end: checker (§4.1), preprocessor (§4.2), code analyzer (§4.3).
+	prog, err := parser.Parse(name, []byte(req.Source))
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	if err := checker.Check(prog); err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	irp, err := frontend.Preprocess(prog)
+	if err != nil {
+		return nil, fmt.Errorf("preprocess: %w", err)
+	}
+	frontend.Analyze(irp)
+
+	// Deployment inputs: algorithm scopes over the target topology (§3.3).
+	spec, err := scope.Parse(req.ScopeSpec)
+	if err != nil {
+		return nil, fmt.Errorf("scope: %w", err)
+	}
+	scopes, err := spec.Resolve(req.Network)
+	if err != nil {
+		return nil, fmt.Errorf("scope: %w", err)
+	}
+
+	// Back-end: synthesis + constraint encoding + SMT solve (§5).
+	opts := encode.DefaultOptions()
+	opts.Objective = req.Objective
+	opts.PreferSwitch = req.PreferSwitch
+	if req.SolveBudget > 0 {
+		opts.TimeBudget = req.SolveBudget
+	}
+	plan, err := encode.Solve(&encode.Input{IR: irp, Net: req.Network, Scopes: scopes}, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Translation to chip-specific code (§5.7–§5.8).
+	arts, err := backend.Translate(plan, &backend.Options{P4Dialect: req.Dialect})
+	if err != nil {
+		return nil, fmt.Errorf("translate: %w", err)
+	}
+
+	res := &Result{
+		IR:          irp,
+		Plan:        plan,
+		Artifacts:   arts,
+		CompileTime: time.Since(start),
+		SolveTime:   plan.SolveTime,
+	}
+	// Verification: the vendor-compiler stand-in (admission + emitted-code
+	// validation).
+	if !req.SkipVerify {
+		res.Reports = verify.Plan(plan, arts)
+		for _, r := range res.Reports {
+			if !r.OK {
+				return res, fmt.Errorf("verification failed on %s: %v", r.Switch, r.Problems)
+			}
+		}
+	}
+	return res, nil
+}

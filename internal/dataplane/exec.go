@@ -1,0 +1,440 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"lyra/internal/backend"
+	"lyra/internal/encode"
+	"lyra/internal/ir"
+	"lyra/internal/lang/ast"
+)
+
+// execInstr executes one IR instruction against an environment, packet,
+// tables, and globals. lookupFn resolves extern lookups (the reference run
+// uses the whole table; the distributed run uses the local shard plus
+// bridged upstream results).
+type execEnv struct {
+	env     map[*ir.Var]uint64
+	pkt     *Packet
+	tables  *Tables
+	globals globalStore
+	ctx     *Context
+	irp     *ir.Program
+	// lookup resolves (extern, key) -> (value, hit).
+	lookup func(extern string, key uint64) (uint64, bool)
+}
+
+func (x *execEnv) value(o ir.Operand) uint64 { return operandValue(o, x.env, x.pkt) }
+
+func (x *execEnv) store(d ir.Dest, v uint64) {
+	switch d.Kind {
+	case ir.DestVar:
+		x.env[d.Var] = mask(v, d.Var.Bits)
+	case ir.DestField:
+		key := d.Hdr + "." + d.Field
+		x.pkt.Fields[key] = mask(v, x.irp.FieldBits[key])
+	}
+}
+
+// step executes one instruction (guard already checked). It returns an
+// error only for malformed IR.
+func (x *execEnv) step(in *ir.Instr) error {
+	switch in.Op {
+	case ir.IAssign:
+		x.store(in.Dest, x.value(in.Args[0]))
+	case ir.IBin:
+		a, b := x.value(in.Args[0]), x.value(in.Args[1])
+		x.store(in.Dest, evalBin(in.BinOp, a, b))
+	case ir.INot:
+		v := uint64(0)
+		if x.value(in.Args[0]) == 0 {
+			v = 1
+		}
+		x.store(in.Dest, v)
+	case ir.ISelect:
+		if x.value(in.Args[0]) != 0 {
+			x.store(in.Dest, x.value(in.Args[1]))
+		} else {
+			x.store(in.Dest, x.value(in.Args[2]))
+		}
+	case ir.IHash:
+		args := make([]uint64, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = x.value(a)
+		}
+		x.store(in.Dest, hashOf(in.Table, args, destWidth(in)))
+	case ir.ILib:
+		if in.Dest.Kind != ir.DestNone {
+			x.store(in.Dest, x.ctx.LibValue(in.Table))
+		}
+	case ir.IHeaderAdd:
+		x.pkt.Valid[in.Table] = true
+	case ir.IHeaderRemove:
+		x.pkt.Valid[in.Table] = false
+	case ir.IPacketOp:
+		switch in.Table {
+		case "drop":
+			x.pkt.Dropped = true
+		case "forward":
+			x.pkt.EgressPort = x.value(in.Args[0])
+		case "mirror":
+			x.pkt.Mirrored = true
+		case "copy_to_cpu":
+			x.pkt.ToCPU = true
+		}
+	case ir.IMember:
+		_, hit := x.lookup(in.Table, x.value(in.Args[0]))
+		v := uint64(0)
+		if hit {
+			v = 1
+		}
+		x.store(in.Dest, v)
+	case ir.ILookup:
+		v, _ := x.lookup(in.Table, x.value(in.Args[0]))
+		x.store(in.Dest, v)
+	case ir.IGlobalRead:
+		g := x.irp.Global(in.Table)
+		if g == nil {
+			return fmt.Errorf("dataplane: unknown global %q", in.Table)
+		}
+		x.store(in.Dest, x.globals.read(in.Table, g.Len, x.value(in.Args[0])))
+	case ir.IGlobalWrite:
+		g := x.irp.Global(in.Table)
+		if g == nil {
+			return fmt.Errorf("dataplane: unknown global %q", in.Table)
+		}
+		x.globals.write(in.Table, g.Len, x.value(in.Args[0]), mask(x.value(in.Args[1]), g.Bits))
+	case ir.IExternInsert:
+		if len(in.Args) >= 2 {
+			x.tables.Set(in.Table, x.value(in.Args[0]), x.value(in.Args[1]))
+		}
+	}
+	return nil
+}
+
+func destWidth(in *ir.Instr) int {
+	if v := in.WritesVar(); v != nil && v.Bits > 0 {
+		return v.Bits
+	}
+	return 32
+}
+
+func evalBin(op ast.Op, a, b uint64) uint64 {
+	switch op {
+	case ast.OpAdd:
+		return a + b
+	case ast.OpSub:
+		return a - b
+	case ast.OpMul:
+		return a * b
+	case ast.OpDiv:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case ast.OpMod:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case ast.OpAnd:
+		return a & b
+	case ast.OpOr:
+		return a | b
+	case ast.OpXor:
+		return a ^ b
+	case ast.OpShl:
+		if b >= 64 {
+			return 0
+		}
+		return a << b
+	case ast.OpShr:
+		if b >= 64 {
+			return 0
+		}
+		return a >> b
+	case ast.OpEq:
+		return b2i(a == b)
+	case ast.OpNe:
+		return b2i(a != b)
+	case ast.OpLt:
+		return b2i(a < b)
+	case ast.OpLe:
+		return b2i(a <= b)
+	case ast.OpGt:
+		return b2i(a > b)
+	case ast.OpGe:
+		return b2i(a >= b)
+	case ast.OpLAnd:
+		return b2i(a != 0 && b != 0)
+	case ast.OpLOr:
+		return b2i(a != 0 || b != 0)
+	}
+	return 0
+}
+
+func b2i(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// RunReference executes the one-big-pipeline semantics of the whole Lyra
+// program on one packet: every pipeline's algorithms run in declared order.
+// It returns the resulting packet.
+func RunReference(irp *ir.Program, tables *Tables, ctx *Context, in *Packet) (*Packet, error) {
+	pkt := in.Clone()
+	globals := globalStore{}
+	for _, pl := range irp.Pipelines {
+		for _, algName := range pl.Algorithms {
+			a := irp.Algorithm(algName)
+			if a == nil {
+				return nil, fmt.Errorf("dataplane: pipeline references unknown algorithm %q", algName)
+			}
+			x := &execEnv{
+				env: map[*ir.Var]uint64{}, pkt: pkt, tables: tables,
+				globals: globals, ctx: ctx, irp: irp,
+				lookup: tables.Lookup,
+			}
+			for _, instr := range a.Instrs {
+				if !guardHolds(instr.Guard, x.env) {
+					continue
+				}
+				if err := x.step(instr); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return pkt, nil
+}
+
+// Deployment is a compiled network ready to forward packets: the plan, the
+// per-switch programs, and the shard contents distributed per switch.
+type Deployment struct {
+	Plan     *encode.Plan
+	Programs map[string]*backend.SwitchProgram
+	// shardTables maps switch -> extern -> shard contents.
+	shardTables map[string]*Tables
+	globals     map[string]globalStore
+	tables      *Tables
+}
+
+// NewDeployment builds a deployment from a solved plan, distributing the
+// control-plane entries across extern shards exactly as the generated
+// control-plane interface would (fill shard hosts in shard-index order up
+// to each shard's allotted size).
+func NewDeployment(plan *encode.Plan, tables *Tables) (*Deployment, error) {
+	progs, err := backend.Build(plan)
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployment{
+		Plan:        plan,
+		Programs:    progs,
+		shardTables: map[string]*Tables{},
+		globals:     map[string]globalStore{},
+		tables:      tables,
+	}
+	for sw := range progs {
+		d.shardTables[sw] = NewTables()
+		d.globals[sw] = globalStore{}
+	}
+	// Distribute entries across shards path by path (Appendix B.1): hosts
+	// along one flow path partition the table; hosts on parallel paths
+	// replicate entries, so every path sees the complete table.
+	for extern, byHost := range plan.Shards {
+		es := tables.Externs[extern]
+		if es == nil {
+			continue
+		}
+		decl := plan.Input.IR.Extern(extern)
+		if decl == nil {
+			continue
+		}
+		keys := sortedEntryKeys(es)
+		remaining := map[string]int64{}
+		for h, c := range byHost {
+			remaining[h] = c
+			if d.shardTables[h] == nil {
+				d.shardTables[h] = NewTables()
+			}
+		}
+		paths := [][]string{}
+		if rs := plan.Input.Scopes[decl.Alg]; rs != nil && len(rs.Paths) > 0 {
+			paths = rs.Paths
+		} else {
+			// PER-SW or single host: each host is its own "path".
+			for _, h := range hostOrder(plan, extern) {
+				paths = append(paths, []string{h})
+			}
+		}
+		for _, p := range paths {
+			var hosts []string
+			for _, sw := range p {
+				if _, ok := byHost[sw]; ok {
+					hosts = append(hosts, sw)
+				}
+			}
+			if len(hosts) == 0 {
+				continue
+			}
+			for _, k := range keys {
+				covered := false
+				for _, h := range hosts {
+					if _, hit := d.shardTables[h].Lookup(extern, k); hit {
+						covered = true
+						break
+					}
+				}
+				if covered {
+					continue
+				}
+				placed := false
+				for _, h := range hosts {
+					if remaining[h] > 0 {
+						d.shardTables[h].Set(extern, k, es.Entries[k])
+						remaining[h]--
+						placed = true
+						break
+					}
+				}
+				if !placed {
+					// Over-filled table: spill onto the last host so the
+					// simulation still sees every entry.
+					d.shardTables[hosts[len(hosts)-1]].Set(extern, k, es.Entries[k])
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+func sortedEntryKeys(es *ExternState) []uint64 {
+	out := make([]uint64, 0, len(es.Entries))
+	for k := range es.Entries {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// hostOrder returns an extern's hosting switches ordered by shard index.
+func hostOrder(plan *encode.Plan, extern string) []string {
+	type hs struct {
+		sw  string
+		idx int
+	}
+	var hosts []hs
+	seen := map[string]bool{}
+	for sw, tabs := range plan.Tables {
+		for _, pt := range tabs {
+			if pt.Extern != nil && pt.Extern.Name == extern && !seen[sw] {
+				seen[sw] = true
+				hosts = append(hosts, hs{sw, pt.ShardIndex})
+			}
+		}
+	}
+	for i := 1; i < len(hosts); i++ {
+		for j := i; j > 0 && hosts[j].idx < hosts[j-1].idx; j-- {
+			hosts[j], hosts[j-1] = hosts[j-1], hosts[j]
+		}
+	}
+	out := make([]string, len(hosts))
+	for i, h := range hosts {
+		out[i] = h.sw
+	}
+	return out
+}
+
+// RunPath pushes a packet along a flow path through the deployed network,
+// executing each switch's placed program and carrying bridge variables
+// between hops. The ctx applies identically at every hop so results are
+// comparable with RunReference.
+func (d *Deployment) RunPath(path []string, ctx *Context, in *Packet) (*Packet, error) {
+	return d.RunPathWithContexts(path, func(string) *Context { return ctx }, in)
+}
+
+// RunPathWithContexts is RunPath with a per-switch environment: each hop
+// sees its own switch id, timestamps, and queue state, the way real INT
+// metadata differs per device.
+func (d *Deployment) RunPathWithContexts(path []string, ctxOf func(sw string) *Context, in *Packet) (*Packet, error) {
+	pkt := in.Clone()
+	irp := d.Plan.Input.IR
+	for _, sw := range path {
+		ctx := ctxOf(sw)
+		if ctx == nil {
+			ctx = &Context{}
+		}
+		sp := d.Programs[sw]
+		if sp == nil {
+			continue // transit switch with nothing deployed
+		}
+		env := map[*ir.Var]uint64{}
+		// Import bridged variables.
+		for _, bv := range sp.Imports {
+			env[bv.Var] = pkt.Bridge[backend.BridgeFieldName(bv.Alg, bv.Var)]
+		}
+		// Shard gating (Algorithm 2): every instruction belonging to a
+		// downstream shard table is skipped when the bridged hit signal
+		// says an upstream shard already resolved the lookup. The gate is
+		// snapshotted at switch entry so a local hit does not suppress the
+		// rest of its own table.
+		tableOf := map[int]string{}
+		for _, pt := range sp.Tables {
+			for _, ti := range pt.Table.Instrs() {
+				tableOf[ti.ID] = pt.Name
+			}
+		}
+		gateAtEntry := map[string]uint64{}
+		for name, hitVar := range sp.HitGuards {
+			gateAtEntry[name] = env[hitVar]
+		}
+		x := &execEnv{
+			env: env, pkt: pkt, tables: d.shardTables[sw],
+			globals: d.globals[sw], ctx: ctx, irp: irp,
+			lookup: d.shardTables[sw].Lookup,
+		}
+		for _, instr := range sp.Instrs {
+			if !guardHolds(instr.Guard, env) {
+				continue
+			}
+			if tn, ok := tableOf[instr.ID]; ok {
+				if _, gated := sp.HitGuards[tn]; gated && gateAtEntry[tn] != 0 {
+					continue
+				}
+			}
+			if err := x.step(instr); err != nil {
+				return nil, err
+			}
+		}
+		// Export bridge variables for downstream hops.
+		for _, bv := range sp.Exports {
+			pkt.Bridge[backend.BridgeFieldName(bv.Alg, bv.Var)] = env[bv.Var]
+		}
+	}
+	return pkt, nil
+}
+
+// SetSwitchEntry installs a control-plane entry into one switch's local
+// shard only. PER-SW deployments use this to configure role-specific
+// tables differently per switch (e.g. the INT sink filter is populated
+// only on egress ToRs, Figure 1).
+func (d *Deployment) SetSwitchEntry(sw, extern string, key, value uint64) {
+	if d.shardTables[sw] == nil {
+		d.shardTables[sw] = NewTables()
+	}
+	d.shardTables[sw].Set(extern, key, value)
+}
+
+// ClearSwitchTable removes an extern's entries from one switch.
+func (d *Deployment) ClearSwitchTable(sw, extern string) {
+	if t := d.shardTables[sw]; t != nil {
+		delete(t.Externs, extern)
+	}
+}

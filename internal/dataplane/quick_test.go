@@ -1,0 +1,156 @@
+package dataplane
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lyra/internal/lang/ast"
+)
+
+// TestMaskProperties: masking is idempotent, bounded, and monotone in width.
+func TestMaskProperties(t *testing.T) {
+	f := func(v uint64, w uint8) bool {
+		bits := int(w % 70)
+		m := mask(v, bits)
+		if mask(m, bits) != m {
+			return false
+		}
+		if bits > 0 && bits < 64 && m >= 1<<uint(bits) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvalBinProperties: algebraic identities of the shared evaluator.
+func TestEvalBinProperties(t *testing.T) {
+	comm := func(a, b uint64) bool {
+		for _, op := range []ast.Op{ast.OpAdd, ast.OpMul, ast.OpAnd, ast.OpOr, ast.OpXor} {
+			if evalBin(op, a, b) != evalBin(op, b, a) {
+				return false
+			}
+		}
+		return evalBin(ast.OpEq, a, b) == evalBin(ast.OpEq, b, a)
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error(err)
+	}
+	inverse := func(a, b uint64) bool {
+		return evalBin(ast.OpSub, evalBin(ast.OpAdd, a, b), b) == a &&
+			evalBin(ast.OpXor, evalBin(ast.OpXor, a, b), b) == a
+	}
+	if err := quick.Check(inverse, nil); err != nil {
+		t.Error(err)
+	}
+	ordering := func(a, b uint64) bool {
+		lt := evalBin(ast.OpLt, a, b)
+		ge := evalBin(ast.OpGe, a, b)
+		if lt == ge {
+			return false // exactly one must hold
+		}
+		return evalBin(ast.OpLe, a, b) == evalBin(ast.OpLOr,
+			evalBin(ast.OpLt, a, b), evalBin(ast.OpEq, a, b))
+	}
+	if err := quick.Check(ordering, nil); err != nil {
+		t.Error(err)
+	}
+	divZero := func(a uint64) bool {
+		return evalBin(ast.OpDiv, a, 0) == 0 && evalBin(ast.OpMod, a, 0) == 0
+	}
+	if err := quick.Check(divZero, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashDeterminism: the simulated hash is a function of its inputs and
+// respects the output width.
+func TestHashDeterminism(t *testing.T) {
+	f := func(a, b uint64, w uint8) bool {
+		bits := int(w%48) + 1
+		h1 := hashOf("crc32_hash", []uint64{a, b}, bits)
+		h2 := hashOf("crc32_hash", []uint64{a, b}, bits)
+		if h1 != h2 {
+			return false
+		}
+		return bits >= 64 || h1 < 1<<uint(bits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Argument order matters (it is not a commutative fold).
+	if hashOf("crc32_hash", []uint64{1, 2}, 32) == hashOf("crc32_hash", []uint64{2, 1}, 32) {
+		t.Error("hash should distinguish argument order")
+	}
+}
+
+// TestPacketCloneIsolation: mutations of a clone never leak back.
+func TestPacketCloneIsolation(t *testing.T) {
+	f := func(a, b uint64, drop bool) bool {
+		p := NewPacket()
+		p.Fields["h.x"] = a
+		p.Valid["h"] = true
+		p.Dropped = drop
+		q := p.Clone()
+		q.Fields["h.x"] = b
+		q.Valid["h"] = false
+		q.Dropped = !drop
+		q.Bridge["z"] = 9
+		return p.Fields["h.x"] == a && p.Valid["h"] && p.Dropped == drop && len(p.Bridge) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSummaryDeterministic: equal packets have equal summaries; differing
+// fields differ.
+func TestSummaryDeterministic(t *testing.T) {
+	f := func(a, b uint64) bool {
+		p := NewPacket()
+		p.Fields["h.x"] = a
+		q := p.Clone()
+		if p.Summary() != q.Summary() {
+			return false
+		}
+		q.Fields["h.x"] = b
+		return (a == b) == (p.Summary() == q.Summary())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTablesLookupConsistency: Set/Lookup round-trips.
+func TestTablesLookupConsistency(t *testing.T) {
+	f := func(k, v uint64) bool {
+		tb := NewTables()
+		if _, hit := tb.Lookup("t", k); hit {
+			return false
+		}
+		tb.Set("t", k, v)
+		got, hit := tb.Lookup("t", k)
+		return hit && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGlobalStoreBounds: out-of-range access is safe and returns zero.
+func TestGlobalStoreBounds(t *testing.T) {
+	f := func(idx uint64, v uint64) bool {
+		g := globalStore{}
+		g.write("r", 8, idx, v)
+		got := g.read("r", 8, idx)
+		if idx < 8 {
+			return got == v
+		}
+		return got == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

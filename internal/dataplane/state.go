@@ -1,0 +1,223 @@
+// Package dataplane is a packet-level simulator standing in for the
+// paper's hardware testbed. It executes Lyra programs twice — once under
+// the reference one-big-pipeline semantics on the source IR, and once as
+// the compiled, placed, distributed per-switch programs — so tests can
+// assert that compilation preserved behavior end-to-end (the property the
+// paper demonstrates by running generated code on real ASICs).
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lyra/internal/ir"
+)
+
+// Packet is a simulated packet: header fields plus processing disposition.
+type Packet struct {
+	// Fields maps "hdr.field" to its value.
+	Fields map[string]uint64
+	// Valid marks header instances present on the packet.
+	Valid map[string]bool
+
+	Dropped    bool
+	EgressPort uint64
+	Mirrored   bool
+	ToCPU      bool
+	// Bridge carries cross-switch variables (the lyra_bridge header).
+	Bridge map[string]uint64
+}
+
+// NewPacket creates an empty packet.
+func NewPacket() *Packet {
+	return &Packet{
+		Fields: map[string]uint64{},
+		Valid:  map[string]bool{},
+		Bridge: map[string]uint64{},
+	}
+}
+
+// Clone deep-copies the packet.
+func (p *Packet) Clone() *Packet {
+	q := NewPacket()
+	for k, v := range p.Fields {
+		q.Fields[k] = v
+	}
+	for k, v := range p.Valid {
+		q.Valid[k] = v
+	}
+	for k, v := range p.Bridge {
+		q.Bridge[k] = v
+	}
+	q.Dropped, q.EgressPort, q.Mirrored, q.ToCPU = p.Dropped, p.EgressPort, p.Mirrored, p.ToCPU
+	return q
+}
+
+// Summary renders the observable packet state deterministically (for
+// equivalence comparison; the bridge header is compiler-internal and
+// excluded).
+func (p *Packet) Summary() string {
+	var b strings.Builder
+	var keys []string
+	for k := range p.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d ", k, p.Fields[k])
+	}
+	var vkeys []string
+	for k, v := range p.Valid {
+		if v {
+			vkeys = append(vkeys, k)
+		}
+	}
+	sort.Strings(vkeys)
+	fmt.Fprintf(&b, "valid=[%s] ", strings.Join(vkeys, ","))
+	fmt.Fprintf(&b, "drop=%v egress=%d mirror=%v cpu=%v", p.Dropped, p.EgressPort, p.Mirrored, p.ToCPU)
+	return b.String()
+}
+
+// ExternState is the control-plane content of one extern variable. Keys
+// are the (single) key field value; values the (first) value field.
+type ExternState struct {
+	Entries map[uint64]uint64
+}
+
+// Tables is the control-plane state: extern table contents and default
+// values, shared by the reference and distributed executions.
+type Tables struct {
+	Externs map[string]*ExternState
+}
+
+// NewTables creates empty control-plane state.
+func NewTables() *Tables {
+	return &Tables{Externs: map[string]*ExternState{}}
+}
+
+// Set installs an entry.
+func (t *Tables) Set(extern string, key, value uint64) {
+	es := t.Externs[extern]
+	if es == nil {
+		es = &ExternState{Entries: map[uint64]uint64{}}
+		t.Externs[extern] = es
+	}
+	es.Entries[key] = value
+}
+
+// Lookup returns (value, hit).
+func (t *Tables) Lookup(extern string, key uint64) (uint64, bool) {
+	if es := t.Externs[extern]; es != nil {
+		v, ok := es.Entries[key]
+		return v, ok
+	}
+	return 0, false
+}
+
+// Context supplies switch-environment values for library calls. A constant
+// context makes reference and distributed runs comparable.
+type Context struct {
+	SwitchID    uint64
+	IngressTS   uint64
+	EgressTS    uint64
+	QueueLen    uint64
+	QueueTime   uint64
+	IngressPort uint64
+}
+
+// LibValue returns the value of a library call in this context.
+func (c *Context) LibValue(name string) uint64 {
+	switch name {
+	case "get_switch_id":
+		return c.SwitchID
+	case "get_ingress_timestamp":
+		return c.IngressTS
+	case "get_egress_timestamp":
+		return c.EgressTS
+	case "get_queue_len":
+		return c.QueueLen
+	case "get_queue_time":
+		return c.QueueTime
+	case "get_ingress_port":
+		return c.IngressPort
+	}
+	return 0
+}
+
+// mask truncates v to the given bit width (0 or >=64 leaves it unchanged).
+func mask(v uint64, bits int) uint64 {
+	if bits <= 0 || bits >= 64 {
+		return v
+	}
+	return v & (1<<uint(bits) - 1)
+}
+
+// hashOf is the deterministic stand-in for the chip hash units; both
+// executors share it so results agree (FNV-1a over the operand values).
+func hashOf(kind string, args []uint64, outBits int) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, a := range args {
+		for i := 0; i < 8; i++ {
+			h ^= (a >> uint(8*i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	if kind == "crc16_hash" {
+		h = (h >> 16) ^ (h & 0xffff)
+	}
+	return mask(h, outBits)
+}
+
+// globalStore holds global (register) arrays, keyed by name.
+type globalStore map[string][]uint64
+
+func (g globalStore) ensure(name string, length int) []uint64 {
+	arr, ok := g[name]
+	if !ok {
+		arr = make([]uint64, length)
+		g[name] = arr
+	}
+	return arr
+}
+
+// read returns g[name][idx] with out-of-range reads yielding zero. Indices
+// are compared as uint64 so huge values cannot wrap into negative ints.
+func (g globalStore) read(name string, length int, idx uint64) uint64 {
+	arr := g.ensure(name, length)
+	if idx >= uint64(len(arr)) {
+		return 0
+	}
+	return arr[idx]
+}
+
+func (g globalStore) write(name string, length int, idx, val uint64) {
+	arr := g.ensure(name, length)
+	if idx < uint64(len(arr)) {
+		arr[idx] = val
+	}
+}
+
+// operandValue resolves an operand against an environment and packet.
+func operandValue(o ir.Operand, env map[*ir.Var]uint64, pkt *Packet) uint64 {
+	switch o.Kind {
+	case ir.OpdConst:
+		return o.Const
+	case ir.OpdVar:
+		return env[o.Var]
+	case ir.OpdField:
+		return pkt.Fields[o.Hdr+"."+o.Field]
+	}
+	return 0
+}
+
+// guardHolds evaluates an instruction guard.
+func guardHolds(g ir.Guard, env map[*ir.Var]uint64) bool {
+	for _, t := range g {
+		v := env[t.Var] != 0
+		if t.Neg == v {
+			return false
+		}
+	}
+	return true
+}

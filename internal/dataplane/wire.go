@@ -1,0 +1,334 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"lyra/internal/ir"
+	"lyra/internal/lang/ast"
+)
+
+// bitWriter packs values MSB-first at arbitrary bit widths, the way header
+// fields sit on the wire.
+type bitWriter struct {
+	buf  []byte
+	nbit int
+}
+
+func (w *bitWriter) write(v uint64, bits int) {
+	for i := bits - 1; i >= 0; i-- {
+		bit := (v >> uint(i)) & 1
+		byteIdx := w.nbit / 8
+		if byteIdx >= len(w.buf) {
+			w.buf = append(w.buf, 0)
+		}
+		if bit == 1 {
+			w.buf[byteIdx] |= 1 << uint(7-w.nbit%8)
+		}
+		w.nbit++
+	}
+}
+
+// bitReader unpacks values MSB-first.
+type bitReader struct {
+	buf  []byte
+	nbit int
+}
+
+func (r *bitReader) remaining() int { return len(r.buf)*8 - r.nbit }
+
+func (r *bitReader) read(bits int) (uint64, error) {
+	if bits > r.remaining() {
+		return 0, fmt.Errorf("dataplane: truncated packet: need %d bits, have %d", bits, r.remaining())
+	}
+	var v uint64
+	for i := 0; i < bits; i++ {
+		byteIdx := r.nbit / 8
+		bit := (r.buf[byteIdx] >> uint(7-r.nbit%8)) & 1
+		v = v<<1 | uint64(bit)
+		r.nbit++
+	}
+	return v, nil
+}
+
+// headerLayout returns a header instance's fields (name, bits) in wire
+// order, resolving through the instance's type or a packet declaration.
+func headerLayout(irp *ir.Program, instance string) ([][2]interface{}, bool) {
+	src := irp.Source
+	if inst := src.Instance(instance); inst != nil {
+		if ht := src.Header(inst.TypeName); ht != nil {
+			out := make([][2]interface{}, len(ht.Fields))
+			for i, f := range ht.Fields {
+				out[i] = [2]interface{}{f.Name, f.Type.Bits}
+			}
+			return out, true
+		}
+	}
+	for _, pk := range src.Packets {
+		if pk.Name == instance {
+			out := make([][2]interface{}, len(pk.Fields))
+			for i, f := range pk.Fields {
+				out[i] = [2]interface{}{f.Name, f.Type.Bits}
+			}
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// wireOrder returns header instances in on-the-wire order: the program's
+// parse-graph order when parser_nodes exist (graph edges define what
+// follows what), else source declaration order.
+func wireOrder(irp *ir.Program) []string {
+	src := irp.Source
+	if len(src.Parsers) == 0 {
+		var out []string
+		for _, inst := range src.Instances {
+			out = append(out, inst.Name)
+		}
+		for _, pk := range src.Packets {
+			out = append(out, pk.Name)
+		}
+		return out
+	}
+	// Topological walk of the parse graph from "start" (or the first
+	// node), collecting extracts in first-visit order.
+	var out []string
+	seen := map[string]bool{}
+	visited := map[string]bool{}
+	var visit func(name string)
+	visit = func(name string) {
+		if name == "" || name == "accept" || name == "ingress" || visited[name] {
+			return
+		}
+		visited[name] = true
+		for _, pn := range src.Parsers {
+			if pn.Name != name {
+				continue
+			}
+			for _, e := range pn.Extracts {
+				if !seen[e] {
+					seen[e] = true
+					out = append(out, e)
+				}
+			}
+			if pn.Select != nil {
+				for _, c := range pn.Select.Cases {
+					visit(c.Next)
+				}
+				visit(pn.Select.Default)
+			}
+		}
+	}
+	start := "start"
+	found := false
+	for _, pn := range src.Parsers {
+		if pn.Name == "start" {
+			found = true
+		}
+	}
+	if !found {
+		start = src.Parsers[0].Name
+	}
+	visit(start)
+	// Headers never mentioned in the parse graph (added mid-pipeline, like
+	// INT metadata) follow in declaration order.
+	for _, inst := range src.Instances {
+		if !seen[inst.Name] {
+			out = append(out, inst.Name)
+		}
+	}
+	return out
+}
+
+// Serialize packs a packet's valid headers into wire bytes, followed by
+// the payload. With a parse graph, headers are emitted in the order the
+// parser would extract them for this packet's select values (so the bytes
+// re-parse to the same packet); headers the graph never reaches — and all
+// headers in graph-less programs — follow in declaration order.
+func Serialize(irp *ir.Program, pkt *Packet, payload []byte) ([]byte, error) {
+	w := &bitWriter{}
+	emitted := map[string]bool{}
+	emit := func(h string) error {
+		if emitted[h] || !pkt.Valid[h] {
+			return nil
+		}
+		layout, ok := headerLayout(irp, h)
+		if !ok {
+			return fmt.Errorf("dataplane: no layout for header %q", h)
+		}
+		for _, f := range layout {
+			name, bits := f[0].(string), f[1].(int)
+			w.write(mask(pkt.Fields[h+"."+name], bits), bits)
+		}
+		emitted[h] = true
+		return nil
+	}
+	src := irp.Source
+	if len(src.Parsers) > 0 {
+		state := "start"
+		found := false
+		for _, pn := range src.Parsers {
+			if pn.Name == "start" {
+				found = true
+			}
+		}
+		if !found {
+			state = src.Parsers[0].Name
+		}
+		for state != "" && state != "accept" && state != "ingress" {
+			var node *ast.ParserNode
+			for _, pn := range src.Parsers {
+				if pn.Name == state {
+					node = pn
+					break
+				}
+			}
+			if node == nil {
+				break
+			}
+			stop := false
+			for _, h := range node.Extracts {
+				if !pkt.Valid[h] {
+					stop = true // parser would extract garbage; packet ends here
+					break
+				}
+				if err := emit(h); err != nil {
+					return nil, err
+				}
+			}
+			if stop || node.Select == nil {
+				break
+			}
+			keyStr, err := selectKey(node.Select.Key)
+			if err != nil {
+				return nil, err
+			}
+			v := pkt.Fields[keyStr]
+			next := node.Select.Default
+			for _, c := range node.Select.Cases {
+				if c.Value == v {
+					next = c.Next
+					break
+				}
+			}
+			state = next
+		}
+	}
+	// Remaining valid headers (graph-less programs, or headers added
+	// mid-pipeline that no parser state reaches) in declaration order.
+	for _, h := range wireOrder(irp) {
+		if err := emit(h); err != nil {
+			return nil, err
+		}
+	}
+	if w.nbit%8 != 0 {
+		w.nbit = (w.nbit/8 + 1) * 8 // pad to a byte boundary
+	}
+	return append(w.buf, payload...), nil
+}
+
+// ParseBytes runs the program's parse graph over raw bytes, producing a
+// packet with extracted fields and header validity, plus the unconsumed
+// payload. Programs without parser_nodes extract every declared header in
+// order while bytes remain.
+func ParseBytes(irp *ir.Program, data []byte) (*Packet, []byte, error) {
+	pkt := NewPacket()
+	r := &bitReader{buf: data}
+	src := irp.Source
+
+	extract := func(h string) error {
+		layout, ok := headerLayout(irp, h)
+		if !ok {
+			return fmt.Errorf("dataplane: no layout for header %q", h)
+		}
+		for _, f := range layout {
+			name, bits := f[0].(string), f[1].(int)
+			v, err := r.read(bits)
+			if err != nil {
+				return err
+			}
+			pkt.Fields[h+"."+name] = v
+		}
+		pkt.Valid[h] = true
+		return nil
+	}
+
+	if len(src.Parsers) == 0 {
+		for _, h := range wireOrder(irp) {
+			layout, _ := headerLayout(irp, h)
+			need := 0
+			for _, f := range layout {
+				need += f[1].(int)
+			}
+			if r.remaining() < need {
+				break
+			}
+			if err := extract(h); err != nil {
+				return nil, nil, err
+			}
+		}
+	} else {
+		state := "start"
+		found := false
+		for _, pn := range src.Parsers {
+			if pn.Name == "start" {
+				found = true
+			}
+		}
+		if !found {
+			state = src.Parsers[0].Name
+		}
+		for state != "" && state != "accept" && state != "ingress" {
+			var node *ast.ParserNode
+			for _, pn := range src.Parsers {
+				if pn.Name == state {
+					node = pn
+					break
+				}
+			}
+			if node == nil {
+				return nil, nil, fmt.Errorf("dataplane: parse state %q undefined", state)
+			}
+			for _, h := range node.Extracts {
+				if err := extract(h); err != nil {
+					return nil, nil, err
+				}
+			}
+			if node.Select == nil {
+				break
+			}
+			keyStr, err := selectKey(node.Select.Key)
+			if err != nil {
+				return nil, nil, err
+			}
+			v := pkt.Fields[keyStr]
+			next := node.Select.Default
+			for _, c := range node.Select.Cases {
+				if c.Value == v {
+					next = c.Next
+					break
+				}
+			}
+			state = next
+		}
+	}
+	// Payload: remaining whole bytes.
+	off := (r.nbit + 7) / 8
+	if off > len(data) {
+		off = len(data)
+	}
+	return pkt, data[off:], nil
+}
+
+// selectKey renders a parser select key expression as "hdr.field".
+func selectKey(e ast.Expr) (string, error) {
+	fa, ok := e.(*ast.FieldAccess)
+	if !ok {
+		return "", fmt.Errorf("dataplane: select key must be a header field, got %s", ast.ExprString(e))
+	}
+	base, ok := fa.X.(*ast.Ident)
+	if !ok {
+		return "", fmt.Errorf("dataplane: select key base must be a header instance")
+	}
+	return base.Name + "." + fa.Name, nil
+}

@@ -1,0 +1,571 @@
+// Package encode builds the SMT problem at the heart of Lyra's back-end
+// (§5.1, §5.4–§5.6) and solves it.
+//
+// Boolean structure (clauses over placement literals f_s(i)) captures the
+// deployment constraints of §5.5: algorithm scopes, per-flow-path coverage,
+// instruction dependency ordering (Eq. 3), and global-variable co-location
+// (Appendix B.2). Chip resource constraints (§5.4, Appendix A) are enforced
+// by a resource theory in the DPLL(T) style: whenever the SAT core reaches
+// a full assignment, the theory re-runs each target chip's admission
+// allocator (internal/asic) against the implied table set; infeasible
+// switches yield conflict clauses over the placement literals involved, and
+// the search resumes. External-variable splitting across switches (§5.6,
+// Appendix B.1) is performed inside the theory, which assigns concrete
+// shard sizes per hosting switch along every flow path.
+package encode
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"lyra/internal/asic"
+	"lyra/internal/ir"
+	"lyra/internal/scope"
+	"lyra/internal/smt"
+	"lyra/internal/synth"
+	"lyra/internal/topo"
+)
+
+// Input bundles everything the encoder needs.
+type Input struct {
+	IR     *ir.Program
+	Net    *topo.Network
+	Scopes map[string]*scope.Resolved
+}
+
+// Objective selects the optimization metric (Appendix C.2).
+type Objective int
+
+// Objectives.
+const (
+	// ObjNone accepts the first feasible plan (phase-saving already biases
+	// the search toward few placements).
+	ObjNone Objective = iota
+	// ObjMinPlacements minimizes the total number of instruction
+	// placements (fewest copies / fewest programmed switches).
+	ObjMinPlacements
+	// ObjMinSwitches minimizes the number of switches hosting anything.
+	ObjMinSwitches
+	// ObjPreferSwitch maximizes the use of Options.PreferSwitch by
+	// weighting placements elsewhere (Appendix C.2: "maximize the number
+	// of tables on a specified switch, by assigning a much bigger weight").
+	ObjPreferSwitch
+)
+
+// Options tunes the solve.
+type Options struct {
+	Objective Objective
+	// PreferSwitch names the switch to load up under ObjPreferSwitch.
+	PreferSwitch   string
+	ConflictBudget int64
+	TimeBudget     time.Duration
+}
+
+// DefaultOptions returns the standard solver configuration.
+func DefaultOptions() *Options {
+	return &Options{ConflictBudget: 2_000_000, TimeBudget: 120 * time.Second}
+}
+
+// PlacedTable is a synthesized table bound to a switch with its concrete
+// entry allotment (full size, or a shard of a split extern).
+type PlacedTable struct {
+	*synth.Table
+	Switch  string
+	Entries int64
+	// ShardIndex/ShardCount describe the split when >1 switch hosts the
+	// extern (0/1 when unsplit).
+	ShardIndex, ShardCount int
+}
+
+// BridgeVar is a variable carried between switches in the packet header
+// (Algorithm 2 "extensible resources").
+type BridgeVar struct {
+	Alg  string
+	Var  *ir.Var
+	Bits int
+	// Hit marks table hit/miss signals that downstream shards must honor.
+	Hit bool
+}
+
+// Plan is the solved placement.
+type Plan struct {
+	Input *Input
+	// Placement maps algorithm -> instruction ID -> hosting switches
+	// (sorted).
+	Placement map[string]map[int][]string
+	// Tables maps switch -> placed tables in dependency order.
+	Tables map[string][]*PlacedTable
+	// Bridges maps switch -> variables it must export downstream.
+	Bridges map[string][]BridgeVar
+	// Allocations maps switch -> the admission result from its chip model.
+	Allocations map[string]*asic.Allocation
+	// Shards maps extern name -> switch -> entries.
+	Shards map[string]map[string]int64
+
+	SolveTime time.Duration
+	Stats     smt.Stats
+}
+
+// HostsOf returns the switches hosting an instruction.
+func (p *Plan) HostsOf(alg string, id int) []string {
+	if m := p.Placement[alg]; m != nil {
+		return m[id]
+	}
+	return nil
+}
+
+// Solve encodes and solves the placement problem.
+func Solve(in *Input, opts *Options) (*Plan, error) {
+	if opts == nil {
+		opts = DefaultOptions()
+	}
+	start := time.Now()
+	enc, err := newEncoder(in)
+	if err != nil {
+		return nil, err
+	}
+	if err := enc.encode(); err != nil {
+		return nil, err
+	}
+	enc.solver.ConflictBudget = opts.ConflictBudget
+	enc.solver.TimeBudget = opts.TimeBudget
+
+	var st smt.Status
+	var serr error
+	switch opts.Objective {
+	case ObjMinPlacements:
+		var lits []smt.Lit
+		var w []int64
+		for _, pv := range enc.placeVars {
+			lits = append(lits, pv.lit)
+			w = append(w, 1)
+		}
+		_, ok, merr := enc.solver.Minimize(lits, w)
+		serr = merr
+		if ok {
+			st = smt.StatusSat
+		} else if merr == nil {
+			st = smt.StatusUnsat
+		}
+	case ObjMinSwitches:
+		lits, w := enc.switchUseLits()
+		_, ok, merr := enc.solver.Minimize(lits, w)
+		serr = merr
+		if ok {
+			st = smt.StatusSat
+		} else if merr == nil {
+			st = smt.StatusUnsat
+		}
+	case ObjPreferSwitch:
+		var lits []smt.Lit
+		var w []int64
+		for _, pv := range enc.placeVars {
+			lits = append(lits, pv.lit)
+			if pv.sw == opts.PreferSwitch {
+				w = append(w, 0) // free on the preferred switch
+			} else {
+				w = append(w, 1)
+			}
+		}
+		_, ok, merr := enc.solver.Minimize(lits, w)
+		serr = merr
+		if ok {
+			st = smt.StatusSat
+		} else if merr == nil {
+			st = smt.StatusUnsat
+		}
+	default:
+		st, serr = enc.solver.Solve()
+	}
+	if st != smt.StatusSat {
+		if serr != nil {
+			return nil, fmt.Errorf("encode: solver gave up: %w", serr)
+		}
+		return nil, fmt.Errorf("encode: no feasible placement: the program does not fit the target network%s", enc.lastTheoryHint())
+	}
+	model := enc.solver.Model()
+	// Re-run the theory on the final model to materialize allocations and
+	// shard sizes deterministically.
+	if conflict := enc.theory.Check(model); conflict != nil {
+		return nil, fmt.Errorf("encode: internal error: accepted model rejected by theory")
+	}
+	plan := enc.extractPlan(model)
+	plan.SolveTime = time.Since(start)
+	plan.Stats = enc.solver.Statistics()
+	return plan, nil
+}
+
+// placeVar identifies one f_s(i) literal.
+type placeVar struct {
+	alg    string
+	instr  int
+	sw     string
+	lit    smt.Lit
+	shared bool // instruction may be multi-placed (extern reader)
+}
+
+type encoder struct {
+	in     *Input
+	solver *smt.Solver
+	theory *resourceTheory
+
+	// vars[alg][instrID][switch] -> literal
+	vars      map[string]map[int]map[string]smt.Lit
+	placeVars []*placeVar
+
+	// synth results per algorithm per language.
+	p4  map[string]*synth.Result
+	npl map[string]*synth.Result
+
+	// sharedExternInstrs marks instructions reading split-capable externs.
+	sharedInstr map[string]map[int]bool
+}
+
+func newEncoder(in *Input) (*encoder, error) {
+	e := &encoder{
+		in:          in,
+		solver:      smt.NewSolver(),
+		vars:        map[string]map[int]map[string]smt.Lit{},
+		p4:          map[string]*synth.Result{},
+		npl:         map[string]*synth.Result{},
+		sharedInstr: map[string]map[int]bool{},
+	}
+	for _, a := range in.IR.Algorithms {
+		if _, ok := in.Scopes[a.Name]; !ok {
+			return nil, fmt.Errorf("encode: algorithm %q has no scope specification", a.Name)
+		}
+		e.p4[a.Name] = synth.SynthesizeP4(in.IR, a)
+		e.npl[a.Name] = synth.SynthesizeNPL(in.IR, a)
+	}
+	return e, nil
+}
+
+func (e *encoder) lit(alg string, instr int, sw string) (smt.Lit, bool) {
+	if m, ok := e.vars[alg]; ok {
+		if mm, ok := m[instr]; ok {
+			l, ok := mm[sw]
+			return l, ok
+		}
+	}
+	return smt.LitUndef, false
+}
+
+func (e *encoder) encode() error {
+	for _, a := range e.in.IR.Algorithms {
+		rs := e.in.Scopes[a.Name]
+		// Mark extern-reading instructions as shareable: in MULTI-SW mode
+		// their backing table may be split across switches, so copies of
+		// the lookup exist on every shard host (§5.6).
+		shared := map[int]bool{}
+		if rs.Deploy == scope.MultiSwitch {
+			for _, inst := range a.Instrs {
+				if inst.Op == ir.IMember || inst.Op == ir.ILookup {
+					shared[inst.ID] = true
+				}
+			}
+		}
+		e.sharedInstr[a.Name] = shared
+
+		// Candidate switches: programmable members of the region.
+		var candidates []string
+		for _, sw := range rs.Switches {
+			s := e.in.Net.Switch(sw)
+			if s == nil {
+				return fmt.Errorf("encode: scope of %q references unknown switch %q", a.Name, sw)
+			}
+			if s.ASIC.Programmable {
+				candidates = append(candidates, sw)
+			}
+		}
+		if len(candidates) == 0 {
+			return fmt.Errorf("encode: scope of %q has no programmable switch", a.Name)
+		}
+
+		e.vars[a.Name] = map[int]map[string]smt.Lit{}
+		for _, inst := range a.Instrs {
+			e.vars[a.Name][inst.ID] = map[string]smt.Lit{}
+			for _, sw := range candidates {
+				l := e.solver.NewBool(fmt.Sprintf("f[%s,%d,%s]", a.Name, inst.ID, sw))
+				e.vars[a.Name][inst.ID][sw] = l
+				e.placeVars = append(e.placeVars, &placeVar{
+					alg: a.Name, instr: inst.ID, sw: sw, lit: l, shared: shared[inst.ID],
+				})
+			}
+		}
+
+		switch rs.Deploy {
+		case scope.PerSwitch:
+			// Every instruction on every candidate switch (copies).
+			for _, inst := range a.Instrs {
+				for _, sw := range candidates {
+					e.solver.AddClause(e.vars[a.Name][inst.ID][sw])
+				}
+			}
+		case scope.MultiSwitch:
+			if err := e.encodeMultiSwitch(a, rs, candidates); err != nil {
+				return err
+			}
+		}
+
+		// Global-variable co-location (Appendix B.2): all instructions
+		// touching the same global must share placement.
+		e.encodeGlobalGroups(a, candidates)
+
+		// Extern reader co-placement: the member and lookup operations on
+		// one extern constitute a single match-action table, so every
+		// shard host runs all of them (a hit must apply its value action
+		// on the switch where it matched).
+		e.encodeExternGroups(a, candidates)
+	}
+	e.theory = newResourceTheory(e)
+	e.solver.AddTheory(e.theory)
+	return nil
+}
+
+// encodeMultiSwitch adds flow-path coverage and ordering constraints.
+func (e *encoder) encodeMultiSwitch(a *ir.Algorithm, rs *scope.Resolved, candidates []string) error {
+	onPath := map[string]bool{}
+	for _, p := range rs.Paths {
+		for _, sw := range p {
+			onPath[sw] = true
+		}
+	}
+	// Instructions cannot sit on switches no flow traverses.
+	for _, inst := range a.Instrs {
+		for _, sw := range candidates {
+			if !onPath[sw] {
+				e.solver.AddClause(e.vars[a.Name][inst.ID][sw].Not())
+			}
+		}
+	}
+	isCandidate := map[string]bool{}
+	for _, sw := range candidates {
+		isCandidate[sw] = true
+	}
+	for _, p := range rs.Paths {
+		// Programmable switches along the path, in order.
+		var hops []string
+		for _, sw := range p {
+			if isCandidate[sw] {
+				hops = append(hops, sw)
+			}
+		}
+		if len(hops) == 0 {
+			return fmt.Errorf("encode: path %v of %q has no programmable hop", p, a.Name)
+		}
+		for _, inst := range a.Instrs {
+			lits := make([]smt.Lit, 0, len(hops))
+			for _, sw := range hops {
+				lits = append(lits, e.vars[a.Name][inst.ID][sw])
+			}
+			if e.sharedInstr[a.Name][inst.ID] {
+				// Split-capable: at least one placement per path (Eq. 16's
+				// coverage condition).
+				e.solver.AddClause(lits...)
+			} else {
+				// Exactly one placement per path (§5.5 flow path
+				// constraint).
+				e.solver.ExactlyOne(lits...)
+			}
+		}
+		// Instruction dependency ordering (Eq. 3): if i' depends on i, no
+		// copy of i may sit strictly behind any copy of i'. Instructions
+		// reading the same extern are copies of one table and repeat at
+		// every shard host, so ordering within the group is exempt.
+		externOf := map[int]string{}
+		for _, inst := range a.Instrs {
+			if inst.Op == ir.IMember || inst.Op == ir.ILookup {
+				externOf[inst.ID] = inst.Table
+			}
+		}
+		for _, inst := range a.Instrs {
+			for _, dep := range inst.Deps {
+				if g, ok := externOf[inst.ID]; ok && externOf[dep] == g {
+					continue
+				}
+				for ai := range hops {
+					for bi := 0; bi < ai; bi++ {
+						// dep at position ai (late), inst at bi (early).
+						e.solver.AddClause(
+							e.vars[a.Name][dep][hops[ai]].Not(),
+							e.vars[a.Name][inst.ID][hops[bi]].Not(),
+						)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// encodeGlobalGroups forces all instructions accessing one global variable
+// onto the same switch (the value is switch-local state).
+func (e *encoder) encodeGlobalGroups(a *ir.Algorithm, candidates []string) {
+	groups := map[string][]int{}
+	for _, inst := range a.Instrs {
+		if inst.Op == ir.IGlobalRead || inst.Op == ir.IGlobalWrite {
+			groups[inst.Table] = append(groups[inst.Table], inst.ID)
+		}
+	}
+	for _, ids := range groups {
+		if len(ids) < 2 {
+			continue
+		}
+		first := ids[0]
+		for _, other := range ids[1:] {
+			for _, sw := range candidates {
+				a1, ok1 := e.lit(a.Name, first, sw)
+				a2, ok2 := e.lit(a.Name, other, sw)
+				if ok1 && ok2 {
+					e.solver.Equal(a1, a2)
+				}
+			}
+		}
+	}
+}
+
+// encodeExternGroups forces all member/lookup instructions on one extern
+// onto identical switch sets.
+func (e *encoder) encodeExternGroups(a *ir.Algorithm, candidates []string) {
+	groups := map[string][]int{}
+	for _, inst := range a.Instrs {
+		if inst.Op == ir.IMember || inst.Op == ir.ILookup {
+			groups[inst.Table] = append(groups[inst.Table], inst.ID)
+		}
+	}
+	for _, ids := range groups {
+		if len(ids) < 2 {
+			continue
+		}
+		first := ids[0]
+		for _, other := range ids[1:] {
+			for _, sw := range candidates {
+				a1, ok1 := e.lit(a.Name, first, sw)
+				a2, ok2 := e.lit(a.Name, other, sw)
+				if ok1 && ok2 {
+					e.solver.Equal(a1, a2)
+				}
+			}
+		}
+	}
+}
+
+// switchUseLits builds per-switch "used" indicator literals for the
+// minimize-switches objective.
+func (e *encoder) switchUseLits() ([]smt.Lit, []int64) {
+	bySwitch := map[string][]smt.Lit{}
+	for _, pv := range e.placeVars {
+		bySwitch[pv.sw] = append(bySwitch[pv.sw], pv.lit)
+	}
+	var names []string
+	for sw := range bySwitch {
+		names = append(names, sw)
+	}
+	sort.Strings(names)
+	var lits []smt.Lit
+	var w []int64
+	for _, sw := range names {
+		used, _ := e.solver.OrEquals(bySwitch[sw], "used["+sw+"]")
+		lits = append(lits, used)
+		w = append(w, 1)
+	}
+	return lits, w
+}
+
+func (e *encoder) lastTheoryHint() string {
+	if e.theory != nil && e.theory.lastReason != "" {
+		return " (last resource conflict: " + e.theory.lastReason + ")"
+	}
+	return ""
+}
+
+// extractPlan reads the model into a Plan, using the theory's materialized
+// allocations and shards.
+func (e *encoder) extractPlan(m *smt.Model) *Plan {
+	plan := &Plan{
+		Input:       e.in,
+		Placement:   map[string]map[int][]string{},
+		Tables:      map[string][]*PlacedTable{},
+		Bridges:     map[string][]BridgeVar{},
+		Allocations: e.theory.allocations,
+		Shards:      e.theory.shards,
+	}
+	for alg, instrs := range e.vars {
+		plan.Placement[alg] = map[int][]string{}
+		for id, sws := range instrs {
+			var hosts []string
+			for sw, l := range sws {
+				if m.Value(l) {
+					hosts = append(hosts, sw)
+				}
+			}
+			sort.Strings(hosts)
+			plan.Placement[alg][id] = hosts
+		}
+	}
+	plan.Tables = e.theory.placedTables
+	e.computeBridges(plan)
+	return plan
+}
+
+// computeBridges implements Algorithm 2: a local variable written on one
+// switch and read on a (different, downstream) switch becomes an extensible
+// resource carried in the packet header. Table hit signals of split externs
+// are bridged as well.
+func (e *encoder) computeBridges(plan *Plan) {
+	for _, a := range e.in.IR.Algorithms {
+		writer := map[*ir.Var]int{}
+		readers := map[*ir.Var][]int{}
+		for _, inst := range a.Instrs {
+			if v := inst.WritesVar(); v != nil {
+				writer[v] = inst.ID
+			}
+			for _, v := range inst.Reads() {
+				readers[v] = append(readers[v], inst.ID)
+			}
+		}
+		shared := e.sharedInstr[a.Name]
+		for v, wID := range writer {
+			rIDs := readers[v]
+			if len(rIDs) == 0 {
+				continue
+			}
+			wHosts := plan.HostsOf(a.Name, wID)
+			exported := map[string]bool{}
+			for _, r := range rIDs {
+				for _, rh := range plan.HostsOf(a.Name, r) {
+					for _, wh := range wHosts {
+						if wh != rh && !exported[wh] {
+							// Written on wh, read elsewhere: bridge from wh.
+							exported[wh] = true
+						}
+					}
+				}
+			}
+			for wh := range exported {
+				plan.Bridges[wh] = append(plan.Bridges[wh], BridgeVar{
+					Alg: a.Name, Var: v, Bits: maxBits(v.Bits),
+					Hit: shared[wID],
+				})
+			}
+		}
+		// Deterministic order.
+		for sw := range plan.Bridges {
+			bs := plan.Bridges[sw]
+			sort.Slice(bs, func(i, j int) bool {
+				if bs[i].Alg != bs[j].Alg {
+					return bs[i].Alg < bs[j].Alg
+				}
+				return bs[i].Var.String() < bs[j].Var.String()
+			})
+		}
+	}
+}
+
+func maxBits(b int) int {
+	if b <= 0 {
+		return 32
+	}
+	return b
+}

@@ -1,0 +1,193 @@
+package eval
+
+import (
+	"testing"
+)
+
+// TestFigure9Shape verifies the qualitative claims of §7.1 on every row:
+// Lyra programs are much shorter than the manual P4_14, and the
+// synthesized implementations never use more tables than the manual ones.
+func TestFigure9Shape(t *testing.T) {
+	rows, err := Figure9()
+	if err != nil {
+		t.Fatalf("figure9: %v", err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	for _, r := range rows {
+		if r.LyraLoC >= r.Baseline.LoC {
+			t.Errorf("%s: Lyra LoC %d not below manual %d", r.Program, r.LyraLoC, r.Baseline.LoC)
+		}
+		if r.LyraLogicLoC >= r.Baseline.LogicLoC {
+			t.Errorf("%s: Lyra logic LoC %d not below manual %d", r.Program, r.LyraLogicLoC, r.Baseline.LogicLoC)
+		}
+		if r.P4Tables > r.Baseline.Tables {
+			t.Errorf("%s: synthesized %d tables > manual %d", r.Program, r.P4Tables, r.Baseline.Tables)
+		}
+		if r.P4Registers != r.Baseline.Registers {
+			t.Errorf("%s: register count %d != manual %d", r.Program, r.P4Registers, r.Baseline.Registers)
+		}
+		// NPL logical tables never exceed P4 tables (multi-lookup merging,
+		// Figure 9's NPL columns).
+		if r.NPLTables > r.P4Tables {
+			t.Errorf("%s: NPL %d tables > P4 %d", r.Program, r.NPLTables, r.P4Tables)
+		}
+		if r.P4Time <= 0 || r.NPLTime <= 0 {
+			t.Errorf("%s: missing compile times", r.Program)
+		}
+		if r.NPLPath <= 0 {
+			t.Errorf("%s: missing longest code path", r.Program)
+		}
+	}
+	out := FormatFigure9(rows)
+	if len(out) == 0 {
+		t.Error("empty table")
+	}
+}
+
+// TestNetCacheMergeSavings checks §7.1's headline: the manual NetCache has
+// substantially more tables than Lyra's output because Lyra merges the
+// modular single-action tables.
+func TestNetCacheMergeSavings(t *testing.T) {
+	rows, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Program != "netcache" {
+			continue
+		}
+		if r.P4Tables >= r.Baseline.Tables {
+			t.Errorf("netcache: no table savings (%d vs %d)", r.P4Tables, r.Baseline.Tables)
+		}
+		return
+	}
+	t.Fatal("netcache row missing")
+}
+
+func TestFigure10SmallSweep(t *testing.T) {
+	pts, err := Figure10([]int{4, 8})
+	if err != nil {
+		t.Fatalf("figure10: %v", err)
+	}
+	// 2 chips x 2 k x 3 workloads.
+	if len(pts) != 12 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Time <= 0 {
+			t.Errorf("%+v: no time", p)
+		}
+	}
+	if FormatFigure10(pts) == "" {
+		t.Error("empty output")
+	}
+}
+
+func TestExtensibilityCase(t *testing.T) {
+	steps, err := Extensibility()
+	if err != nil {
+		t.Fatalf("extensibility: %v", err)
+	}
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	// 1M: ConnTable fits on a single switch per path.
+	for sw, n := range steps[0].Shards {
+		if n > 1_000_000 {
+			t.Errorf("1M case: %s shard %d", sw, n)
+		}
+	}
+	// 4M: the table must be split across at least two switches, and each
+	// flow path must see all 4M entries.
+	if len(steps[2].Shards) < 2 {
+		t.Errorf("4M case not split: %v", steps[2].Shards)
+	}
+	var total int64
+	for _, n := range steps[2].Shards {
+		total += n
+	}
+	if total < 4_000_000 {
+		t.Errorf("4M case shard sum = %d", total)
+	}
+	// §7.2: each recompilation takes well under 10 seconds.
+	for _, s := range steps {
+		if s.Time.Seconds() > 10 {
+			t.Errorf("conn=%d took %s (> 10s)", s.ConnEntries, s.Time)
+		}
+	}
+	if FormatExtensibility(steps) == "" {
+		t.Error("empty output")
+	}
+}
+
+func TestCompositionCase(t *testing.T) {
+	steps, err := Composition()
+	if err != nil {
+		t.Fatalf("composition: %v", err)
+	}
+	if len(steps) != 4 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	last := steps[len(steps)-1]
+	if last.Switches != 1 || last.Placed != 1 {
+		t.Errorf("single-switch composition: %+v", last)
+	}
+	// §7.3: under five seconds even when squeezed into one ASIC.
+	for _, s := range steps {
+		if s.Time.Seconds() > 5 {
+			t.Errorf("scope %d took %s (> 5s)", s.Switches, s.Time)
+		}
+	}
+	if FormatComposition(steps) == "" {
+		t.Error("empty output")
+	}
+}
+
+func TestLyraLoC(t *testing.T) {
+	src := `
+// comment
+>HEADER:
+header_type h { bit[8] f; }
+algorithm a {
+  x = 1;
+}
+`
+	loc, logic := LyraLoC(src)
+	if loc != 4 {
+		t.Errorf("loc = %d, want 4", loc)
+	}
+	if logic != 3 {
+		t.Errorf("logic = %d, want 3", logic)
+	}
+}
+
+func TestAblationsShape(t *testing.T) {
+	rows, err := Ablations()
+	if err != nil {
+		t.Fatalf("ablations: %v", err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	anyMergeWin, anyAbsorbWin := false, false
+	for _, r := range rows {
+		if r.Optimized > r.NoMerge || r.Optimized > r.NoAbsorb {
+			t.Errorf("%s: optimized (%d) worse than ablated (merge %d, absorb %d)",
+				r.Program, r.Optimized, r.NoMerge, r.NoAbsorb)
+		}
+		if r.NoMerge > r.Optimized {
+			anyMergeWin = true
+		}
+		if r.NoAbsorb > r.Optimized {
+			anyAbsorbWin = true
+		}
+	}
+	if !anyMergeWin || !anyAbsorbWin {
+		t.Errorf("each optimization must win somewhere: merge=%v absorb=%v", anyMergeWin, anyAbsorbWin)
+	}
+	if FormatAblations(rows) == "" {
+		t.Error("empty output")
+	}
+}

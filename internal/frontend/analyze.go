@@ -1,0 +1,156 @@
+package frontend
+
+import (
+	"lyra/internal/ir"
+)
+
+// Analyze fills in the instruction dependency graph of every algorithm
+// (§4.3 "Instruction dependency generation"). SSA leaves only
+// read-after-write dependencies between variables; header fields, global
+// arrays, extern tables, and packet operations are memory and additionally
+// get write-after-read and write-after-write ordering edges.
+func Analyze(p *ir.Program) {
+	for _, a := range p.Algorithms {
+		analyzeAlgorithm(a)
+	}
+}
+
+func analyzeAlgorithm(a *ir.Algorithm) {
+	defOf := map[*ir.Var]int{} // SSA variable -> defining instruction
+	byID := map[int]*ir.Instr{}
+	for _, in := range a.Instrs {
+		byID[in.ID] = in
+	}
+	lastWrite := map[string][]int{}
+	readsSince := map[string][]int{}
+	addDep := func(in *ir.Instr, dep int) {
+		if dep < 0 || dep == in.ID {
+			return
+		}
+		for _, d := range in.Deps {
+			if d == dep {
+				return
+			}
+		}
+		in.Deps = append(in.Deps, dep)
+	}
+	// addMemDep adds a memory-ordering edge unless the two instructions are
+	// mutually exclusive (opposite arms of one branch never both execute,
+	// so no real hazard exists — and keeping the edge would create false
+	// cycles between merged tables).
+	addMemDep := func(in *ir.Instr, dep int) {
+		if d := byID[dep]; d != nil && in.Guard.MutuallyExclusive(d.Guard) {
+			return
+		}
+		addDep(in, dep)
+	}
+	// Memory cell names: "hdr.field", "$hdr.<name>" for header validity,
+	// "$global.<name>", "$extern.<name>", "$pkt" for packet disposition.
+	// Writers accumulate until a non-exclusive overwrite, so hazards are
+	// tracked per exclusive arm.
+	readCell := func(in *ir.Instr, cell string) {
+		for _, w := range lastWrite[cell] {
+			addMemDep(in, w) // RAW
+		}
+		readsSince[cell] = append(readsSince[cell], in.ID)
+	}
+	writeCell := func(in *ir.Instr, cell string) {
+		for _, w := range lastWrite[cell] {
+			addMemDep(in, w) // WAW
+		}
+		for _, r := range readsSince[cell] {
+			addMemDep(in, r) // WAR
+		}
+		// Keep earlier writers that are mutually exclusive with this one:
+		// a later reader in a third context may still observe them.
+		var kept []int
+		for _, w := range lastWrite[cell] {
+			if d := byID[w]; d != nil && in.Guard.MutuallyExclusive(d.Guard) {
+				kept = append(kept, w)
+			}
+		}
+		lastWrite[cell] = append(kept, in.ID)
+		readsSince[cell] = nil
+	}
+
+	for _, in := range a.Instrs {
+		// Variable reads (args and guard predicates).
+		for _, v := range in.Reads() {
+			if d, ok := defOf[v]; ok {
+				addDep(in, d)
+			}
+		}
+		// Header field reads.
+		for _, f := range in.ReadsFields() {
+			readCell(in, f)
+			readCell(in, "$hdr."+hdrOf(f))
+		}
+		// Op-specific memory effects.
+		switch in.Op {
+		case ir.IHeaderAdd, ir.IHeaderRemove:
+			writeCell(in, "$hdr."+in.Table)
+		case ir.IPacketOp:
+			// Routing decisions (drop/forward/recirculate) order among
+			// themselves; clones (mirror/copy_to_cpu) are independent of
+			// routing but ordered among themselves.
+			switch in.Table {
+			case "mirror", "copy_to_cpu":
+				writeCell(in, "$pkt.clone")
+			default:
+				writeCell(in, "$pkt.route")
+			}
+		case ir.ILookup, ir.IMember:
+			readCell(in, "$extern."+in.Table)
+		case ir.IExternInsert:
+			writeCell(in, "$extern."+in.Table)
+		case ir.IGlobalRead:
+			readCell(in, "$global."+in.Table)
+		case ir.IGlobalWrite:
+			writeCell(in, "$global."+in.Table)
+		}
+		// Header field writes.
+		if f := in.WritesField(); f != "" {
+			writeCell(in, f)
+			readCell(in, "$hdr."+hdrOf(f))
+		}
+		// SSA definition.
+		if v := in.WritesVar(); v != nil {
+			defOf[v] = in.ID
+			if v.Bool {
+				if _, seen := a.Preds[v]; !seen {
+					a.Preds[v] = in.ID
+				}
+			}
+		}
+	}
+}
+
+func hdrOf(field string) string {
+	for i := 0; i < len(field); i++ {
+		if field[i] == '.' {
+			return field[:i]
+		}
+	}
+	return field
+}
+
+// LongestChain returns the length of the longest dependency chain in an
+// algorithm (in instructions). The NPL back-end reports this as the longest
+// code path (Figure 9 column).
+func LongestChain(a *ir.Algorithm) int {
+	depth := make([]int, len(a.Instrs))
+	best := 0
+	for _, in := range a.Instrs {
+		d := 1
+		for _, dep := range in.Deps {
+			if depth[dep]+1 > d {
+				d = depth[dep] + 1
+			}
+		}
+		depth[in.ID] = d
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}

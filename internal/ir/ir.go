@@ -1,0 +1,421 @@
+// Package ir defines Lyra's context-aware intermediate representation
+// (§4.2–§4.3). After preprocessing, each algorithm is a straight-line block
+// of guarded single-operation instructions in SSA form, annotated with
+// instruction dependencies and deployment constraints.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"lyra/internal/lang/ast"
+	"lyra/internal/lang/token"
+)
+
+// Var is an SSA-versioned variable. Temporaries, locals, and implicit
+// metadata variables all become Vars; header fields and global/extern state
+// are memory and referenced by name instead.
+type Var struct {
+	Name string // base name
+	Ver  int    // SSA version, 1-based
+	Bits int    // inferred width; 0 until inference runs
+	Bool bool   // true when the value is a predicate/boolean
+	Decl bool   // width came from an explicit declaration (authoritative)
+}
+
+func (v *Var) String() string {
+	if v == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("%s.%d", v.Name, v.Ver)
+}
+
+// OperandKind discriminates Operand.
+type OperandKind int
+
+// Operand kinds.
+const (
+	OpdConst OperandKind = iota
+	OpdVar
+	OpdField
+)
+
+// Operand is an instruction input: a constant, an SSA variable, or a header
+// field read.
+type Operand struct {
+	Kind  OperandKind
+	Const uint64
+	Var   *Var
+	Hdr   string // header instance for OpdField
+	Field string
+	Bits  int // width (fields: declared; vars: mirror of Var.Bits)
+}
+
+// ConstOp builds a constant operand.
+func ConstOp(v uint64) Operand { return Operand{Kind: OpdConst, Const: v} }
+
+// VarOp builds a variable operand.
+func VarOp(v *Var) Operand { return Operand{Kind: OpdVar, Var: v, Bits: v.Bits} }
+
+// FieldOp builds a header-field operand.
+func FieldOp(hdr, field string, bits int) Operand {
+	return Operand{Kind: OpdField, Hdr: hdr, Field: field, Bits: bits}
+}
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case OpdConst:
+		return fmt.Sprintf("%d", o.Const)
+	case OpdVar:
+		return o.Var.String()
+	case OpdField:
+		return o.Hdr + "." + o.Field
+	}
+	return "?"
+}
+
+// DestKind discriminates instruction destinations.
+type DestKind int
+
+// Destination kinds.
+const (
+	DestNone DestKind = iota
+	DestVar
+	DestField
+	DestGlobal // global array element; index is Args[idxArg]
+)
+
+// Dest is an instruction output.
+type Dest struct {
+	Kind  DestKind
+	Var   *Var
+	Hdr   string
+	Field string
+	Table string // global name for DestGlobal
+}
+
+func (d Dest) String() string {
+	switch d.Kind {
+	case DestVar:
+		return d.Var.String()
+	case DestField:
+		return d.Hdr + "." + d.Field
+	case DestGlobal:
+		return d.Table + "[...]"
+	}
+	return "_"
+}
+
+// Op enumerates IR operations.
+type Op int
+
+// IR operations.
+const (
+	IAssign       Op = iota // dest = arg0
+	IBin                    // dest = arg0 <binop> arg1
+	INot                    // dest = !arg0 (logical)
+	ISelect                 // dest = arg0 ? arg1 : arg2 (branch merge)
+	IHash                   // dest = hash(args...); Table = hash kind
+	ILib                    // dest? = libfn(args...); Table = function name
+	IHeaderAdd              // add_header(Table)
+	IHeaderRemove           // remove_header(Table)
+	IPacketOp               // drop/forward/mirror/copy_to_cpu/recirculate; Table = op
+	ILookup                 // dest = Table[key args...]
+	IMember                 // dest = key args... in Table (1-bit)
+	IGlobalRead             // dest = Table[arg0]
+	IGlobalWrite            // Table[arg0] = arg1
+	IExternInsert           // insert(Table, keys..., values...)
+)
+
+var opNames = map[Op]string{
+	IAssign: "assign", IBin: "bin", INot: "not", ISelect: "select",
+	IHash: "hash", ILib: "lib", IHeaderAdd: "add_header",
+	IHeaderRemove: "remove_header", IPacketOp: "packet_op",
+	ILookup: "lookup", IMember: "member",
+	IGlobalRead: "gread", IGlobalWrite: "gwrite", IExternInsert: "insert",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// GuardTerm is one conjunct of an instruction guard: a predicate variable,
+// possibly negated.
+type GuardTerm struct {
+	Var *Var
+	Neg bool
+}
+
+func (g GuardTerm) String() string {
+	if g.Neg {
+		return "!" + g.Var.String()
+	}
+	return g.Var.String()
+}
+
+// Guard is a conjunction of terms; empty means unconditional.
+type Guard []GuardTerm
+
+func (g Guard) String() string {
+	if len(g) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(g))
+	for i, t := range g {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " & ")
+}
+
+// Equal reports whether two guards are syntactically identical.
+func (g Guard) Equal(o Guard) bool {
+	if len(g) != len(o) {
+		return false
+	}
+	for i := range g {
+		if g[i].Var != o[i].Var || g[i].Neg != o[i].Neg {
+			return false
+		}
+	}
+	return true
+}
+
+// MutuallyExclusive reports whether the guards share a prefix and then
+// diverge on the polarity of the same predicate variable (the two arms of
+// one if-else, §5.2 "mutually exclusive").
+func (g Guard) MutuallyExclusive(o Guard) bool {
+	n := len(g)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if g[i].Var == o[i].Var && g[i].Neg != o[i].Neg {
+			return true
+		}
+		if g[i].Var != o[i].Var || g[i].Neg != o[i].Neg {
+			return false
+		}
+	}
+	return false
+}
+
+// Instr is one context-aware IR instruction.
+type Instr struct {
+	ID    int
+	Alg   string // owning algorithm
+	Op    Op
+	BinOp ast.Op // for IBin
+	Dest  Dest
+	Args  []Operand
+	Guard Guard
+	Table string // extern/global/header/lib name depending on Op
+	Pos   token.Position
+
+	// Deps lists the IDs of instructions this one depends on
+	// (read-after-write, plus memory ordering edges). Filled by the
+	// analyzer.
+	Deps []int
+}
+
+func (in *Instr) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%3d [%s] ", in.ID, in.Alg)
+	if len(in.Guard) > 0 {
+		fmt.Fprintf(&b, "(%s) ? ", in.Guard.String())
+	}
+	switch in.Op {
+	case IAssign:
+		fmt.Fprintf(&b, "%s = %s", in.Dest, in.Args[0])
+	case IBin:
+		fmt.Fprintf(&b, "%s = %s %s %s", in.Dest, in.Args[0], in.BinOp, in.Args[1])
+	case INot:
+		fmt.Fprintf(&b, "%s = !%s", in.Dest, in.Args[0])
+	case ISelect:
+		fmt.Fprintf(&b, "%s = %s ? %s : %s", in.Dest, in.Args[0], in.Args[1], in.Args[2])
+	case IHash, ILib:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = a.String()
+		}
+		if in.Dest.Kind != DestNone {
+			fmt.Fprintf(&b, "%s = ", in.Dest)
+		}
+		fmt.Fprintf(&b, "%s(%s)", in.Table, strings.Join(args, ", "))
+	case IHeaderAdd, IHeaderRemove, IPacketOp:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = a.String()
+		}
+		fmt.Fprintf(&b, "%s(%s) %s", in.Op, strings.Join(args, ", "), in.Table)
+	case ILookup:
+		fmt.Fprintf(&b, "%s = %s[%s]", in.Dest, in.Table, joinOps(in.Args))
+	case IMember:
+		fmt.Fprintf(&b, "%s = %s in %s", in.Dest, joinOps(in.Args), in.Table)
+	case IGlobalRead:
+		fmt.Fprintf(&b, "%s = %s[%s]", in.Dest, in.Table, in.Args[0])
+	case IGlobalWrite:
+		fmt.Fprintf(&b, "%s[%s] = %s", in.Table, in.Args[0], in.Args[1])
+	case IExternInsert:
+		fmt.Fprintf(&b, "insert %s (%s)", in.Table, joinOps(in.Args))
+	}
+	return b.String()
+}
+
+func joinOps(ops []Operand) string {
+	parts := make([]string, len(ops))
+	for i, o := range ops {
+		parts[i] = o.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Reads returns the variables read by the instruction, including guard
+// predicates.
+func (in *Instr) Reads() []*Var {
+	var out []*Var
+	for _, a := range in.Args {
+		if a.Kind == OpdVar {
+			out = append(out, a.Var)
+		}
+	}
+	for _, g := range in.Guard {
+		out = append(out, g.Var)
+	}
+	return out
+}
+
+// ReadsFields returns header fields read by the instruction.
+func (in *Instr) ReadsFields() []string {
+	var out []string
+	for _, a := range in.Args {
+		if a.Kind == OpdField {
+			out = append(out, a.Hdr+"."+a.Field)
+		}
+	}
+	return out
+}
+
+// WritesVar returns the SSA variable defined, or nil.
+func (in *Instr) WritesVar() *Var {
+	if in.Dest.Kind == DestVar {
+		return in.Dest.Var
+	}
+	return nil
+}
+
+// WritesField returns the header field written ("hdr.field"), or "".
+func (in *Instr) WritesField() string {
+	if in.Dest.Kind == DestField {
+		return in.Dest.Hdr + "." + in.Dest.Field
+	}
+	return ""
+}
+
+// ExternDecl mirrors the source-level extern declaration with resolved
+// widths (§3.4).
+type ExternDecl struct {
+	Name   string
+	Kind   ast.ExternKind
+	Keys   []ast.Field
+	Values []ast.Field
+	Size   int
+	Alg    string // declaring algorithm
+}
+
+// KeyBits returns the total match width.
+func (e *ExternDecl) KeyBits() int {
+	n := 0
+	for _, k := range e.Keys {
+		n += k.Type.Bits
+	}
+	return n
+}
+
+// ValueBits returns the total action-data width.
+func (e *ExternDecl) ValueBits() int {
+	n := 0
+	for _, v := range e.Values {
+		n += v.Type.Bits
+	}
+	return n
+}
+
+// GlobalDecl is a stateful register array (§3.4).
+type GlobalDecl struct {
+	Name string
+	Bits int
+	Len  int
+	Alg  string
+}
+
+// Algorithm is the context-aware IR of one algorithm.
+type Algorithm struct {
+	Name    string
+	Instrs  []*Instr
+	Externs []*ExternDecl
+	Globals []*GlobalDecl
+	// Preds maps predicate variable -> the instruction id that computes it.
+	Preds map[*Var]int
+}
+
+// Program is the preprocessed whole-program IR.
+type Program struct {
+	Source     *ast.Program
+	Pipelines  []*ast.Pipeline
+	Algorithms []*Algorithm
+	// HeaderBits maps header instance name -> total width.
+	HeaderBits map[string]int
+	// FieldBits maps "hdr.field" -> width.
+	FieldBits map[string]int
+}
+
+// Algorithm returns the algorithm IR by name, or nil.
+func (p *Program) Algorithm(name string) *Algorithm {
+	for _, a := range p.Algorithms {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Extern finds an extern declaration anywhere in the program.
+func (p *Program) Extern(name string) *ExternDecl {
+	for _, a := range p.Algorithms {
+		for _, e := range a.Externs {
+			if e.Name == name {
+				return e
+			}
+		}
+	}
+	return nil
+}
+
+// Global finds a global declaration anywhere in the program.
+func (p *Program) Global(name string) *GlobalDecl {
+	for _, a := range p.Algorithms {
+		for _, g := range a.Globals {
+			if g.Name == name {
+				return g
+			}
+		}
+	}
+	return nil
+}
+
+// Dump renders the whole IR for golden tests and debugging.
+func (p *Program) Dump() string {
+	var b strings.Builder
+	for _, a := range p.Algorithms {
+		fmt.Fprintf(&b, "algorithm %s:\n", a.Name)
+		for _, e := range a.Externs {
+			fmt.Fprintf(&b, "  extern %s %s size=%d key=%db val=%db\n",
+				e.Kind, e.Name, e.Size, e.KeyBits(), e.ValueBits())
+		}
+		for _, g := range a.Globals {
+			fmt.Fprintf(&b, "  global %s bit[%d][%d]\n", g.Name, g.Bits, g.Len)
+		}
+		for _, in := range a.Instrs {
+			fmt.Fprintf(&b, "  %s\n", in)
+		}
+	}
+	return b.String()
+}

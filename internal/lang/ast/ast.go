@@ -1,0 +1,438 @@
+// Package ast declares the abstract syntax tree for the Lyra language
+// (paper §3, Figure 6). A Lyra program consists of header/packet
+// declarations, parser nodes, one-big-pipeline declarations, algorithms, and
+// functions.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"lyra/internal/lang/token"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Position
+}
+
+// Program is a parsed Lyra source file.
+type Program struct {
+	Headers    []*HeaderType
+	Instances  []*HeaderInstance
+	Packets    []*Packet
+	Parsers    []*ParserNode
+	Pipelines  []*Pipeline
+	Algorithms []*Algorithm
+	Funcs      []*Func
+}
+
+// Algorithm looks up an algorithm by name.
+func (p *Program) Algorithm(name string) *Algorithm {
+	for _, a := range p.Algorithms {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Func looks up a function by name.
+func (p *Program) Func(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Header looks up a header type by name.
+func (p *Program) Header(name string) *HeaderType {
+	for _, h := range p.Headers {
+		if h.Name == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// Instance looks up a header instance by name.
+func (p *Program) Instance(name string) *HeaderInstance {
+	for _, h := range p.Instances {
+		if h.Name == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// Type is a Lyra value type: bit[N], optionally an array bit[N][len], or
+// bool (width 1).
+type Type struct {
+	Bits     int // element width in bits; bool is 1
+	ArrayLen int // 0 for scalars
+	Bool     bool
+}
+
+func (t Type) String() string {
+	s := fmt.Sprintf("bit[%d]", t.Bits)
+	if t.Bool {
+		s = "bool"
+	}
+	if t.ArrayLen > 0 {
+		s += fmt.Sprintf("[%d]", t.ArrayLen)
+	}
+	return s
+}
+
+// Field is a named, typed field (headers, extern tuples).
+type Field struct {
+	Type Type
+	Name string
+	At   token.Position
+}
+
+func (f Field) Pos() token.Position { return f.At }
+
+// HeaderType declares a packet header layout.
+type HeaderType struct {
+	Name   string
+	Fields []Field
+	At     token.Position
+}
+
+func (h *HeaderType) Pos() token.Position { return h.At }
+
+// Width returns the total header width in bits.
+func (h *HeaderType) Width() int {
+	w := 0
+	for _, f := range h.Fields {
+		w += f.Type.Bits
+	}
+	return w
+}
+
+// HeaderInstance binds a header type to an instance name usable in
+// expressions (e.g. "header ipv4_t ipv4;").
+type HeaderInstance struct {
+	TypeName string
+	Name     string
+	At       token.Position
+}
+
+func (h *HeaderInstance) Pos() token.Position { return h.At }
+
+// Packet declares the packet metadata fields (Figure 4 "packet in_pkt").
+type Packet struct {
+	Name   string
+	Fields []Field
+	At     token.Position
+}
+
+func (p *Packet) Pos() token.Position { return p.At }
+
+// ParserNode is one state of the parse graph.
+type ParserNode struct {
+	Name     string
+	Extracts []string    // header instance names extracted in this state
+	Select   *SelectStmt // nil for terminal states
+	At       token.Position
+}
+
+func (p *ParserNode) Pos() token.Position { return p.At }
+
+// SelectStmt drives parser transitions on a header field value.
+type SelectStmt struct {
+	Key     Expr
+	Cases   []SelectCase
+	Default string // next node on no match; "" = accept
+	At      token.Position
+}
+
+// SelectCase maps a constant to the next parser node.
+type SelectCase struct {
+	Value uint64
+	Next  string
+}
+
+// Pipeline is a one-big-pipeline declaration:
+// pipeline[INT]{int_in -> int_transit -> int_out};
+type Pipeline struct {
+	Name       string
+	Algorithms []string
+	At         token.Position
+}
+
+func (p *Pipeline) Pos() token.Position { return p.At }
+
+// Algorithm is a deployable unit with its own scope (§3.3).
+type Algorithm struct {
+	Name string
+	Body []Stmt
+	At   token.Position
+}
+
+func (a *Algorithm) Pos() token.Position { return a.At }
+
+// Func is a reusable procedure, inlined by the preprocessor (§4.2 step 1).
+type Func struct {
+	Name   string
+	Params []Field
+	Body   []Stmt
+	At     token.Position
+}
+
+func (f *Func) Pos() token.Position { return f.At }
+
+// ---- Statements ----
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// VarDecl declares an internal or global variable (§3.4).
+type VarDecl struct {
+	Type   Type
+	Name   string
+	Global bool
+	Init   Expr // may be nil
+	At     token.Position
+}
+
+// ExternKind distinguishes extern variable container shapes.
+type ExternKind int
+
+const (
+	// ExternList is a membership set: extern list<bit[32] ip>[1024] known.
+	ExternList ExternKind = iota
+	// ExternDict is a key-value table:
+	// extern dict<bit[32] hash, bit[32] ip>[1024] conn_table.
+	ExternDict
+)
+
+func (k ExternKind) String() string {
+	if k == ExternDict {
+		return "dict"
+	}
+	return "list"
+}
+
+// ExternDecl declares an external variable — the control-plane visible
+// table interface (§3.4, §5.8). Keys and values may be tuples.
+type ExternDecl struct {
+	Kind   ExternKind
+	Keys   []Field
+	Values []Field // empty for lists
+	Size   int
+	Name   string
+	At     token.Position
+}
+
+// Assign stores the value of RHS into LHS (a variable, header field, or
+// global/extern element).
+type Assign struct {
+	LHS Expr
+	RHS Expr
+	At  token.Position
+}
+
+// If is a conditional with optional else branch.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // may be nil
+	At   token.Position
+}
+
+// ExprStmt is a call used as a statement (library or user function call).
+type ExprStmt struct {
+	X  Expr
+	At token.Position
+}
+
+func (s *VarDecl) Pos() token.Position    { return s.At }
+func (s *ExternDecl) Pos() token.Position { return s.At }
+func (s *Assign) Pos() token.Position     { return s.At }
+func (s *If) Pos() token.Position         { return s.At }
+func (s *ExprStmt) Pos() token.Position   { return s.At }
+
+func (*VarDecl) stmt()    {}
+func (*ExternDecl) stmt() {}
+func (*Assign) stmt()     {}
+func (*If) stmt()         {}
+func (*ExprStmt) stmt()   {}
+
+// ---- Expressions ----
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	expr()
+}
+
+// Ident names a variable, header instance, or extern table.
+type Ident struct {
+	Name string
+	At   token.Position
+}
+
+// IntLit is an integer constant.
+type IntLit struct {
+	Value uint64
+	Text  string
+	At    token.Position
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Value bool
+	At    token.Position
+}
+
+// FieldAccess selects a header field: ipv4.src_ip.
+type FieldAccess struct {
+	X    Expr
+	Name string
+	At   token.Position
+}
+
+// Index accesses an array or table element: counter[i], conn_table[hash].
+type Index struct {
+	X     Expr
+	Index Expr
+	At    token.Position
+}
+
+// Op enumerates binary and unary operators.
+type Op int
+
+// Operators.
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd // bitwise &
+	OpOr  // bitwise |
+	OpXor
+	OpShl
+	OpShr
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpLAnd // &&
+	OpLOr  // ||
+	OpLNot // !
+	OpNeg  // unary -
+)
+
+var opNames = map[Op]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpLAnd: "&&", OpLOr: "||", OpLNot: "!", OpNeg: "-",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// IsComparison reports whether the operator yields a boolean from two
+// bit-vector operands.
+func (o Op) IsComparison() bool {
+	switch o {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// IsLogical reports whether the operator combines booleans.
+func (o Op) IsLogical() bool { return o == OpLAnd || o == OpLOr || o == OpLNot }
+
+// Binary applies Op to two operands.
+type Binary struct {
+	Op   Op
+	X, Y Expr
+	At   token.Position
+}
+
+// Unary applies OpLNot or OpNeg to one operand.
+type Unary struct {
+	Op Op
+	X  Expr
+	At token.Position
+}
+
+// Call invokes a user function or a predefined library function
+// (crc32_hash, get_queue_len, add_header, ...).
+type Call struct {
+	Name string
+	Args []Expr
+	At   token.Position
+}
+
+// InExpr tests membership of a key in an extern table: hash in conn_table.
+type InExpr struct {
+	Key   Expr
+	Table string
+	At    token.Position
+}
+
+func (e *Ident) Pos() token.Position       { return e.At }
+func (e *IntLit) Pos() token.Position      { return e.At }
+func (e *BoolLit) Pos() token.Position     { return e.At }
+func (e *FieldAccess) Pos() token.Position { return e.At }
+func (e *Index) Pos() token.Position       { return e.At }
+func (e *Binary) Pos() token.Position      { return e.At }
+func (e *Unary) Pos() token.Position       { return e.At }
+func (e *Call) Pos() token.Position        { return e.At }
+func (e *InExpr) Pos() token.Position      { return e.At }
+
+func (*Ident) expr()       {}
+func (*IntLit) expr()      {}
+func (*BoolLit) expr()     {}
+func (*FieldAccess) expr() {}
+func (*Index) expr()       {}
+func (*Binary) expr()      {}
+func (*Unary) expr()       {}
+func (*Call) expr()        {}
+func (*InExpr) expr()      {}
+
+// ExprString renders an expression as source-like text (diagnostics and
+// golden tests).
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Name
+	case *IntLit:
+		return x.Text
+	case *BoolLit:
+		if x.Value {
+			return "true"
+		}
+		return "false"
+	case *FieldAccess:
+		return ExprString(x.X) + "." + x.Name
+	case *Index:
+		return ExprString(x.X) + "[" + ExprString(x.Index) + "]"
+	case *Binary:
+		return "(" + ExprString(x.X) + " " + x.Op.String() + " " + ExprString(x.Y) + ")"
+	case *Unary:
+		return x.Op.String() + ExprString(x.X)
+	case *Call:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ExprString(a)
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	case *InExpr:
+		return ExprString(x.Key) + " in " + x.Table
+	}
+	return "?"
+}

@@ -1,0 +1,62 @@
+// Package lib declares the predefined library functions that Lyra offers to
+// bridge chip-specific intrinsics (§3.2, §8 "Unifying different ASIC
+// libraries"). Each entry maps to hard-coded per-target implementations in
+// the back-end translator.
+package lib
+
+// Kind classifies a library function for synthesis and placement purposes.
+type Kind int
+
+// Library function kinds.
+const (
+	KindHash     Kind = iota // pure computation over packet fields
+	KindMeta                 // reads switch metadata (timestamps, ids)
+	KindQueue                // reads queueing info: egress-pipeline only
+	KindHeaderOp             // adds/removes a header instance
+	KindPacketOp             // drop/forward/mirror/copy_to_cpu/recirculate
+)
+
+// Func describes one predefined library function.
+type Func struct {
+	Name    string
+	Kind    Kind
+	MinArgs int
+	MaxArgs int // -1 for variadic
+	RetBits int // 0 for void
+	// EgressOnly marks functions whose result exists only in the egress
+	// pipeline (§8 multi-pipeline support), e.g. queue length.
+	EgressOnly bool
+}
+
+// Funcs is the registry of predefined library functions.
+var Funcs = map[string]Func{
+	"crc32_hash":            {Name: "crc32_hash", Kind: KindHash, MinArgs: 1, MaxArgs: -1, RetBits: 32},
+	"crc16_hash":            {Name: "crc16_hash", Kind: KindHash, MinArgs: 1, MaxArgs: -1, RetBits: 16},
+	"identity_hash":         {Name: "identity_hash", Kind: KindHash, MinArgs: 1, MaxArgs: -1, RetBits: 32},
+	"get_queue_len":         {Name: "get_queue_len", Kind: KindQueue, RetBits: 32, EgressOnly: true},
+	"get_queue_time":        {Name: "get_queue_time", Kind: KindQueue, RetBits: 32, EgressOnly: true},
+	"get_ingress_timestamp": {Name: "get_ingress_timestamp", Kind: KindMeta, RetBits: 48},
+	"get_egress_timestamp":  {Name: "get_egress_timestamp", Kind: KindMeta, RetBits: 48, EgressOnly: true},
+	"get_switch_id":         {Name: "get_switch_id", Kind: KindMeta, RetBits: 32},
+	"get_ingress_port":      {Name: "get_ingress_port", Kind: KindMeta, RetBits: 9},
+	"add_header":            {Name: "add_header", Kind: KindHeaderOp, MinArgs: 1, MaxArgs: 1},
+	"remove_header":         {Name: "remove_header", Kind: KindHeaderOp, MinArgs: 1, MaxArgs: 1},
+	"copy_to_cpu":           {Name: "copy_to_cpu", Kind: KindPacketOp},
+	"mirror":                {Name: "mirror", Kind: KindPacketOp, MaxArgs: 1},
+	"drop":                  {Name: "drop", Kind: KindPacketOp},
+	"forward":               {Name: "forward", Kind: KindPacketOp, MinArgs: 1, MaxArgs: 1},
+	"recirculate":           {Name: "recirculate", Kind: KindPacketOp},
+	"insert":                {Name: "insert", Kind: KindPacketOp, MinArgs: 2, MaxArgs: 3},
+}
+
+// Lookup returns the library function named name.
+func Lookup(name string) (Func, bool) {
+	f, ok := Funcs[name]
+	return f, ok
+}
+
+// IsLibrary reports whether name names a predefined library function.
+func IsLibrary(name string) bool {
+	_, ok := Funcs[name]
+	return ok
+}

@@ -1,0 +1,53 @@
+package lib
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	f, ok := Lookup("crc32_hash")
+	if !ok || f.RetBits != 32 || f.Kind != KindHash || f.MaxArgs != -1 {
+		t.Fatalf("crc32_hash = %+v ok=%v", f, ok)
+	}
+	if _, ok := Lookup("nonsense"); ok {
+		t.Error("unexpected hit")
+	}
+}
+
+func TestIsLibrary(t *testing.T) {
+	for _, n := range []string{"add_header", "remove_header", "drop", "forward", "mirror", "copy_to_cpu", "get_queue_len", "get_switch_id", "insert", "recirculate"} {
+		if !IsLibrary(n) {
+			t.Errorf("%s should be a library function", n)
+		}
+	}
+	if IsLibrary("my_own_fn") {
+		t.Error("false positive")
+	}
+}
+
+func TestEgressOnlyFlags(t *testing.T) {
+	for name, want := range map[string]bool{
+		"get_queue_len":         true,
+		"get_egress_timestamp":  true,
+		"get_ingress_timestamp": false,
+		"get_switch_id":         false,
+	} {
+		f, _ := Lookup(name)
+		if f.EgressOnly != want {
+			t.Errorf("%s EgressOnly = %v, want %v", name, f.EgressOnly, want)
+		}
+	}
+}
+
+func TestArityShapes(t *testing.T) {
+	f, _ := Lookup("forward")
+	if f.MinArgs != 1 || f.MaxArgs != 1 {
+		t.Errorf("forward arity = %d..%d", f.MinArgs, f.MaxArgs)
+	}
+	f, _ = Lookup("drop")
+	if f.MinArgs != 0 || f.MaxArgs != 0 {
+		t.Errorf("drop arity = %d..%d", f.MinArgs, f.MaxArgs)
+	}
+	f, _ = Lookup("add_header")
+	if f.Kind != KindHeaderOp {
+		t.Error("add_header kind")
+	}
+}

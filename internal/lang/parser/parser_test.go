@@ -1,0 +1,304 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"lyra/internal/lang/ast"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse("test.lyra", []byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+func TestParseHeaderType(t *testing.T) {
+	prog := mustParse(t, `
+header_type ipv4_t {
+  bit[32] src_ip;
+  bit[32] dst_ip;
+  bit[8] protocol;
+}`)
+	if len(prog.Headers) != 1 {
+		t.Fatalf("headers = %d", len(prog.Headers))
+	}
+	h := prog.Headers[0]
+	if h.Name != "ipv4_t" || len(h.Fields) != 3 {
+		t.Fatalf("h = %+v", h)
+	}
+	if h.Width() != 72 {
+		t.Errorf("width = %d, want 72", h.Width())
+	}
+	if h.Fields[2].Name != "protocol" || h.Fields[2].Type.Bits != 8 {
+		t.Errorf("field 2 = %+v", h.Fields[2])
+	}
+}
+
+func TestParseHeaderTypeWithFieldsWrapper(t *testing.T) {
+	prog := mustParse(t, `header_type h_t { fields { bit[16] a; } }`)
+	if len(prog.Headers[0].Fields) != 1 {
+		t.Fatal("wrapped fields not parsed")
+	}
+}
+
+func TestParsePipeline(t *testing.T) {
+	prog := mustParse(t, `pipeline[INT]{int_in -> int_transit -> int_out};
+pipeline[LB]{loadbalancer};`)
+	if len(prog.Pipelines) != 2 {
+		t.Fatalf("pipelines = %d", len(prog.Pipelines))
+	}
+	p := prog.Pipelines[0]
+	if p.Name != "INT" || strings.Join(p.Algorithms, ",") != "int_in,int_transit,int_out" {
+		t.Errorf("pipeline = %+v", p)
+	}
+	if len(prog.Pipelines[1].Algorithms) != 1 {
+		t.Errorf("LB algorithms = %v", prog.Pipelines[1].Algorithms)
+	}
+}
+
+func TestParseAlgorithmWithGlobalAndIf(t *testing.T) {
+	prog := mustParse(t, `
+algorithm int_in {
+  global bit[32][1024] packet_counter;
+  int_filtering();
+  if (int_enable) {
+    add_int_probe_header();
+    add_int_md_hdr();
+  }
+}`)
+	a := prog.Algorithms[0]
+	if a.Name != "int_in" || len(a.Body) != 3 {
+		t.Fatalf("alg = %+v", a)
+	}
+	g, ok := a.Body[0].(*ast.VarDecl)
+	if !ok || !g.Global || g.Type.ArrayLen != 1024 || g.Type.Bits != 32 {
+		t.Fatalf("global decl = %+v", a.Body[0])
+	}
+	iff, ok := a.Body[2].(*ast.If)
+	if !ok || len(iff.Then) != 2 || iff.Else != nil {
+		t.Fatalf("if = %+v", a.Body[2])
+	}
+}
+
+func TestParseExternDict(t *testing.T) {
+	prog := mustParse(t, `
+func load_balancing() {
+  extern dict<bit[32] hash, bit[32] ip>[1024] conn_table;
+  extern dict<bit[32] vip, bit[8] group>[1024] vip_table;
+  hash = crc32_hash(ipv4.srcAddr, ipv4.dstAddr, ipv4.protocol, tcp.srcPort, tcp.dstPort);
+  if (hash in conn_table) {
+    ipv4.dstAddr = conn_table[hash];
+  }
+}`)
+	f := prog.Funcs[0]
+	e, ok := f.Body[0].(*ast.ExternDecl)
+	if !ok {
+		t.Fatalf("stmt 0 = %T", f.Body[0])
+	}
+	if e.Kind != ast.ExternDict || e.Size != 1024 || e.Name != "conn_table" {
+		t.Fatalf("extern = %+v", e)
+	}
+	if len(e.Keys) != 1 || e.Keys[0].Type.Bits != 32 || len(e.Values) != 1 {
+		t.Fatalf("extern shape = %+v", e)
+	}
+	iff := f.Body[3].(*ast.If)
+	in, ok := iff.Cond.(*ast.InExpr)
+	if !ok || in.Table != "conn_table" {
+		t.Fatalf("cond = %+v", iff.Cond)
+	}
+	as := iff.Then[0].(*ast.Assign)
+	if ast.ExprString(as.LHS) != "ipv4.dstAddr" {
+		t.Errorf("lhs = %s", ast.ExprString(as.LHS))
+	}
+	if ast.ExprString(as.RHS) != "conn_table[hash]" {
+		t.Errorf("rhs = %s", ast.ExprString(as.RHS))
+	}
+}
+
+func TestParseExternTupleKey(t *testing.T) {
+	prog := mustParse(t, `
+algorithm a {
+  extern dict<<bit[32] src, bit[32] dst>, bit[8] p>[1024] route;
+}`)
+	e := prog.Algorithms[0].Body[0].(*ast.ExternDecl)
+	if len(e.Keys) != 2 || e.Keys[1].Name != "dst" || len(e.Values) != 1 {
+		t.Fatalf("extern = %+v", e)
+	}
+}
+
+func TestParseExternList(t *testing.T) {
+	prog := mustParse(t, `
+algorithm a {
+  extern list<bit[32] ip>[10] get_v16_1;
+  if (src_ip in get_v16_1) {
+    v16 = (v8_a << 8 | v8_b);
+  }
+}`)
+	e := prog.Algorithms[0].Body[0].(*ast.ExternDecl)
+	if e.Kind != ast.ExternList || e.Size != 10 || len(e.Values) != 0 {
+		t.Fatalf("extern = %+v", e)
+	}
+	iff := prog.Algorithms[0].Body[1].(*ast.If)
+	as := iff.Then[0].(*ast.Assign)
+	if got := ast.ExprString(as.RHS); got != "((v8_a << 8) | v8_b)" {
+		t.Errorf("rhs = %s", got)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	prog := mustParse(t, `algorithm a { x = a + b * c == d & e; }`)
+	as := prog.Algorithms[0].Body[0].(*ast.Assign)
+	// & binds looser than ==, which binds looser than + and *.
+	if got := ast.ExprString(as.RHS); got != "(((a + (b * c)) == d) & e)" {
+		t.Errorf("rhs = %s", got)
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	prog := mustParse(t, `
+algorithm a {
+  if (x == 1) { y = 1; } else if (x == 2) { y = 2; } else { y = 3; }
+}`)
+	iff := prog.Algorithms[0].Body[0].(*ast.If)
+	if len(iff.Else) != 1 {
+		t.Fatalf("else = %+v", iff.Else)
+	}
+	inner, ok := iff.Else[0].(*ast.If)
+	if !ok || len(inner.Else) != 1 {
+		t.Fatalf("inner = %+v", iff.Else[0])
+	}
+}
+
+func TestParseParserNodes(t *testing.T) {
+	prog := mustParse(t, `
+header_type ethernet_t { bit[48] dst; bit[48] src; bit[16] ether_type; }
+header ethernet_t ethernet;
+parser_node start {
+  extract(ethernet);
+  select(ethernet.ether_type) {
+    0x0800: parse_ipv4;
+    default: accept;
+  }
+}
+parser_node parse_ipv4 { extract(ipv4); }`)
+	if len(prog.Parsers) != 2 {
+		t.Fatalf("parsers = %d", len(prog.Parsers))
+	}
+	n := prog.Parsers[0]
+	if n.Name != "start" || len(n.Extracts) != 1 || n.Extracts[0] != "ethernet" {
+		t.Fatalf("node = %+v", n)
+	}
+	if n.Select == nil || len(n.Select.Cases) != 1 || n.Select.Cases[0].Value != 0x0800 ||
+		n.Select.Cases[0].Next != "parse_ipv4" || n.Select.Default != "accept" {
+		t.Fatalf("select = %+v", n.Select)
+	}
+	if prog.Parsers[1].Select != nil {
+		t.Error("terminal node should have nil select")
+	}
+	if prog.Instances[0].TypeName != "ethernet_t" {
+		t.Errorf("instance = %+v", prog.Instances[0])
+	}
+}
+
+func TestParseSectionMarkers(t *testing.T) {
+	prog := mustParse(t, `
+>HEADER:
+header_type h_t { bit[8] hop_count; }
+>PIPELINES:
+pipeline[P]{a};
+>FUNCTIONS:
+func f() { x = 1; }
+algorithm a { f(); }
+`)
+	if len(prog.Headers) != 1 || len(prog.Pipelines) != 1 || len(prog.Funcs) != 1 {
+		t.Fatalf("prog = %+v", prog)
+	}
+}
+
+func TestParseFuncParams(t *testing.T) {
+	prog := mustParse(t, `func int_info(bit[32] info) { info = 0; }`)
+	f := prog.Funcs[0]
+	if len(f.Params) != 1 || f.Params[0].Name != "info" || f.Params[0].Type.Bits != 32 {
+		t.Fatalf("params = %+v", f.Params)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"algorithm {",                                // missing name
+		"algorithm a { x = ; }",                      // missing expr
+		"pipeline[P]{a -> };",                        // dangling arrow
+		"header_type h { bit[8]; }",                  // missing field name
+		"algorithm a { 5; }",                         // non-call expression statement
+		"algorithm a { extern set<bit[8] x>[4] s; }", // bad extern kind
+		"func f( { }",                                // bad params
+		"algorithm a { if x { } }",                   // missing parens
+	}
+	for _, src := range cases {
+		if _, err := Parse("t", []byte(src)); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseMotivatingExample(t *testing.T) {
+	// A trimmed version of Figure 4.
+	src := `
+>HEADER:
+header_type int_probe_hdr_t {
+  bit[8] hop_count;
+  bit[8] msg_type;
+}
+header int_probe_hdr_t int_probe_hdr;
+
+>PIPELINES:
+pipeline[INT]{int_in -> int_transit -> int_out};
+pipeline[LB]{loadbalancer};
+
+algorithm loadbalancer {
+  load_balancing();
+}
+algorithm int_in {
+  global bit[32][1024] packet_counter;
+  int_filtering();
+  if (int_enable) {
+    add_int_probe_header();
+  }
+}
+algorithm int_transit { transit(); }
+algorithm int_out { egress(); }
+
+>FUNCTIONS:
+func load_balancing() {
+  extern dict<bit[32] hash, bit[32] ip>[1024] conn_table;
+  extern dict<bit[32] vip, bit[8] group>[1024] vip_table;
+  hash = crc32_hash(ipv4.srcAddr, ipv4.dstAddr, ipv4.protocol, tcp.srcPort, tcp.dstPort);
+  if (hash in conn_table) {
+    ipv4.dstAddr = conn_table[hash];
+  }
+}
+func int_filtering() {
+  extern list<bit[32] ip>[1024] watch_ips;
+  if (ipv4.srcAddr in watch_ips) {
+    int_enable = 1;
+  }
+}
+func add_int_probe_header() {
+  add_header(int_probe_hdr);
+  int_probe_hdr.hop_count = 0;
+}
+func transit() { x = 1; }
+func egress() { y = 1; }
+`
+	prog := mustParse(t, src)
+	if len(prog.Algorithms) != 4 || len(prog.Funcs) != 5 || len(prog.Pipelines) != 2 {
+		t.Fatalf("algs=%d funcs=%d pipes=%d", len(prog.Algorithms), len(prog.Funcs), len(prog.Pipelines))
+	}
+	if prog.Algorithm("int_in") == nil || prog.Func("transit") == nil {
+		t.Fatal("lookup failed")
+	}
+}

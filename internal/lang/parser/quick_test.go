@@ -1,0 +1,49 @@
+package parser
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics: the parser must reject or accept arbitrary input
+// without panicking.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(src []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", src, r)
+			}
+		}()
+		_, _ = Parse("fuzz", src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserNeverPanicsOnTokenSoup: structured token fragments stress the
+// recursive descent more than raw bytes.
+func TestParserNeverPanicsOnTokenSoup(t *testing.T) {
+	frags := []string{
+		"algorithm", "func", "pipeline", "header_type", "extern", "global",
+		"if", "else", "{", "}", "(", ")", "[", "]", ";", ",", "->", "<", ">",
+		"bit[8]", "x", "=", "1", "in", "dict", "list", "0x10", "==", "&&",
+	}
+	f := func(picks []uint8) bool {
+		src := ""
+		for _, p := range picks {
+			src += frags[int(p)%len(frags)] + " "
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", src, r)
+			}
+		}()
+		_, _ = Parse("fuzz", []byte(src))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

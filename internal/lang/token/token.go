@@ -1,0 +1,160 @@
+// Package token defines the lexical tokens of the Lyra language (paper §3,
+// Figure 6) and source positions.
+package token
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds. Keyword kinds follow the Figure 6 grammar plus the library
+// keywords appearing in the paper's examples.
+const (
+	ILLEGAL Kind = iota
+	EOF
+	COMMENT
+
+	IDENT // conn_table, ipv4
+	INT   // 1024, 0x0800
+
+	// Keywords.
+	KwHeaderType // header_type
+	KwHeader     // header (instance declaration)
+	KwPacket     // packet
+	KwParserNode // parser_node
+	KwPipeline   // pipeline
+	KwAlgorithm  // algorithm
+	KwFunc       // func
+	KwFields     // fields
+	KwGlobal     // global
+	KwExtern     // extern
+	KwBit        // bit
+	KwBool       // bool
+	KwIf         // if
+	KwElse       // else
+	KwIn         // in
+	KwDict       // dict
+	KwList       // list
+	KwExtract    // extract
+	KwSelect     // select
+	KwDefault    // default
+	KwTrue       // true
+	KwFalse      // false
+
+	// Punctuation and operators.
+	LBrace    // {
+	RBrace    // }
+	LParen    // (
+	RParen    // )
+	LBracket  // [
+	RBracket  // ]
+	Semicolon // ;
+	Comma     // ,
+	Colon     // :
+	Dot       // .
+	Arrow     // ->
+	Question  // ?
+
+	Assign  // =
+	Eq      // ==
+	NotEq   // !=
+	Lt      // <
+	LtEq    // <=
+	Gt      // >
+	GtEq    // >=
+	AndAnd  // &&
+	OrOr    // ||
+	Not     // !
+	Amp     // &
+	Pipe    // |
+	Caret   // ^
+	Shl     // <<
+	Shr     // >>
+	Plus    // +
+	Minus   // -
+	Star    // *
+	Slash   // /
+	Percent // %
+
+	SectionMarker // >HEADER:, >PIPELINES:, >FUNCTIONS:
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", COMMENT: "COMMENT",
+	IDENT: "IDENT", INT: "INT",
+	KwHeaderType: "header_type", KwHeader: "header", KwPacket: "packet",
+	KwParserNode: "parser_node", KwPipeline: "pipeline", KwAlgorithm: "algorithm",
+	KwFunc: "func", KwFields: "fields", KwGlobal: "global", KwExtern: "extern",
+	KwBit: "bit", KwBool: "bool", KwIf: "if", KwElse: "else", KwIn: "in",
+	KwDict: "dict", KwList: "list", KwExtract: "extract", KwSelect: "select",
+	KwDefault: "default", KwTrue: "true", KwFalse: "false",
+	LBrace: "{", RBrace: "}", LParen: "(", RParen: ")",
+	LBracket: "[", RBracket: "]", Semicolon: ";", Comma: ",", Colon: ":",
+	Dot: ".", Arrow: "->", Question: "?",
+	Assign: "=", Eq: "==", NotEq: "!=", Lt: "<", LtEq: "<=", Gt: ">", GtEq: ">=",
+	AndAnd: "&&", OrOr: "||", Not: "!", Amp: "&", Pipe: "|", Caret: "^",
+	Shl: "<<", Shr: ">>", Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	SectionMarker: "SECTION",
+}
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their kinds.
+var Keywords = map[string]Kind{
+	"header_type": KwHeaderType,
+	"header":      KwHeader,
+	"packet":      KwPacket,
+	"parser_node": KwParserNode,
+	"pipeline":    KwPipeline,
+	"algorithm":   KwAlgorithm,
+	"func":        KwFunc,
+	"fields":      KwFields,
+	"global":      KwGlobal,
+	"extern":      KwExtern,
+	"bit":         KwBit,
+	"bool":        KwBool,
+	"if":          KwIf,
+	"else":        KwElse,
+	"in":          KwIn,
+	"dict":        KwDict,
+	"list":        KwList,
+	"extract":     KwExtract,
+	"select":      KwSelect,
+	"default":     KwDefault,
+	"true":        KwTrue,
+	"false":       KwFalse,
+}
+
+// Position is a source location.
+type Position struct {
+	File string
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+func (p Position) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is one lexical element.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT, INT, COMMENT, SectionMarker
+	Pos  Position
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, COMMENT, SectionMarker:
+		return fmt.Sprintf("%s(%s)", t.Kind, t.Lit)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,241 @@
+package p4check
+
+import (
+	"fmt"
+	"strings"
+)
+
+// knownPrimitives maps P4_14 primitive names to their arity range
+// (min, max; max -1 = variadic).
+var knownPrimitives = map[string][2]int{
+	"modify_field":                        {2, 2},
+	"modify_field_conditionally":          {3, 3},
+	"modify_field_with_hash_based_offset": {4, 4},
+	"add":                                 {3, 3},
+	"subtract":                            {3, 3},
+	"multiply":                            {3, 3},
+	"bit_and":                             {3, 3},
+	"bit_or":                              {3, 3},
+	"bit_xor":                             {3, 3},
+	"shift_left":                          {3, 3},
+	"shift_right":                         {3, 3},
+	"add_header":                          {1, 1},
+	"remove_header":                       {1, 1},
+	"drop":                                {0, 0},
+	"no_op":                               {0, 0},
+	"clone_ingress_pkt_to_egress":         {1, 2},
+	"recirculate":                         {1, 1},
+	"register_read":                       {3, 3},
+	"register_write":                      {3, 3},
+	"generate_digest":                     {2, 2},
+	"count":                               {2, 2},
+}
+
+// externalConstant reports whether an identifier is an all-caps constant
+// expected to be supplied by the build environment (mirror sessions,
+// digest receivers).
+func externalConstant(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= 'A' && c <= 'Z' || c == '_' || c >= '0' && c <= '9') {
+			return false
+		}
+	}
+	return s[0] >= 'A' && s[0] <= 'Z'
+}
+
+// standardMetadata lists the intrinsic field namespaces accepted without
+// declaration.
+var standardMetadata = []string{"standard_metadata.", "intrinsic_metadata."}
+
+// Validate resolves every reference in the program and returns the list of
+// semantic errors (empty = valid).
+func (prog *Program) Validate() []error {
+	var errs []error
+	errf := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	fieldExists := func(ref string) bool {
+		dot := strings.IndexByte(ref, '.')
+		if dot < 0 {
+			return false
+		}
+		inst, field := ref[:dot], ref[dot+1:]
+		typ, ok := prog.Instances[inst]
+		if !ok {
+			return false
+		}
+		for _, f := range prog.HeaderTypes[typ] {
+			if f == field {
+				return true
+			}
+		}
+		return false
+	}
+	refOK := func(ref string, params []string) bool {
+		for _, std := range standardMetadata {
+			if strings.HasPrefix(ref, std) {
+				return true
+			}
+		}
+		if isNumber(ref) || externalConstant(ref) {
+			return true
+		}
+		for _, p := range params {
+			if ref == p {
+				return true
+			}
+		}
+		if !strings.Contains(ref, ".") {
+			// Bare identifier: header instance (valid(x)-style) only.
+			_, ok := prog.Instances[ref]
+			return ok
+		}
+		return fieldExists(ref)
+	}
+
+	// Header instances reference declared types.
+	for inst, typ := range prog.Instances {
+		if _, ok := prog.HeaderTypes[typ]; !ok {
+			errf("instance %s references undeclared header_type %s", inst, typ)
+		}
+	}
+	// Parser extracts declared instances.
+	for _, h := range prog.ParserExtracts {
+		if _, ok := prog.Instances[h]; !ok {
+			errf("parser extracts undeclared instance %s", h)
+		}
+	}
+	// Field lists resolve.
+	for name, refs := range prog.FieldLists {
+		for _, r := range refs {
+			if !refOK(r, nil) {
+				errf("field_list %s references unknown field %s", name, r)
+			}
+		}
+	}
+	// Calculations reference declared field lists.
+	for name, input := range prog.FieldCalcs {
+		if input == "" {
+			errf("field_list_calculation %s has no input", name)
+		} else if _, ok := prog.FieldLists[input]; !ok {
+			errf("field_list_calculation %s inputs unknown field_list %s", name, input)
+		}
+	}
+	// Actions: known primitives, arities, resolvable operands.
+	for _, act := range prog.Actions {
+		for _, prim := range act.Primitives {
+			ar, known := knownPrimitives[prim.Name]
+			if !known {
+				errf("line %d: action %s uses unknown primitive %s", prim.Line, act.Name, prim.Name)
+				continue
+			}
+			if len(prim.Args) < ar[0] || (ar[1] >= 0 && len(prim.Args) > ar[1]) {
+				errf("line %d: %s takes %d..%d args, got %d", prim.Line, prim.Name, ar[0], ar[1], len(prim.Args))
+			}
+			switch prim.Name {
+			case "register_read":
+				if len(prim.Args) == 3 && !prog.Registers[prim.Args[1]] {
+					errf("line %d: register_read of undeclared register %s", prim.Line, prim.Args[1])
+				}
+			case "register_write":
+				if len(prim.Args) == 3 && !prog.Registers[prim.Args[0]] {
+					errf("line %d: register_write of undeclared register %s", prim.Line, prim.Args[0])
+				}
+			case "add_header", "remove_header":
+				if len(prim.Args) == 1 {
+					if _, ok := prog.Instances[prim.Args[0]]; !ok {
+						errf("line %d: %s of undeclared header %s", prim.Line, prim.Name, prim.Args[0])
+					}
+				}
+			case "modify_field_with_hash_based_offset":
+				if len(prim.Args) == 4 {
+					if _, ok := prog.FieldCalcs[prim.Args[2]]; !ok {
+						errf("line %d: hash uses unknown calculation %s", prim.Line, prim.Args[2])
+					}
+				}
+			case "generate_digest":
+				if len(prim.Args) == 2 {
+					if _, ok := prog.FieldLists[prim.Args[1]]; !ok {
+						errf("line %d: generate_digest of undeclared field_list %s", prim.Line, prim.Args[1])
+					}
+				}
+			}
+			// Operand resolution for the simple data-movement primitives.
+			switch prim.Name {
+			case "modify_field", "add", "subtract", "bit_and", "bit_or", "bit_xor",
+				"shift_left", "shift_right", "multiply", "modify_field_conditionally":
+				for _, a := range prim.Args {
+					if isExpr(a) {
+						continue // composite expressions checked lexically only
+					}
+					if !refOK(a, act.Params) {
+						errf("line %d: %s references unknown operand %q", prim.Line, prim.Name, a)
+					}
+				}
+			}
+		}
+	}
+	// Tables: reads resolve, actions declared, size sane.
+	for _, tbl := range prog.Tables {
+		for _, r := range tbl.Reads {
+			if !refOK(r, nil) {
+				errf("line %d: table %s reads unknown field %s", tbl.Line, tbl.Name, r)
+			}
+		}
+		if len(tbl.Actions) == 0 {
+			errf("line %d: table %s has no actions", tbl.Line, tbl.Name)
+		}
+		for _, a := range tbl.Actions {
+			if _, ok := prog.Actions[a]; !ok {
+				errf("line %d: table %s lists undeclared action %s", tbl.Line, tbl.Name, a)
+			}
+		}
+	}
+	// Controls: applied tables exist; each table applied at most once in
+	// the whole program (P4_14 single-apply rule).
+	applied := map[string]int{}
+	for ctrl, steps := range prog.Controls {
+		for _, st := range steps {
+			if _, ok := prog.Tables[st.Table]; !ok {
+				errf("line %d: control %s applies undeclared table %s", st.Line, ctrl, st.Table)
+			}
+			applied[st.Table]++
+			if applied[st.Table] == 2 {
+				errf("line %d: table %s applied more than once", st.Line, st.Table)
+			}
+		}
+	}
+	// Every declared table is applied somewhere.
+	for name, tbl := range prog.Tables {
+		if applied[name] == 0 {
+			errf("line %d: table %s is never applied", tbl.Line, name)
+		}
+	}
+	return errs
+}
+
+func isNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c == 'x' || c == 'X' ||
+			c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+			return false
+		}
+	}
+	return s[0] >= '0' && s[0] <= '9'
+}
+
+// isExpr reports whether an argument is a composite expression (contains
+// spaces or parentheses from operators), which the checker accepts
+// structurally.
+func isExpr(s string) bool {
+	return strings.ContainsAny(s, " ()")
+}

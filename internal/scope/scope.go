@@ -1,0 +1,241 @@
+// Package scope implements the algorithm-scope specification language
+// (§3.3, Figure 7):
+//
+//	int_in:        [ ToR* | PER-SW | - ]
+//	loadbalancer:  [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]
+//
+// Each line binds an algorithm to a region (a set of candidate switches),
+// a deployment mode, and, for MULTI-SW algorithms, the packet-flow
+// direction used to enumerate flow paths.
+package scope
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lyra/internal/topo"
+)
+
+// Deploy is the deployment mode of an algorithm (§3.3).
+type Deploy int
+
+// Deployment modes.
+const (
+	// PerSwitch copies the whole algorithm onto each switch in the region.
+	PerSwitch Deploy = iota
+	// MultiSwitch realizes one logical instance across the region.
+	MultiSwitch
+)
+
+func (d Deploy) String() string {
+	if d == MultiSwitch {
+		return "MULTI-SW"
+	}
+	return "PER-SW"
+}
+
+// Direction is the packet-flow direction of a MULTI-SW algorithm.
+type Direction struct {
+	From []string
+	To   []string
+}
+
+// Scope is one algorithm's placement specification.
+type Scope struct {
+	Alg    string
+	Region []string // patterns: exact names or prefix wildcards
+	Deploy Deploy
+	Direct *Direction // nil unless specified
+}
+
+// Spec is a full scope specification.
+type Spec struct {
+	Scopes []Scope
+}
+
+// Get returns the scope for an algorithm.
+func (s *Spec) Get(alg string) (Scope, bool) {
+	for _, sc := range s.Scopes {
+		if sc.Alg == alg {
+			return sc, true
+		}
+	}
+	return Scope{}, false
+}
+
+// Parse reads a Figure-7-style scope specification. Blank lines and lines
+// starting with '#' are ignored.
+func Parse(text string) (*Spec, error) {
+	spec := &Spec{}
+	seen := map[string]bool{}
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sc, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("scope line %d: %w", lineNo+1, err)
+		}
+		if seen[sc.Alg] {
+			return nil, fmt.Errorf("scope line %d: duplicate algorithm %q", lineNo+1, sc.Alg)
+		}
+		seen[sc.Alg] = true
+		spec.Scopes = append(spec.Scopes, sc)
+	}
+	return spec, nil
+}
+
+func parseLine(line string) (Scope, error) {
+	colon := strings.Index(line, ":")
+	if colon < 0 {
+		return Scope{}, fmt.Errorf("missing ':' in %q", line)
+	}
+	alg := strings.TrimSpace(line[:colon])
+	rest := strings.TrimSpace(line[colon+1:])
+	if !strings.HasPrefix(rest, "[") || !strings.HasSuffix(rest, "]") {
+		return Scope{}, fmt.Errorf("expected [ region | deploy | direct ] in %q", line)
+	}
+	rest = strings.TrimSuffix(strings.TrimPrefix(rest, "["), "]")
+	parts := splitTop(rest, '|')
+	if len(parts) != 3 {
+		return Scope{}, fmt.Errorf("expected three '|'-separated fields, got %d", len(parts))
+	}
+	sc := Scope{Alg: alg}
+	for _, r := range strings.Split(parts[0], ",") {
+		r = strings.TrimSpace(r)
+		if r != "" {
+			sc.Region = append(sc.Region, r)
+		}
+	}
+	if len(sc.Region) == 0 {
+		return Scope{}, fmt.Errorf("empty region")
+	}
+	switch strings.ToUpper(strings.TrimSpace(parts[1])) {
+	case "PER-SW":
+		sc.Deploy = PerSwitch
+	case "MULTI-SW":
+		sc.Deploy = MultiSwitch
+	default:
+		return Scope{}, fmt.Errorf("deploy must be PER-SW or MULTI-SW, got %q", strings.TrimSpace(parts[1]))
+	}
+	direct := strings.TrimSpace(parts[2])
+	if direct != "-" && direct != "" {
+		if !strings.HasPrefix(direct, "(") || !strings.HasSuffix(direct, ")") {
+			return Scope{}, fmt.Errorf("direct must be (from->to) or '-', got %q", direct)
+		}
+		direct = strings.TrimSuffix(strings.TrimPrefix(direct, "("), ")")
+		arrow := strings.Index(direct, "->")
+		if arrow < 0 {
+			return Scope{}, fmt.Errorf("direct missing '->': %q", direct)
+		}
+		d := &Direction{}
+		for _, f := range strings.Split(direct[:arrow], ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				d.From = append(d.From, f)
+			}
+		}
+		for _, t := range strings.Split(direct[arrow+2:], ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				d.To = append(d.To, t)
+			}
+		}
+		if len(d.From) == 0 || len(d.To) == 0 {
+			return Scope{}, fmt.Errorf("direct needs both endpoints: %q", direct)
+		}
+		sc.Direct = d
+	}
+	if sc.Deploy == MultiSwitch && sc.Direct == nil {
+		return Scope{}, fmt.Errorf("MULTI-SW algorithm %q requires a direct field", alg)
+	}
+	return sc, nil
+}
+
+// splitTop splits on sep outside parentheses.
+func splitTop(s string, sep byte) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case sep:
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// Resolved is a scope bound to a concrete network: the candidate switch
+// set and, for MULTI-SW, the enumerated flow paths (§4.3).
+type Resolved struct {
+	Scope
+	Switches []string   // concrete switch names, sorted
+	Paths    [][]string // flow paths within the scope (MULTI-SW only)
+}
+
+// Resolve binds every scope to the network, expanding region patterns and
+// enumerating flow paths.
+func (s *Spec) Resolve(net *topo.Network) (map[string]*Resolved, error) {
+	out := map[string]*Resolved{}
+	for _, sc := range s.Scopes {
+		r := &Resolved{Scope: sc}
+		set := map[string]bool{}
+		for _, pat := range sc.Region {
+			matched := net.Match(pat)
+			if len(matched) == 0 {
+				return nil, fmt.Errorf("scope %s: region pattern %q matches no switch", sc.Alg, pat)
+			}
+			for _, sw := range matched {
+				set[sw.Name] = true
+			}
+		}
+		for name := range set {
+			r.Switches = append(r.Switches, name)
+		}
+		sort.Strings(r.Switches)
+		if sc.Deploy == MultiSwitch {
+			from, err := expand(net, sc.Direct.From)
+			if err != nil {
+				return nil, fmt.Errorf("scope %s: %w", sc.Alg, err)
+			}
+			to, err := expand(net, sc.Direct.To)
+			if err != nil {
+				return nil, fmt.Errorf("scope %s: %w", sc.Alg, err)
+			}
+			r.Paths = net.Paths(from, to, r.Switches)
+			if len(r.Paths) == 0 {
+				return nil, fmt.Errorf("scope %s: no flow path from %v to %v within %v",
+					sc.Alg, sc.Direct.From, sc.Direct.To, r.Switches)
+			}
+		}
+		out[sc.Alg] = r
+	}
+	return out, nil
+}
+
+func expand(net *topo.Network, patterns []string) ([]string, error) {
+	set := map[string]bool{}
+	for _, p := range patterns {
+		ms := net.Match(p)
+		if len(ms) == 0 {
+			return nil, fmt.Errorf("pattern %q matches no switch", p)
+		}
+		for _, m := range ms {
+			set[m.Name] = true
+		}
+	}
+	var out []string
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package scope
+
+import (
+	"strings"
+	"testing"
+
+	"lyra/internal/topo"
+)
+
+const figure7 = `
+# Figure 7 of the paper.
+int_in:       [ ToR* | PER-SW | - ]
+int_transit:  [ Agg* | PER-SW | - ]
+int_out:      [ ToR* | PER-SW | - ]
+loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]
+`
+
+func TestParseFigure7(t *testing.T) {
+	spec, err := Parse(figure7)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(spec.Scopes) != 4 {
+		t.Fatalf("scopes = %d", len(spec.Scopes))
+	}
+	in, ok := spec.Get("int_in")
+	if !ok || in.Deploy != PerSwitch || len(in.Region) != 1 || in.Region[0] != "ToR*" {
+		t.Fatalf("int_in = %+v", in)
+	}
+	lb, _ := spec.Get("loadbalancer")
+	if lb.Deploy != MultiSwitch || lb.Direct == nil {
+		t.Fatalf("lb = %+v", lb)
+	}
+	if strings.Join(lb.Direct.From, ",") != "Agg3,Agg4" || strings.Join(lb.Direct.To, ",") != "ToR3,ToR4" {
+		t.Fatalf("direct = %+v", lb.Direct)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"noBrackets: ToR*",
+		"a: [ToR*|PER-SW]",                 // two fields
+		"a: [ToR*|SOMETIMES|-]",            // bad deploy
+		"a: [|PER-SW|-]",                   // empty region
+		"a: [ToR*|MULTI-SW|-]",             // MULTI-SW without direct
+		"a: [ToR*|MULTI-SW|(x)]",           // direct without arrow
+		"a: [T|PER-SW|-]\na: [T|PER-SW|-]", // duplicate
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestResolveFigure7(t *testing.T) {
+	spec, err := Parse(figure7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := spec.Resolve(topo.Testbed())
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	in := res["int_in"]
+	if strings.Join(in.Switches, ",") != "ToR1,ToR2,ToR3,ToR4" {
+		t.Errorf("int_in switches = %v", in.Switches)
+	}
+	lb := res["loadbalancer"]
+	if len(lb.Paths) != 4 {
+		t.Errorf("lb paths = %v", lb.Paths)
+	}
+	for _, p := range lb.Paths {
+		if !strings.HasPrefix(p[0], "Agg") || !strings.HasPrefix(p[len(p)-1], "ToR") {
+			t.Errorf("path direction wrong: %v", p)
+		}
+	}
+}
+
+func TestResolveUnknownRegion(t *testing.T) {
+	spec, _ := Parse("a: [ Spine* | PER-SW | - ]")
+	if _, err := spec.Resolve(topo.Testbed()); err == nil {
+		t.Fatal("unknown region must fail")
+	}
+}
+
+func TestResolveNoPath(t *testing.T) {
+	// ToR1 and ToR3 are in different pods; within the scope {ToR1, ToR3}
+	// there is no path.
+	spec, _ := Parse("a: [ ToR1,ToR3 | MULTI-SW | (ToR1->ToR3) ]")
+	if _, err := spec.Resolve(topo.Testbed()); err == nil {
+		t.Fatal("no-path must fail")
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	spec, err := Parse("\n# comment\n\nint_in: [ ToR* | PER-SW | - ]\n")
+	if err != nil || len(spec.Scopes) != 1 {
+		t.Fatalf("spec = %+v err = %v", spec, err)
+	}
+}

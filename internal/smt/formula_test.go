@@ -1,0 +1,201 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRequireAndOr(t *testing.T) {
+	s := NewSolver()
+	a, b, c := s.NewBool("a"), s.NewBool("b"), s.NewBool("c")
+	// (a ∧ ¬b) ∨ c, plus ¬c, forces a ∧ ¬b.
+	s.Require(Or(And(Atom(a), Not(Atom(b))), Atom(c)))
+	s.AddClause(c.Not())
+	st, _ := s.Solve()
+	if st != StatusSat {
+		t.Fatal("want sat")
+	}
+	m := s.Model()
+	if !m.Value(a) || m.Value(b) {
+		t.Errorf("a=%v b=%v; want true,false", m.Value(a), m.Value(b))
+	}
+}
+
+func TestRequireXor(t *testing.T) {
+	s := NewSolver()
+	a, b := s.NewBool("a"), s.NewBool("b")
+	s.Require(Xor(Atom(a), Atom(b)))
+	s.AddClause(a)
+	st, _ := s.Solve()
+	if st != StatusSat {
+		t.Fatal("want sat")
+	}
+	if s.Model().Value(b) {
+		t.Error("b must be false when a is true under xor")
+	}
+}
+
+func TestRequireIff(t *testing.T) {
+	s := NewSolver()
+	a, b := s.NewBool("a"), s.NewBool("b")
+	s.Require(Iff(Atom(a), Atom(b)))
+	s.AddClause(a)
+	st, _ := s.Solve()
+	if st != StatusSat {
+		t.Fatal("want sat")
+	}
+	if !s.Model().Value(b) {
+		t.Error("b must mirror a under iff")
+	}
+}
+
+func TestRequireImplies(t *testing.T) {
+	s := NewSolver()
+	a, b := s.NewBool("a"), s.NewBool("b")
+	s.Require(Implies(Atom(a), Atom(b)))
+	s.AddClause(a)
+	st, _ := s.Solve()
+	if st != StatusSat {
+		t.Fatal("want sat")
+	}
+	if !s.Model().Value(b) {
+		t.Error("implication not honored")
+	}
+}
+
+func TestTrueFalseFormulas(t *testing.T) {
+	s := NewSolver()
+	if !s.Require(True()) {
+		t.Fatal("True must be requireable")
+	}
+	st, _ := s.Solve()
+	if st != StatusSat {
+		t.Fatal("want sat")
+	}
+	s2 := NewSolver()
+	s2.Require(False())
+	st, _ = s2.Solve()
+	if st != StatusUnsat {
+		t.Fatal("want unsat after requiring False")
+	}
+}
+
+func TestOrEquals(t *testing.T) {
+	s := NewSolver()
+	a, b := s.NewBool("a"), s.NewBool("b")
+	out, ok := s.OrEquals([]Lit{a, b}, "valid")
+	if !ok {
+		t.Fatal("OrEquals failed")
+	}
+	s.AddClause(a.Not())
+	s.AddClause(b.Not())
+	st, _ := s.Solve()
+	if st != StatusSat {
+		t.Fatal("want sat")
+	}
+	if s.Model().Value(out) {
+		t.Error("out must be false when both inputs are false")
+	}
+}
+
+// randomFormula builds a random formula tree over the given literals and an
+// evaluator mirroring its semantics.
+func randomFormula(rng *rand.Rand, lits []Lit, depth int) (*Formula, func(mask int) bool) {
+	if depth == 0 || rng.Intn(3) == 0 {
+		l := lits[rng.Intn(len(lits))]
+		if rng.Intn(2) == 0 {
+			l = l.Not()
+		}
+		f := Atom(l)
+		return f, func(mask int) bool {
+			v := mask>>int(l.Var())&1 == 1
+			if l.Neg() {
+				v = !v
+			}
+			return v
+		}
+	}
+	switch rng.Intn(5) {
+	case 0: // and
+		n := 2 + rng.Intn(2)
+		subs := make([]*Formula, n)
+		evals := make([]func(int) bool, n)
+		for i := 0; i < n; i++ {
+			subs[i], evals[i] = randomFormula(rng, lits, depth-1)
+		}
+		return And(subs...), func(mask int) bool {
+			for _, e := range evals {
+				if !e(mask) {
+					return false
+				}
+			}
+			return true
+		}
+	case 1: // or
+		n := 2 + rng.Intn(2)
+		subs := make([]*Formula, n)
+		evals := make([]func(int) bool, n)
+		for i := 0; i < n; i++ {
+			subs[i], evals[i] = randomFormula(rng, lits, depth-1)
+		}
+		return Or(subs...), func(mask int) bool {
+			for _, e := range evals {
+				if e(mask) {
+					return true
+				}
+			}
+			return false
+		}
+	case 2: // not
+		sub, e := randomFormula(rng, lits, depth-1)
+		return Not(sub), func(mask int) bool { return !e(mask) }
+	case 3: // xor
+		a, ea := randomFormula(rng, lits, depth-1)
+		b, eb := randomFormula(rng, lits, depth-1)
+		return Xor(a, b), func(mask int) bool { return ea(mask) != eb(mask) }
+	default: // iff
+		a, ea := randomFormula(rng, lits, depth-1)
+		b, eb := randomFormula(rng, lits, depth-1)
+		return Iff(a, b), func(mask int) bool { return ea(mask) == eb(mask) }
+	}
+}
+
+func TestRandomFormulasAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2020))
+	for iter := 0; iter < 200; iter++ {
+		n := 3 + rng.Intn(5)
+		s := NewSolver()
+		lits := make([]Lit, n)
+		for i := range lits {
+			lits[i] = s.NewBool("")
+		}
+		f, eval := randomFormula(rng, lits, 3)
+		s.Require(f)
+		wantSat := false
+		for mask := 0; mask < 1<<n; mask++ {
+			if eval(mask) {
+				wantSat = true
+				break
+			}
+		}
+		st, err := s.Solve()
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if wantSat != (st == StatusSat) {
+			t.Fatalf("iter %d: brute=%v solver=%v", iter, wantSat, st)
+		}
+		if st == StatusSat {
+			m := s.Model()
+			mask := 0
+			for i, l := range lits {
+				if m.Value(l) {
+					mask |= 1 << i
+				}
+			}
+			if !eval(mask) {
+				t.Fatalf("iter %d: model does not satisfy formula", iter)
+			}
+		}
+	}
+}

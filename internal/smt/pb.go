@@ -1,0 +1,263 @@
+package smt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// pbCon is a weighted at-most-k constraint: sum of weights of true literals
+// must not exceed bound. Weights are strictly positive.
+type pbCon struct {
+	lits    []Lit
+	weights []int64
+	bound   int64
+	slack   int64 // bound minus current sum of true-literal weights
+	maxW    int64
+}
+
+type pbRef struct {
+	con *pbCon
+	idx int // index of the literal within the constraint
+}
+
+// AddAtMost adds the pseudo-boolean constraint
+//
+//	Σ weights[i] · lits[i] ≤ bound
+//
+// where a true literal contributes its weight. Zero-weight terms are
+// dropped; negative weights are rejected. Returns false if the constraint is
+// unsatisfiable at the top level.
+func (s *Solver) AddAtMost(lits []Lit, weights []int64, bound int64) bool {
+	if len(lits) != len(weights) {
+		panic("smt: AddAtMost length mismatch")
+	}
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("smt: AddAtMost called during search")
+	}
+	con := &pbCon{bound: bound}
+	var fixed int64
+	for i, l := range lits {
+		w := weights[i]
+		switch {
+		case w < 0:
+			panic(fmt.Sprintf("smt: negative PB weight %d", w))
+		case w == 0:
+			continue
+		}
+		switch s.value(l) {
+		case lTrue:
+			fixed += w
+		case lFalse:
+			// contributes nothing
+		default:
+			con.lits = append(con.lits, l)
+			con.weights = append(con.weights, w)
+		}
+	}
+	con.bound -= fixed
+	if con.bound < 0 {
+		s.ok = false
+		return false
+	}
+	// Literals that cannot fit must be false immediately.
+	remaining := con.lits[:0:0]
+	remW := con.weights[:0:0]
+	for i, l := range con.lits {
+		if con.weights[i] > con.bound {
+			if !s.enqueue(l.Not(), reason{}) {
+				s.ok = false
+				return false
+			}
+			continue
+		}
+		remaining = append(remaining, l)
+		remW = append(remW, con.weights[i])
+	}
+	con.lits, con.weights = remaining, remW
+	if len(con.lits) == 0 {
+		return s.ok
+	}
+	var total int64
+	for i, w := range con.weights {
+		total += w
+		if w > con.maxW {
+			con.maxW = w
+		}
+		_ = i
+	}
+	if total <= con.bound {
+		return true // trivially satisfied
+	}
+	con.slack = con.bound
+	s.pbs = append(s.pbs, con)
+	for i, l := range con.lits {
+		s.pbOfLit[l] = append(s.pbOfLit[l], pbRef{con, i})
+	}
+	s.ok = s.propagate() == nil
+	return s.ok
+}
+
+// AddAtLeast adds Σ weights[i]·lits[i] ≥ bound by negating literals:
+// Σ w·l ≥ b  ⇔  Σ w·(¬l) ≤ Σw − b.
+func (s *Solver) AddAtLeast(lits []Lit, weights []int64, bound int64) bool {
+	neg := make([]Lit, len(lits))
+	var total int64
+	for i, l := range lits {
+		neg[i] = l.Not()
+		total += weights[i]
+	}
+	return s.AddAtMost(neg, weights, total-bound)
+}
+
+// AddExactly adds Σ weights[i]·lits[i] = bound.
+func (s *Solver) AddExactly(lits []Lit, weights []int64, bound int64) bool {
+	if !s.AddAtMost(lits, weights, bound) {
+		return false
+	}
+	return s.AddAtLeast(lits, weights, bound)
+}
+
+// AtMostOne adds a cardinality constraint over unit weights. Small sets use
+// the pairwise encoding, which propagates without PB machinery.
+func (s *Solver) AtMostOne(lits ...Lit) bool {
+	if len(lits) <= 6 {
+		for i := 0; i < len(lits); i++ {
+			for j := i + 1; j < len(lits); j++ {
+				if !s.AddClause(lits[i].Not(), lits[j].Not()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	w := make([]int64, len(lits))
+	for i := range w {
+		w[i] = 1
+	}
+	return s.AddAtMost(lits, w, 1)
+}
+
+// ExactlyOne adds an exactly-one cardinality constraint.
+func (s *Solver) ExactlyOne(lits ...Lit) bool {
+	if !s.AtMostOne(lits...) {
+		return false
+	}
+	return s.AddClause(lits...)
+}
+
+// propagatePBs handles the PB constraints watching the newly-true literal p.
+// Slack was already adjusted when p was enqueued (see Solver.enqueue), so
+// this only detects conflicts and forces literals out.
+func (s *Solver) propagatePBs(p Lit) []Lit {
+	for _, ref := range s.pbOfLit[p] {
+		con := ref.con
+		if con.slack < 0 {
+			return s.pbConflict(con)
+		}
+		if con.slack < con.maxW {
+			if conf := s.pbPropagate(con); conf != nil {
+				return conf
+			}
+		}
+	}
+	return nil
+}
+
+// undoPB restores slack for constraints watching a literal being unassigned.
+// Called with the literal exactly as it appears on the trail (the true form).
+func (s *Solver) undoPB(l Lit) {
+	for _, ref := range s.pbOfLit[l] {
+		ref.con.slack += ref.con.weights[ref.idx]
+	}
+}
+
+// pbConflict builds a conflict clause: not all currently-true literals of
+// the constraint may hold together.
+func (s *Solver) pbConflict(con *pbCon) []Lit {
+	out := make([]Lit, 0, len(con.lits))
+	for _, l := range con.lits {
+		if s.value(l) == lTrue {
+			out = append(out, l.Not())
+		}
+	}
+	return out
+}
+
+// pbPropagate forces to false every unassigned literal whose weight exceeds
+// the remaining slack. The explanation is the set of true literals.
+func (s *Solver) pbPropagate(con *pbCon) []Lit {
+	var expl []Lit
+	for i, l := range con.lits {
+		if con.weights[i] <= con.slack || s.value(l) != lUndef {
+			continue
+		}
+		if expl == nil {
+			expl = make([]Lit, 0, len(con.lits))
+			expl = append(expl, LitUndef) // placeholder for implied literal
+			for _, t := range con.lits {
+				if s.value(t) == lTrue {
+					expl = append(expl, t.Not())
+				}
+			}
+		}
+		r := make([]Lit, len(expl))
+		copy(r, expl)
+		r[0] = l.Not()
+		if !s.enqueue(l.Not(), reason{expl: r}) {
+			// l already true: conflict. Explanation: true lits plus l.
+			conf := append(r[1:len(r):len(r)], l.Not())
+			return conf
+		}
+	}
+	return nil
+}
+
+// Minimize searches for an assignment minimizing Σ weights[i]·lits[i] by
+// iterative strengthening: after each satisfying assignment, a tighter
+// at-most bound is asserted and the search resumes. It returns the best
+// objective value found. If no assignment exists it returns ok=false. When
+// the budget runs out, the best incumbent (if any) is returned along with
+// ErrBudget.
+func (s *Solver) Minimize(lits []Lit, weights []int64) (best int64, ok bool, err error) {
+	st, serr := s.Solve()
+	if st == StatusUnsat {
+		return 0, false, nil
+	}
+	if st != StatusSat {
+		return 0, false, serr
+	}
+	for {
+		m := s.Model()
+		best = 0
+		for i, l := range lits {
+			if m.Value(l) {
+				best += weights[i]
+			}
+		}
+		if best == 0 {
+			return 0, true, nil
+		}
+		if !s.AddAtMost(lits, weights, best-1) {
+			return best, true, nil
+		}
+		st, serr = s.Solve()
+		switch st {
+		case StatusUnsat:
+			// Re-capture: the incumbent model was overwritten? No: Solve only
+			// overwrites the model on success, so the best model is intact.
+			return best, true, nil
+		case StatusUnknown:
+			return best, true, serr
+		}
+	}
+}
+
+// sortedCopy returns lits sorted by variable for stable diagnostics.
+func sortedCopy(lits []Lit) []Lit {
+	out := append([]Lit(nil), lits...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

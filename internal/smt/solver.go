@@ -1,0 +1,766 @@
+package smt
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Status is the result of a Solve call.
+type Status int
+
+const (
+	// StatusUnknown means the solver gave up (budget exhausted).
+	StatusUnknown Status = iota
+	// StatusSat means a satisfying assignment was found.
+	StatusSat
+	// StatusUnsat means the constraints are contradictory.
+	StatusUnsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusSat:
+		return "sat"
+	case StatusUnsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// ErrBudget is returned by Solve when the conflict or time budget runs out
+// before a verdict is reached.
+var ErrBudget = errors.New("smt: solve budget exhausted")
+
+// Theory receives the solver's complete boolean assignments and may veto
+// them, in the style of DPLL(T). Check is invoked only on full assignments;
+// if the assignment is theory-inconsistent, Check returns a non-empty
+// conflict clause that is falsified by the current assignment. The solver
+// learns the clause and resumes search.
+type Theory interface {
+	Check(m *Model) (conflict []Lit)
+}
+
+// Stats aggregates search statistics for one Solver lifetime.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learned      int64
+	TheoryChecks int64
+	TheoryFails  int64
+}
+
+type clause struct {
+	lits    []Lit
+	learnt  bool
+	act     float64
+	deleted bool
+}
+
+// reason records why a variable was assigned: by a clause, a pseudo-boolean
+// constraint (with a materialized explanation), or a decision (nil).
+type reason struct {
+	c    *clause
+	expl []Lit // explanation clause for PB/theory propagations; implied lit first
+}
+
+// Solver is a CDCL SAT solver with pseudo-boolean constraints and theory
+// plugins. The zero value is not usable; call NewSolver.
+type Solver struct {
+	names    []string
+	assigns  []lbool
+	levels   []int32
+	reasons  []reason
+	activity []float64
+	phase    []bool
+	seen     []bool
+
+	clauses []*clause
+	learnts []*clause
+	watches [][]watch // indexed by Lit
+
+	pbs      []*pbCon
+	pbOfLit  [][]pbRef // pb constraints watching each literal
+	theories []Theory
+
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	varInc   float64
+	claInc   float64
+	order    varHeap
+	ok       bool // false once a top-level contradiction is found
+	stats    Stats
+	model    []lbool // last satisfying assignment
+	maxLearn int
+
+	// Budget limits, applied per Solve call.
+	ConflictBudget int64
+	TimeBudget     time.Duration
+}
+
+type watch struct {
+	c       *clause
+	blocker Lit
+}
+
+// NewSolver returns an empty solver.
+func NewSolver() *Solver {
+	s := &Solver{
+		varInc:         1,
+		claInc:         1,
+		ok:             true,
+		maxLearn:       4000,
+		ConflictBudget: 5_000_000,
+	}
+	s.order.s = s
+	return s
+}
+
+// NumVars returns the number of boolean variables created so far.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// Stats returns a copy of the accumulated search statistics.
+func (s *Solver) Statistics() Stats { return s.stats }
+
+// NewBool creates a fresh boolean variable and returns its positive literal.
+// The name is retained for diagnostics only and need not be unique.
+func (s *Solver) NewBool(name string) Lit {
+	v := Var(len(s.assigns))
+	s.names = append(s.names, name)
+	s.assigns = append(s.assigns, lUndef)
+	s.levels = append(s.levels, 0)
+	s.reasons = append(s.reasons, reason{})
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.pbOfLit = append(s.pbOfLit, nil, nil)
+	s.order.push(v)
+	return PosLit(v)
+}
+
+// Name returns the diagnostic name of the variable underlying l.
+func (s *Solver) Name(l Lit) string {
+	v := l.Var()
+	if int(v) < len(s.names) && s.names[v] != "" {
+		if l.Neg() {
+			return "~" + s.names[v]
+		}
+		return s.names[v]
+	}
+	return l.String()
+}
+
+// AddTheory registers a theory plugin consulted on full assignments.
+func (s *Solver) AddTheory(t Theory) { s.theories = append(s.theories, t) }
+
+func (s *Solver) value(l Lit) lbool { return litValue(s.assigns[l.Var()], l) }
+
+// AddClause adds a disjunction of literals. Returns false if the clause makes
+// the problem trivially unsatisfiable at the top level.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("smt: AddClause called during search")
+	}
+	// Simplify: drop false/duplicate literals, detect tautology.
+	out := lits[:0:0]
+	for _, l := range lits {
+		switch s.value(l) {
+		case lTrue:
+			return true
+		case lFalse:
+			continue
+		}
+		dup, taut := false, false
+		for _, o := range out {
+			if o == l {
+				dup = true
+			}
+			if o == l.Not() {
+				taut = true
+			}
+		}
+		if taut {
+			return true
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(out[0], reason{}) {
+			s.ok = false
+			return false
+		}
+		s.ok = s.propagate() == nil
+		return s.ok
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watch{c, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watch{c, c.lits[0]})
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// enqueue assigns literal l to true with the given reason. Returns false on
+// immediate conflict with an existing assignment.
+func (s *Solver) enqueue(l Lit, r reason) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.levels[v] = int32(s.decisionLevel())
+	s.reasons[v] = r
+	s.trail = append(s.trail, l)
+	// Keep PB slacks in sync with the trail so backtracking restores them
+	// symmetrically.
+	for _, ref := range s.pbOfLit[l] {
+		ref.con.slack -= ref.con.weights[ref.idx]
+	}
+	return true
+}
+
+// propagate performs unit propagation over clauses and PB constraints.
+// It returns a conflicting explanation (all-false clause) or nil.
+func (s *Solver) propagate() []Lit {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+		if conf := s.propagateClauses(p); conf != nil {
+			return conf
+		}
+		if conf := s.propagatePBs(p); conf != nil {
+			return conf
+		}
+	}
+	return nil
+}
+
+func (s *Solver) propagateClauses(p Lit) []Lit {
+	ws := s.watches[p]
+	kept := ws[:0]
+	for i := 0; i < len(ws); i++ {
+		w := ws[i]
+		if s.value(w.blocker) == lTrue {
+			kept = append(kept, w)
+			continue
+		}
+		c := w.c
+		if c.deleted {
+			continue
+		}
+		// Ensure the false literal is lits[1].
+		if c.lits[0] == p.Not() {
+			c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+		}
+		first := c.lits[0]
+		if first != w.blocker && s.value(first) == lTrue {
+			kept = append(kept, watch{c, first})
+			continue
+		}
+		// Look for a new watch.
+		found := false
+		for k := 2; k < len(c.lits); k++ {
+			if s.value(c.lits[k]) != lFalse {
+				c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+				s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watch{c, first})
+				found = true
+				break
+			}
+		}
+		if found {
+			continue
+		}
+		// Clause is unit or conflicting.
+		kept = append(kept, w)
+		if s.value(first) == lFalse {
+			// Conflict: copy remaining watches and bail.
+			kept = append(kept, ws[i+1:]...)
+			s.watches[p] = kept
+			return c.lits
+		}
+		if !s.enqueue(first, reason{c: c}) {
+			panic("smt: enqueue failed after value check")
+		}
+	}
+	s.watches[p] = kept
+	return nil
+}
+
+// backtrack undoes all assignments above the given decision level.
+func (s *Solver) backtrack(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.phase[v] = s.assigns[v] == lTrue
+		s.assigns[v] = lUndef
+		s.reasons[v] = reason{}
+		s.order.pushIfAbsent(v)
+		s.undoPB(l)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) decayActivities() {
+	s.varInc /= 0.95
+	s.claInc /= 0.999
+}
+
+// analyze performs 1-UIP conflict analysis. It returns the learned clause
+// (asserting literal first) and the backjump level.
+func (s *Solver) analyze(conf []Lit) ([]Lit, int) {
+	learnt := []Lit{LitUndef}
+	counter := 0
+	p := LitUndef
+	idx := len(s.trail) - 1
+	curLevel := s.decisionLevel()
+	reasonLits := conf
+
+	cleanup := []Var{}
+	for {
+		for _, q := range reasonLits {
+			if p != LitUndef && q == p {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v] || s.levels[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			cleanup = append(cleanup, v)
+			s.bumpVar(v)
+			if int(s.levels[v]) >= curLevel {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find next literal on the trail marked seen.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		counter--
+		if counter == 0 {
+			break
+		}
+		r := s.reasons[p.Var()]
+		switch {
+		case r.c != nil:
+			reasonLits = r.c.lits
+			if r.c.learnt {
+				s.bumpClause(r.c)
+			}
+		case r.expl != nil:
+			reasonLits = r.expl
+		default:
+			// Decision reached before counter hit zero; should not happen
+			// with 1-UIP, but guard anyway.
+			reasonLits = nil
+		}
+	}
+	learnt[0] = p.Not()
+	for _, v := range cleanup {
+		s.seen[v] = false
+	}
+	// Compute backjump level: second-highest level in learnt clause.
+	bj := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.levels[learnt[i].Var()] > s.levels[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		bj = int(s.levels[learnt[1].Var()])
+	}
+	return learnt, bj
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e100 {
+		for _, lc := range s.learnts {
+			lc.act *= 1e-100
+		}
+		s.claInc *= 1e-100
+	}
+}
+
+func (s *Solver) record(learnt []Lit) {
+	s.stats.Learned++
+	if len(learnt) == 1 {
+		if !s.enqueue(learnt[0], reason{}) {
+			s.ok = false
+		}
+		return
+	}
+	c := &clause{lits: learnt, learnt: true, act: s.claInc}
+	s.learnts = append(s.learnts, c)
+	s.attach(c)
+	if !s.enqueue(learnt[0], reason{c: c}) {
+		panic("smt: asserting literal already false after backjump")
+	}
+}
+
+// reduceLearnts discards half of the learned clauses with lowest activity.
+func (s *Solver) reduceLearnts() {
+	if len(s.learnts) < s.maxLearn {
+		return
+	}
+	// Partial selection: keep the more active half and locked clauses.
+	med := medianAct(s.learnts)
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if c.act >= med && len(c.lits) > 2 || s.locked(c) || len(c.lits) <= 2 {
+			kept = append(kept, c)
+		} else {
+			c.deleted = true
+		}
+	}
+	s.learnts = kept
+	if len(s.learnts) >= s.maxLearn {
+		s.maxLearn = len(s.learnts) + s.maxLearn/2
+	}
+}
+
+func (s *Solver) locked(c *clause) bool {
+	l := c.lits[0]
+	return s.value(l) == lTrue && s.reasons[l.Var()].c == c
+}
+
+func medianAct(cs []*clause) float64 {
+	if len(cs) == 0 {
+		return 0
+	}
+	// Approximate median by sampling; exact ordering is unnecessary.
+	var sum float64
+	for _, c := range cs {
+		sum += c.act
+	}
+	return sum / float64(len(cs))
+}
+
+// pickBranch selects the next decision literal, or LitUndef if all variables
+// are assigned.
+func (s *Solver) pickBranch() Lit {
+	for s.order.size() > 0 {
+		v := s.order.pop()
+		if s.assigns[v] == lUndef {
+			if s.phase[v] {
+				return PosLit(v)
+			}
+			return NegLit(v)
+		}
+	}
+	return LitUndef
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		p := int64(1) << k
+		if i == p-1 {
+			return p / 2
+		}
+		if i < p-1 {
+			return luby(i - p/2 + 1)
+		}
+	}
+}
+
+// Solve searches for a satisfying assignment.
+func (s *Solver) Solve() (Status, error) {
+	if !s.ok {
+		return StatusUnsat, nil
+	}
+	deadline := time.Time{}
+	if s.TimeBudget > 0 {
+		deadline = time.Now().Add(s.TimeBudget)
+	}
+	conflictsAtStart := s.stats.Conflicts
+	restartNum := int64(0)
+
+	defer s.backtrack(0)
+
+	for {
+		restartNum++
+		limit := luby(restartNum) * 128
+		st, err := s.search(limit, deadline, conflictsAtStart)
+		if err != nil || st != StatusUnknown {
+			return st, err
+		}
+		s.stats.Restarts++
+		s.backtrack(0)
+	}
+}
+
+func (s *Solver) search(conflictLimit int64, deadline time.Time, confStart int64) (Status, error) {
+	var nConf int64
+	for {
+		conf := s.propagate()
+		if conf != nil {
+			s.stats.Conflicts++
+			nConf++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return StatusUnsat, nil
+			}
+			learnt, bj := s.analyze(conf)
+			s.backtrack(bj)
+			s.record(learnt)
+			if !s.ok {
+				return StatusUnsat, nil
+			}
+			s.decayActivities()
+			if s.ConflictBudget > 0 && s.stats.Conflicts-confStart > s.ConflictBudget {
+				return StatusUnknown, fmt.Errorf("%w: %d conflicts", ErrBudget, s.stats.Conflicts-confStart)
+			}
+			if nConf >= conflictLimit {
+				return StatusUnknown, nil // restart
+			}
+			continue
+		}
+		if !deadline.IsZero() && s.stats.Conflicts%256 == 0 && time.Now().After(deadline) {
+			return StatusUnknown, fmt.Errorf("%w: time budget", ErrBudget)
+		}
+		s.reduceLearnts()
+		next := s.pickBranch()
+		if next == LitUndef {
+			// Full assignment: consult theories.
+			if conflict := s.theoryCheck(); conflict != nil {
+				s.stats.Conflicts++
+				nConf++
+				if s.decisionLevel() == 0 {
+					s.ok = false
+					return StatusUnsat, nil
+				}
+				lv := s.maxFalseLevel(conflict)
+				if lv == 0 {
+					s.ok = false
+					return StatusUnsat, nil
+				}
+				if lv >= s.decisionLevel() {
+					learnt, bj := s.analyze(conflict)
+					s.backtrack(bj)
+					s.record(learnt)
+				} else {
+					c := &clause{lits: append([]Lit(nil), conflict...)}
+					s.clauses = append(s.clauses, c)
+					s.backtrack(lv - 1)
+					s.attach(c)
+				}
+				if !s.ok {
+					return StatusUnsat, nil
+				}
+				continue
+			}
+			s.captureModel()
+			return StatusSat, nil
+		}
+		s.stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(next, reason{})
+	}
+}
+
+// maxFalseLevel returns the highest decision level among the (false) literals
+// of a theory conflict clause, reordering the clause so its two
+// highest-level literals come first (watchable after backtrack).
+func (s *Solver) maxFalseLevel(conflict []Lit) int {
+	for i := range conflict {
+		for j := i + 1; j < len(conflict); j++ {
+			if s.levels[conflict[j].Var()] > s.levels[conflict[i].Var()] {
+				conflict[i], conflict[j] = conflict[j], conflict[i]
+			}
+		}
+		if i == 1 {
+			break
+		}
+	}
+	return int(s.levels[conflict[0].Var()])
+}
+
+func (s *Solver) theoryCheck() []Lit {
+	if len(s.theories) == 0 {
+		return nil
+	}
+	s.stats.TheoryChecks++
+	m := s.snapshotModel()
+	for _, t := range s.theories {
+		if conflict := t.Check(m); len(conflict) > 0 {
+			s.stats.TheoryFails++
+			// Sanity: the clause must be falsified by the current assignment.
+			for _, l := range conflict {
+				if s.value(l) != lFalse {
+					panic(fmt.Sprintf("smt: theory conflict clause not falsified: %s", s.Name(l)))
+				}
+			}
+			return conflict
+		}
+	}
+	return nil
+}
+
+func (s *Solver) snapshotModel() *Model {
+	vals := make([]lbool, len(s.assigns))
+	copy(vals, s.assigns)
+	return &Model{vals: vals, names: s.names}
+}
+
+func (s *Solver) captureModel() {
+	s.model = make([]lbool, len(s.assigns))
+	copy(s.model, s.assigns)
+}
+
+// Model returns the satisfying assignment found by the last successful
+// Solve. It returns nil if no model is available.
+func (s *Solver) Model() *Model {
+	if s.model == nil {
+		return nil
+	}
+	return &Model{vals: s.model, names: s.names}
+}
+
+// Model is an immutable boolean assignment.
+type Model struct {
+	vals  []lbool
+	names []string
+}
+
+// Value reports whether literal l is true in the model. Unassigned variables
+// (possible only in partial snapshots) read as false.
+func (m *Model) Value(l Lit) bool {
+	v := l.Var()
+	if int(v) >= len(m.vals) {
+		return false
+	}
+	return litValue(m.vals[v], l) == lTrue
+}
+
+// varHeap is an activity-ordered max-heap of variables with lazy deletion.
+type varHeap struct {
+	s     *Solver
+	heap  []Var
+	index []int32 // position+1 in heap; 0 = absent
+}
+
+func (h *varHeap) size() int { return len(h.heap) }
+
+func (h *varHeap) less(a, b Var) bool { return h.s.activity[a] > h.s.activity[b] }
+
+func (h *varHeap) push(v Var) {
+	for int(v) >= len(h.index) {
+		h.index = append(h.index, 0)
+	}
+	if h.index[v] != 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.index[v] = int32(len(h.heap))
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pushIfAbsent(v Var) { h.push(v) }
+
+func (h *varHeap) pop() Var {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.index[h.heap[0]] = 1
+	h.heap = h.heap[:last]
+	h.index[v] = 0
+	if last > 0 {
+		h.down(0)
+	}
+	return v
+}
+
+func (h *varHeap) update(v Var) {
+	if int(v) >= len(h.index) || h.index[v] == 0 {
+		return
+	}
+	h.up(int(h.index[v]) - 1)
+}
+
+func (h *varHeap) up(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.index[h.heap[i]] = int32(i + 1)
+		i = p
+	}
+	h.heap[i] = v
+	h.index[v] = int32(i + 1)
+}
+
+func (h *varHeap) down(i int) {
+	v := h.heap[i]
+	n := len(h.heap)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && h.less(h.heap[c+1], h.heap[c]) {
+			c++
+		}
+		if !h.less(h.heap[c], v) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.index[h.heap[i]] = int32(i + 1)
+		i = c
+	}
+	h.heap[i] = v
+	h.index[v] = int32(i + 1)
+}

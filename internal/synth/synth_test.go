@@ -1,0 +1,366 @@
+package synth
+
+import (
+	"testing"
+
+	"lyra/internal/frontend"
+	"lyra/internal/ir"
+	"lyra/internal/lang/checker"
+	"lyra/internal/lang/parser"
+)
+
+func lower(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := parser.Parse("test.lyra", []byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := checker.Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	irp, err := frontend.Preprocess(prog)
+	if err != nil {
+		t.Fatalf("preprocess: %v", err)
+	}
+	frontend.Analyze(irp)
+	return irp
+}
+
+// flowFilter is the Figure 2 program: enable INT when either the source or
+// destination IP is on a watch list.
+const flowFilter = `
+header_type ipv4_t { bit[32] src_ip; bit[32] dst_ip; }
+header ipv4_t ipv4;
+algorithm int_filter {
+  extern list<bit[32] ip>[1024] check_src;
+  extern list<bit[32] ip>[1024] check_dst;
+  if (ipv4.src_ip in check_src) { enable_int = 1; }
+  if (ipv4.dst_ip in check_dst) { enable_int = 1; }
+}
+`
+
+// flowFilterShared is the same logic against a single watch list — the NPL
+// multi-lookup case (Figure 2 right).
+const flowFilterShared = `
+header_type ipv4_t { bit[32] src_ip; bit[32] dst_ip; }
+header ipv4_t ipv4;
+algorithm int_filter {
+  extern list<bit[32] ip>[1024] check_ip;
+  if (ipv4.src_ip in check_ip) { enable_int = 1; }
+  if (ipv4.dst_ip in check_ip) { enable_int = 1; }
+}
+`
+
+func TestFigure2P4TwoTables(t *testing.T) {
+	irp := lower(t, flowFilter)
+	res := SynthesizeP4(irp, irp.Algorithm("int_filter"))
+	externTables := 0
+	for _, tb := range res.Tables {
+		if tb.Kind == MatchExtern {
+			externTables++
+		}
+	}
+	if externTables != 2 {
+		t.Fatalf("P4 must synthesize 2 match tables, got %d:\n%s", externTables, res)
+	}
+}
+
+func TestFigure2NPLOneLogicalTableTwoLookups(t *testing.T) {
+	irp := lower(t, flowFilterShared)
+	res := SynthesizeNPL(irp, irp.Algorithm("int_filter"))
+	var ext *Table
+	for _, tb := range res.Tables {
+		if tb.Kind == MatchExtern {
+			if ext != nil {
+				t.Fatalf("NPL must merge into one logical table:\n%s", res)
+			}
+			ext = tb
+		}
+	}
+	if ext == nil || ext.Lookups != 2 {
+		t.Fatalf("logical table lookups = %v:\n%s", ext, res)
+	}
+}
+
+func TestHitActionFolding(t *testing.T) {
+	// §5.2: the guarded lookup folds into the membership table as an
+	// on-hit action, producing a single P4 table (the stateful LB pattern).
+	src := `
+header_type ipv4_t { bit[32] srcAddr; bit[32] dstAddr; }
+header ipv4_t ipv4;
+algorithm lb {
+  extern dict<bit[32] hash, bit[32] ip>[1024] conn_table;
+  bit[32] hash;
+  hash = crc32_hash(ipv4.srcAddr, ipv4.dstAddr);
+  if (hash in conn_table) {
+    ipv4.dstAddr = conn_table[hash];
+  }
+}`
+	irp := lower(t, src)
+	res := SynthesizeP4(irp, irp.Algorithm("lb"))
+	var connTables []*Table
+	for _, tb := range res.Tables {
+		if tb.Kind == MatchExtern && tb.Extern.Name == "conn_table" {
+			connTables = append(connTables, tb)
+		}
+	}
+	if len(connTables) != 1 {
+		t.Fatalf("conn_table should synthesize one table, got %d:\n%s", len(connTables), res)
+	}
+	tb := connTables[0]
+	hitActions := 0
+	for _, a := range tb.Actions {
+		if a.OnHit {
+			hitActions++
+		}
+	}
+	if hitActions == 0 {
+		t.Fatalf("folded hit action missing:\n%s", res)
+	}
+}
+
+func TestMutuallyExclusiveMerge(t *testing.T) {
+	// §7.1 NetCache case: two exclusive branches with no match fields merge
+	// into one table with two actions.
+	src := `
+header_type nc_t { bit[8] op; }
+header nc_t nc_hdr;
+algorithm netcache {
+  if (nc_hdr.op == 1) {
+    cache_valid = 1;
+  } else {
+    cache_valid = 0;
+  }
+}`
+	irp := lower(t, src)
+	res := SynthesizeP4(irp, irp.Algorithm("netcache"))
+	// Count tables holding the two exclusive assignments.
+	var holder *Table
+	n := 0
+	for _, tb := range res.Tables {
+		for _, a := range tb.Actions {
+			for _, in := range a.Instrs {
+				if in.Op == ir.IAssign && in.WritesVar() != nil && in.WritesVar().Name == "cache_valid" {
+					if holder != tb {
+						holder = tb
+						n++
+					}
+				}
+			}
+		}
+	}
+	if n != 1 {
+		t.Fatalf("exclusive branches must merge into 1 table, got %d:\n%s", n, res)
+	}
+	if len(holder.Actions) < 2 {
+		t.Fatalf("merged table needs >=2 actions:\n%s", res)
+	}
+}
+
+func TestTableDependencies(t *testing.T) {
+	src := `
+algorithm a {
+  extern dict<bit[32] k, bit[32] v>[64] t1;
+  extern dict<bit[32] k, bit[32] v>[64] t2;
+  bit[32] x;
+  x = t1[5];
+  y = t2[x];
+}`
+	irp := lower(t, src)
+	res := SynthesizeP4(irp, irp.Algorithm("a"))
+	var tb1, tb2 *Table
+	for _, tb := range res.Tables {
+		if tb.Kind == MatchExtern {
+			switch tb.Extern.Name {
+			case "t1":
+				tb1 = tb
+			case "t2":
+				tb2 = tb
+			}
+		}
+	}
+	if tb1 == nil || tb2 == nil {
+		t.Fatalf("missing tables:\n%s", res)
+	}
+	found := false
+	for _, d := range tb2.Deps {
+		if d == tb1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("t2 must depend on t1:\n%s", res)
+	}
+}
+
+func TestStatefulTables(t *testing.T) {
+	src := `
+algorithm a {
+  global bit[32][64] counter;
+  counter[1] = counter[1] + 1;
+}`
+	irp := lower(t, src)
+	res := SynthesizeP4(irp, irp.Algorithm("a"))
+	if res.Registers != 1 {
+		t.Fatalf("registers = %d:\n%s", res.Registers, res)
+	}
+	stateful := false
+	for _, tb := range res.Tables {
+		if tb.Stateful {
+			stateful = true
+		}
+	}
+	if !stateful {
+		t.Fatalf("no stateful table:\n%s", res)
+	}
+}
+
+func TestEntriesAndWidths(t *testing.T) {
+	src := `
+algorithm a {
+  extern dict<bit[32] vip, bit[8] group>[1024] vip_table;
+  if (x in vip_table) { g = vip_table[x]; }
+}`
+	irp := lower(t, src)
+	res := SynthesizeP4(irp, irp.Algorithm("a"))
+	var ext *Table
+	for _, tb := range res.Tables {
+		if tb.Kind == MatchExtern {
+			ext = tb
+		}
+	}
+	if ext == nil {
+		t.Fatal("missing extern table")
+	}
+	if ext.Entries() != 1024 || ext.MatchBits() != 32 || ext.ActionBits() != 8 {
+		t.Fatalf("entries=%d match=%d action=%d", ext.Entries(), ext.MatchBits(), ext.ActionBits())
+	}
+}
+
+func TestNPLFunctionBlock(t *testing.T) {
+	src := `
+algorithm a {
+  x = 1;
+  y = x + 2;
+}`
+	irp := lower(t, src)
+	res := SynthesizeNPL(irp, irp.Algorithm("a"))
+	if len(res.Tables) != 1 || res.Tables[0].Kind != MatchNone {
+		t.Fatalf("pure compute should be one function block:\n%s", res)
+	}
+	if res.LongestPath != 2 {
+		t.Errorf("longest path = %d, want 2", res.LongestPath)
+	}
+}
+
+func TestP4FewerTablesThanInstrs(t *testing.T) {
+	// Sanity: synthesis groups instructions; table count must be below
+	// instruction count for a realistic program.
+	src := `
+header_type h_t { bit[32] a; bit[32] b; }
+header h_t h;
+algorithm alg {
+  bit[32] x;
+  x = h.a + 1;
+  x = x & 255;
+  h.b = x;
+  if (h.a == 5) {
+    h.b = 0;
+    y = 1;
+  }
+}`
+	irp := lower(t, src)
+	res := SynthesizeP4(irp, irp.Algorithm("alg"))
+	if len(res.Tables) >= len(irp.Algorithm("alg").Instrs) {
+		t.Fatalf("tables (%d) not fewer than instructions (%d):\n%s",
+			len(res.Tables), len(irp.Algorithm("alg").Instrs), res)
+	}
+	// Every instruction is owned by exactly one table.
+	owned := map[int]int{}
+	for _, tb := range res.Tables {
+		for _, in := range tb.Instrs() {
+			owned[in.ID]++
+		}
+	}
+	for _, in := range irp.Algorithm("alg").Instrs {
+		if owned[in.ID] != 1 {
+			t.Errorf("instr %d owned %d times", in.ID, owned[in.ID])
+		}
+	}
+}
+
+func TestSynthesisOptions(t *testing.T) {
+	// NoMerge and NoAbsorb must each yield at least as many tables as the
+	// fully optimized synthesis, and the instruction ownership invariant
+	// must hold under every configuration.
+	src := `
+header_type nc_t { bit[8] op; bit[32] key; }
+header nc_t nc;
+algorithm a {
+  extern dict<bit[32] k, bit[32] v>[64] cache;
+  if (nc.op == 1) {
+    x = 1;
+  }
+  if (nc.op == 2) {
+    x = 2;
+  }
+  if (nc.key in cache) {
+    nc.key = cache[nc.key];
+  }
+}`
+	irp := lower(t, src)
+	alg := irp.Algorithm("a")
+	full := SynthesizeP4With(irp, alg, Options{})
+	noMerge := SynthesizeP4With(irp, alg, Options{NoMerge: true})
+	noAbsorb := SynthesizeP4With(irp, alg, Options{NoAbsorb: true})
+	if len(noMerge.Tables) < len(full.Tables) {
+		t.Errorf("NoMerge tables %d < optimized %d", len(noMerge.Tables), len(full.Tables))
+	}
+	if len(noAbsorb.Tables) < len(full.Tables) {
+		t.Errorf("NoAbsorb tables %d < optimized %d", len(noAbsorb.Tables), len(full.Tables))
+	}
+	for name, res := range map[string]*Result{"full": full, "noMerge": noMerge, "noAbsorb": noAbsorb} {
+		owned := map[int]int{}
+		for _, tb := range res.Tables {
+			for _, in := range tb.Instrs() {
+				owned[in.ID]++
+			}
+		}
+		for _, in := range alg.Instrs {
+			if owned[in.ID] != 1 {
+				t.Errorf("%s: instr %d owned %d times:\n%s", name, in.ID, owned[in.ID], res)
+			}
+		}
+	}
+	// The optimized version merges the exclusive op==1/op==2 branches into
+	// one table matching nc.op (two actions).
+	for _, tb := range full.Tables {
+		if len(tb.FieldPreds) > 0 && len(tb.Actions) >= 2 {
+			return
+		}
+	}
+	t.Errorf("expected a field-matched merged table:\n%s", full)
+}
+
+func TestAbsorbedEntriesAndWidths(t *testing.T) {
+	src := `
+header_type h_t { bit[8] op; }
+header h_t h;
+algorithm a {
+  if (h.op == 1) { x = 1; }
+}`
+	irp := lower(t, src)
+	res := SynthesizeP4(irp, irp.Algorithm("a"))
+	for _, tb := range res.Tables {
+		if tb.Kind == MatchPredicate && len(tb.FieldPreds) == 1 {
+			if tb.MatchBits() != 8 {
+				t.Errorf("match bits = %d, want the field's 8", tb.MatchBits())
+			}
+			if tb.Entries() < 2 {
+				t.Errorf("entries = %d", tb.Entries())
+			}
+			return
+		}
+	}
+	t.Fatalf("no absorbed predicate table:\n%s", res)
+}

@@ -1,0 +1,205 @@
+// Package topo models the target data-center network: switches with their
+// ASIC models, links, and flow-path enumeration within algorithm scopes
+// (§4.3 "Deployment constraints generation").
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lyra/internal/asic"
+)
+
+// Switch is one network device.
+type Switch struct {
+	Name  string
+	Layer string // "ToR", "Agg", "Core" (free-form)
+	ASIC  *asic.Model
+}
+
+// Network is the topology plus per-switch configuration.
+type Network struct {
+	Switches []*Switch
+	adj      map[string]map[string]bool
+	byName   map[string]*Switch
+}
+
+// New creates an empty network.
+func New() *Network {
+	return &Network{adj: map[string]map[string]bool{}, byName: map[string]*Switch{}}
+}
+
+// AddSwitch registers a switch; duplicate names are rejected.
+func (n *Network) AddSwitch(name, layer string, model *asic.Model) (*Switch, error) {
+	if _, dup := n.byName[name]; dup {
+		return nil, fmt.Errorf("topo: duplicate switch %q", name)
+	}
+	s := &Switch{Name: name, Layer: layer, ASIC: model}
+	n.Switches = append(n.Switches, s)
+	n.byName[name] = s
+	n.adj[name] = map[string]bool{}
+	return s, nil
+}
+
+// AddLink connects two switches bidirectionally.
+func (n *Network) AddLink(a, b string) error {
+	if _, ok := n.byName[a]; !ok {
+		return fmt.Errorf("topo: unknown switch %q", a)
+	}
+	if _, ok := n.byName[b]; !ok {
+		return fmt.Errorf("topo: unknown switch %q", b)
+	}
+	n.adj[a][b] = true
+	n.adj[b][a] = true
+	return nil
+}
+
+// Switch returns a switch by name.
+func (n *Network) Switch(name string) *Switch { return n.byName[name] }
+
+// Neighbors returns the sorted neighbor names of a switch.
+func (n *Network) Neighbors(name string) []string {
+	var out []string
+	for nb := range n.adj[name] {
+		out = append(out, nb)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Match returns the switches whose names match a region pattern. Patterns
+// are either exact names ("Agg3") or a prefix wildcard ("ToR*", §3.3).
+func (n *Network) Match(pattern string) []*Switch {
+	var out []*Switch
+	if strings.HasSuffix(pattern, "*") {
+		prefix := strings.TrimSuffix(pattern, "*")
+		for _, s := range n.Switches {
+			if strings.HasPrefix(s.Name, prefix) || s.Layer == prefix {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	if s := n.byName[pattern]; s != nil {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Paths enumerates all simple paths from any switch in from to any switch
+// in to, restricted to the switches in within (the algorithm scope). Paths
+// are returned in deterministic order. A nil within allows all switches.
+func (n *Network) Paths(from, to []string, within []string) [][]string {
+	allowed := map[string]bool{}
+	if within == nil {
+		for name := range n.byName {
+			allowed[name] = true
+		}
+	} else {
+		for _, w := range within {
+			allowed[w] = true
+		}
+	}
+	targets := map[string]bool{}
+	for _, t := range to {
+		targets[t] = true
+	}
+	var paths [][]string
+	var dfs func(cur string, visited map[string]bool, path []string)
+	dfs = func(cur string, visited map[string]bool, path []string) {
+		if targets[cur] {
+			paths = append(paths, append([]string(nil), path...))
+			return
+		}
+		for _, nb := range n.Neighbors(cur) {
+			if visited[nb] || !allowed[nb] {
+				continue
+			}
+			visited[nb] = true
+			dfs(nb, visited, append(path, nb))
+			visited[nb] = false
+		}
+	}
+	starts := append([]string(nil), from...)
+	sort.Strings(starts)
+	for _, s := range starts {
+		if !allowed[s] {
+			continue
+		}
+		dfs(s, map[string]bool{s: true}, []string{s})
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		return strings.Join(paths[i], ">") < strings.Join(paths[j], ">")
+	})
+	return paths
+}
+
+// Testbed builds the paper's evaluation network (§7): a fat-tree testbed
+// with four ToR switches (Tofino), four Agg switches (Trident-4), and two
+// Core switches (Tofino). ToR1/ToR2 and Agg1/Agg2 form pod 1; ToR3/ToR4
+// and Agg3/Agg4 form pod 2; all Aggs uplink to both cores. ToR2 is a
+// Tofino-64Q (fewer MAUs, §2.1); the rest are Tofino-32Q.
+func Testbed() *Network {
+	n := New()
+	tors := []string{"ToR1", "ToR2", "ToR3", "ToR4"}
+	aggs := []string{"Agg1", "Agg2", "Agg3", "Agg4"}
+	cores := []string{"Core1", "Core2"}
+	torModels := []*asic.Model{asic.Tofino32Q, asic.Tofino64Q, asic.Tofino32Q, asic.Tofino32Q}
+	for i, t := range tors {
+		n.AddSwitch(t, "ToR", torModels[i])
+	}
+	for _, a := range aggs {
+		n.AddSwitch(a, "Agg", asic.Trident4)
+	}
+	for _, c := range cores {
+		n.AddSwitch(c, "Core", asic.Tofino32Q)
+	}
+	// Pod 1: ToR1,ToR2 <-> Agg1,Agg2 ; Pod 2: ToR3,ToR4 <-> Agg3,Agg4.
+	for _, t := range []string{"ToR1", "ToR2"} {
+		for _, a := range []string{"Agg1", "Agg2"} {
+			n.AddLink(t, a)
+		}
+	}
+	for _, t := range []string{"ToR3", "ToR4"} {
+		for _, a := range []string{"Agg3", "Agg4"} {
+			n.AddLink(t, a)
+		}
+	}
+	for _, a := range aggs {
+		for _, c := range cores {
+			n.AddLink(a, c)
+		}
+	}
+	return n
+}
+
+// FatTreePod builds one pod of a k-ary fat tree with k/2 aggregation and
+// k/2 ToR switches (k switches total), the topology used for the Figure 10
+// scalability experiment. The ASIC model of every switch is the given one.
+func FatTreePod(k int, model *asic.Model) *Network {
+	n := New()
+	half := k / 2
+	for i := 1; i <= half; i++ {
+		n.AddSwitch(fmt.Sprintf("Agg%d", i), "Agg", model)
+	}
+	for i := 1; i <= half; i++ {
+		n.AddSwitch(fmt.Sprintf("ToR%d", i), "ToR", model)
+	}
+	for i := 1; i <= half; i++ {
+		for j := 1; j <= half; j++ {
+			n.AddLink(fmt.Sprintf("Agg%d", i), fmt.Sprintf("ToR%d", j))
+		}
+	}
+	return n
+}
+
+// Names returns all switch names, sorted.
+func (n *Network) Names() []string {
+	out := make([]string, 0, len(n.Switches))
+	for _, s := range n.Switches {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,114 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+
+	"lyra/internal/asic"
+)
+
+func TestTestbedShape(t *testing.T) {
+	n := Testbed()
+	if len(n.Switches) != 10 {
+		t.Fatalf("switches = %d, want 10", len(n.Switches))
+	}
+	if n.Switch("ToR1").ASIC.Lang != asic.LangP4 {
+		t.Error("ToR1 should be P4")
+	}
+	if n.Switch("Agg3").ASIC != asic.Trident4 {
+		t.Error("Agg3 should be Trident-4")
+	}
+	if n.Switch("Core1").ASIC != asic.Tofino32Q {
+		t.Error("Core1 should be Tofino (§7 testbed)")
+	}
+	if n.Switch("ToR2").ASIC != asic.Tofino64Q {
+		t.Error("ToR2 should be the smaller Tofino-64Q")
+	}
+	// Pod structure: ToR3 connects to Agg3/Agg4 only.
+	nb := n.Neighbors("ToR3")
+	if strings.Join(nb, ",") != "Agg3,Agg4" {
+		t.Errorf("ToR3 neighbors = %v", nb)
+	}
+}
+
+func TestDuplicateSwitch(t *testing.T) {
+	n := New()
+	n.AddSwitch("s1", "ToR", asic.RMT)
+	if _, err := n.AddSwitch("s1", "ToR", asic.RMT); err == nil {
+		t.Fatal("duplicate must fail")
+	}
+}
+
+func TestLinkUnknown(t *testing.T) {
+	n := New()
+	n.AddSwitch("a", "ToR", asic.RMT)
+	if err := n.AddLink("a", "ghost"); err == nil {
+		t.Fatal("unknown endpoint must fail")
+	}
+}
+
+func TestMatchPatterns(t *testing.T) {
+	n := Testbed()
+	if got := len(n.Match("ToR*")); got != 4 {
+		t.Errorf("ToR* matched %d", got)
+	}
+	if got := len(n.Match("Agg3")); got != 1 {
+		t.Errorf("Agg3 matched %d", got)
+	}
+	if got := len(n.Match("ghost")); got != 0 {
+		t.Errorf("ghost matched %d", got)
+	}
+}
+
+func TestPathsPod2(t *testing.T) {
+	n := Testbed()
+	paths := n.Paths(
+		[]string{"Agg3", "Agg4"},
+		[]string{"ToR3", "ToR4"},
+		[]string{"Agg3", "Agg4", "ToR3", "ToR4"})
+	// Figure 7: exactly four possible direct flows Agg{3,4} -> ToR{3,4}.
+	if len(paths) != 4 {
+		t.Fatalf("paths = %v", paths)
+	}
+	for _, p := range paths {
+		if len(p) != 2 {
+			t.Errorf("path %v should be direct", p)
+		}
+	}
+}
+
+func TestPathsRespectScope(t *testing.T) {
+	n := Testbed()
+	paths := n.Paths([]string{"Agg3"}, []string{"ToR3"}, []string{"Agg3", "ToR3"})
+	if len(paths) != 1 || len(paths[0]) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	// Without ToR3 in scope there is no path.
+	paths = n.Paths([]string{"Agg3"}, []string{"ToR3"}, []string{"Agg3"})
+	if len(paths) != 0 {
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func TestFatTreePod(t *testing.T) {
+	n := FatTreePod(8, asic.Tofino32Q)
+	if len(n.Switches) != 8 {
+		t.Fatalf("switches = %d", len(n.Switches))
+	}
+	if len(n.Neighbors("Agg1")) != 4 {
+		t.Errorf("Agg1 neighbors = %v", n.Neighbors("Agg1"))
+	}
+	paths := n.Paths([]string{"Agg1"}, []string{"ToR1", "ToR2", "ToR3", "ToR4"}, nil)
+	if len(paths) < 4 {
+		t.Errorf("paths = %d", len(paths))
+	}
+}
+
+func TestSameSwitchPath(t *testing.T) {
+	n := Testbed()
+	// from == to: the path is the single switch.
+	paths := n.Paths([]string{"ToR3"}, []string{"ToR3"}, []string{"ToR3"})
+	if len(paths) != 1 || len(paths[0]) != 1 {
+		t.Fatalf("paths = %v", paths)
+	}
+}

@@ -1,0 +1,203 @@
+// Package verify re-validates generated artifacts against their target
+// chip models. It stands in for the vendor compilers the paper invokes
+// ("all our generated code can compile on the corresponding ASICs", §7.1):
+// each switch's table set is re-admitted through the chip allocator from a
+// clean slate, and the emitted source is structurally linted.
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"lyra/internal/asic"
+	"lyra/internal/backend"
+	"lyra/internal/encode"
+	"lyra/internal/nplcheck"
+	"lyra/internal/p4check"
+	"lyra/internal/synth"
+)
+
+// Report is the admission result for one switch.
+type Report struct {
+	Switch   string
+	Dialect  string
+	OK       bool
+	Problems []string
+	Alloc    *asic.Allocation
+}
+
+// Plan verifies every artifact of a translated plan. It returns one report
+// per switch and an error only on internal failures (an inadmissible
+// program yields OK=false, not an error).
+func Plan(plan *encode.Plan, arts map[string]*backend.Artifact) []Report {
+	var out []Report
+	for _, sw := range sortedKeys(arts) {
+		art := arts[sw]
+		r := Report{Switch: sw, Dialect: art.Dialect, OK: true}
+		if alloc, err := Admit(art.Program); err != nil {
+			r.OK = false
+			r.Problems = append(r.Problems, err.Error())
+		} else {
+			r.Alloc = alloc
+		}
+		for _, p := range Lint(art) {
+			r.OK = false
+			r.Problems = append(r.Problems, p)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Admit re-runs chip admission for a switch program from scratch.
+func Admit(sp *backend.SwitchProgram) (*asic.Allocation, error) {
+	spec := &asic.ProgramSpec{}
+	index := map[string]int{}
+	for _, pt := range sp.Tables {
+		index[pt.Name] = len(spec.Tables)
+		spec.Tables = append(spec.Tables, asic.TableSpec{
+			Name:       pt.Name,
+			Entries:    pt.Entries,
+			MatchBits:  pt.MatchBits(),
+			ActionBits: pt.ActionBits(),
+			Actions:    len(pt.Actions),
+			Stateful:   pt.Stateful,
+		})
+	}
+	for i, pt := range sp.Tables {
+		for _, d := range pt.Deps {
+			if di, ok := index[d.Name]; ok {
+				spec.Tables[i].Deps = append(spec.Tables[i].Deps, di)
+			}
+		}
+	}
+	for _, h := range sp.Headers {
+		for _, f := range h.Fields {
+			spec.Fields = append(spec.Fields, f.Type.Bits)
+		}
+	}
+	if sp.Bridge != nil {
+		for _, f := range sp.Bridge.Fields {
+			spec.Fields = append(spec.Fields, f.Type.Bits)
+		}
+	}
+	for _, mv := range sp.Metadata {
+		spec.Fields = append(spec.Fields, mv.Bits)
+	}
+	spec.ParserEntries = len(sp.Headers) + 1
+	return asic.Allocate(sp.Model, spec)
+}
+
+// Lint performs structural checks on emitted source: balanced braces, no
+// empty body, every applied table declared, every table action declared.
+func Lint(art *backend.Artifact) []string {
+	var problems []string
+	code := art.Code
+	if strings.Count(code, "{") != strings.Count(code, "}") {
+		problems = append(problems, "unbalanced braces")
+	}
+	if strings.TrimSpace(code) == "" {
+		problems = append(problems, "empty program")
+	}
+	switch art.Dialect {
+	case "P4_14":
+		problems = append(problems, lintP414(art)...)
+	case "NPL":
+		problems = append(problems, lintNPL(art)...)
+	case "P4_16":
+		problems = append(problems, lintP416(art)...)
+	}
+	return problems
+}
+
+func lintP414(art *backend.Artifact) []string {
+	var problems []string
+	code := art.Code
+	if !strings.Contains(code, "control ingress") {
+		problems = append(problems, "missing ingress control")
+	}
+	// Full syntactic + semantic pass through the P4_14 checker: the
+	// generated text must parse and every reference must resolve, exactly
+	// as a vendor front-end would demand.
+	prog, err := p4check.Parse(code)
+	if err != nil {
+		return append(problems, "p4check: "+err.Error())
+	}
+	for _, e := range prog.Validate() {
+		problems = append(problems, "p4check: "+e.Error())
+	}
+	// Cross-check the artifact's structural metadata against the parse.
+	for _, pt := range art.Program.Tables {
+		if _, ok := prog.Tables[pt.Name]; !ok {
+			problems = append(problems, fmt.Sprintf("table %s not declared", pt.Name))
+		}
+		for _, a := range pt.Actions {
+			if _, ok := prog.Actions[a.Name]; !ok {
+				problems = append(problems, fmt.Sprintf("action %s not declared", a.Name))
+			}
+		}
+	}
+	return problems
+}
+
+func lintNPL(art *backend.Artifact) []string {
+	var problems []string
+	code := art.Code
+	if !strings.Contains(code, "program lyra") {
+		problems = append(problems, "missing program block")
+	}
+	// Full pass through the NPL checker.
+	prog, err := nplcheck.Parse(code)
+	if err != nil {
+		return append(problems, "nplcheck: "+err.Error())
+	}
+	for _, e := range prog.Validate() {
+		problems = append(problems, "nplcheck: "+e.Error())
+	}
+	for _, pt := range art.Program.Tables {
+		if pt.Kind != synth.MatchExtern {
+			continue
+		}
+		if _, ok := prog.Tables[pt.Name]; !ok {
+			problems = append(problems, fmt.Sprintf("logical_table %s not declared", pt.Name))
+		}
+		if len(prog.Lookups[pt.Name]) == 0 {
+			problems = append(problems, fmt.Sprintf("logical_table %s never looked up", pt.Name))
+		}
+	}
+	return problems
+}
+
+func lintP416(art *backend.Artifact) []string {
+	var problems []string
+	code := art.Code
+	if !strings.Contains(code, "V1Switch(") {
+		problems = append(problems, "missing V1Switch instantiation")
+	}
+	for _, pt := range art.Program.Tables {
+		if pt.Kind != synth.MatchExtern {
+			continue
+		}
+		if !strings.Contains(code, "table "+pt.Name+" {") {
+			problems = append(problems, fmt.Sprintf("table %s not declared", pt.Name))
+		}
+		if !strings.Contains(code, pt.Name+".apply()") {
+			problems = append(problems, fmt.Sprintf("table %s never applied", pt.Name))
+		}
+	}
+	return problems
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// insertion sort keeps this dependency-free
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

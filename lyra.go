@@ -1,0 +1,305 @@
+// Package lyra is a cross-platform language and compiler for data-plane
+// programming on heterogeneous switching ASICs — a from-scratch Go
+// reproduction of "Lyra: A Cross-Platform Language and Compiler for Data
+// Plane Programming on Heterogeneous ASICs" (SIGCOMM 2020).
+//
+// A Lyra program describes packet processing once, against a
+// one-big-pipeline abstraction; the compiler combines it with an algorithm
+// scope specification and a network topology, encodes implementation and
+// placement constraints into an SMT problem, and produces runnable
+// chip-specific code (P4_14, P4_16, NPL) for every programmable switch in
+// the target network.
+//
+// Quick start:
+//
+//	net := lyra.Testbed()
+//	res, err := lyra.Compile(lyra.Request{
+//	    Source:    src,
+//	    ScopeSpec: "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
+//	    Network:   net,
+//	})
+//	for _, sw := range res.Switches() {
+//	    fmt.Println(res.Artifact(sw).Code)
+//	}
+package lyra
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lyra/internal/asic"
+	"lyra/internal/backend"
+	"lyra/internal/core"
+	"lyra/internal/dataplane"
+	"lyra/internal/encode"
+	"lyra/internal/ir"
+	"lyra/internal/topo"
+	"lyra/internal/verify"
+)
+
+// Re-exported topology and chip-model types. The compiler's building
+// blocks live in internal packages; these aliases form the public surface
+// used by examples, tools, and benchmarks.
+type (
+	// Network is a data-center topology of switches and links.
+	Network = topo.Network
+	// Switch is one network device with its ASIC model.
+	Switch = topo.Switch
+	// ChipModel describes a programmable ASIC's resources.
+	ChipModel = asic.Model
+	// Artifact is the generated code and metadata for one switch.
+	Artifact = backend.Artifact
+	// Report is a verification result for one generated artifact.
+	Report = verify.Report
+	// Tables is simulated control-plane table state.
+	Tables = dataplane.Tables
+	// Packet is a simulated packet.
+	Packet = dataplane.Packet
+	// SimContext supplies switch-environment values during simulation.
+	SimContext = dataplane.Context
+)
+
+// Chip models available for topologies (§5.4, Appendix A).
+var (
+	RMT        = asic.RMT
+	Tofino32Q  = asic.Tofino32Q
+	Tofino64Q  = asic.Tofino64Q
+	SiliconOne = asic.SiliconOne
+	Trident4   = asic.Trident4
+	Tomahawk   = asic.Tomahawk
+)
+
+// NewNetwork returns an empty topology.
+func NewNetwork() *Network { return topo.New() }
+
+// Testbed returns the paper's §7 evaluation network: 4 Tofino ToRs,
+// 4 Trident-4 Aggs, 2 Tofino cores in two pods.
+func Testbed() *Network { return topo.Testbed() }
+
+// FatTreePod returns one pod of a k-ary fat tree (k/2 ToR + k/2 Agg
+// switches), the Figure 10 scalability topology.
+func FatTreePod(k int, model *ChipModel) *Network { return topo.FatTreePod(k, model) }
+
+// Dialect selects the P4 flavor emitted for P4-programmable chips.
+type Dialect = backend.Dialect
+
+// P4 dialects.
+const (
+	P414 = backend.DialectP414
+	P416 = backend.DialectP416
+)
+
+// Objective selects the optimization metric (Appendix C.2).
+type Objective = encode.Objective
+
+// Optimization objectives.
+const (
+	// ObjectiveNone accepts the first feasible placement.
+	ObjectiveNone = encode.ObjNone
+	// ObjectiveMinPlacements minimizes total instruction placements.
+	ObjectiveMinPlacements = encode.ObjMinPlacements
+	// ObjectiveMinSwitches minimizes the number of programmed switches.
+	ObjectiveMinSwitches = encode.ObjMinSwitches
+	// ObjectivePreferSwitch maximizes use of Request.PreferSwitch.
+	ObjectivePreferSwitch = encode.ObjPreferSwitch
+)
+
+// Request is one compilation request.
+type Request struct {
+	// Source is the Lyra program text.
+	Source string
+	// SourceName is used in diagnostics (defaults to "input.lyra").
+	SourceName string
+	// ScopeSpec is the algorithm scope specification (§3.3, Figure 7).
+	ScopeSpec string
+	// Network is the target topology.
+	Network *Network
+	// Dialect selects P4_14 (default) or P4_16 for P4 chips.
+	Dialect Dialect
+	// Objective optionally optimizes the placement.
+	Objective Objective
+	// PreferSwitch names the switch to load up under
+	// ObjectivePreferSwitch (Appendix C.2).
+	PreferSwitch string
+	// SolveBudget bounds solver work (0 = default).
+	SolveBudget time.Duration
+	// SkipVerify disables the post-hoc admission verification.
+	SkipVerify bool
+}
+
+// Result is a successful compilation.
+type Result struct {
+	// Artifacts maps switch name to its generated code.
+	Artifacts map[string]*Artifact
+	// Reports holds per-switch verification results (nil with SkipVerify).
+	Reports []Report
+	// CompileTime is the wall-clock cost of the whole pipeline.
+	CompileTime time.Duration
+	// SolveTime is the SMT portion.
+	SolveTime time.Duration
+
+	plan *encode.Plan
+	irp  *ir.Program
+}
+
+// Compile runs the full Lyra pipeline: parse, check, preprocess, analyze,
+// synthesize, encode, solve, translate, and verify. The pipeline itself
+// lives in internal/core.
+func Compile(req Request) (*Result, error) {
+	cres, err := core.Compile(core.Request{
+		Source:       req.Source,
+		SourceName:   req.SourceName,
+		ScopeSpec:    req.ScopeSpec,
+		Network:      req.Network,
+		Dialect:      req.Dialect,
+		Objective:    req.Objective,
+		PreferSwitch: req.PreferSwitch,
+		SolveBudget:  req.SolveBudget,
+		SkipVerify:   req.SkipVerify,
+	})
+	var res *Result
+	if cres != nil {
+		res = &Result{
+			Artifacts:   cres.Artifacts,
+			Reports:     cres.Reports,
+			CompileTime: cres.CompileTime,
+			SolveTime:   cres.SolveTime,
+			plan:        cres.Plan,
+			irp:         cres.IR,
+		}
+	}
+	if err != nil {
+		return res, fmt.Errorf("lyra: %w", err)
+	}
+	return res, nil
+}
+
+// Switches lists the switches that received code, sorted.
+func (r *Result) Switches() []string {
+	out := make([]string, 0, len(r.Artifacts))
+	for sw := range r.Artifacts {
+		out = append(out, sw)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Artifact returns the generated code for one switch (nil if none).
+func (r *Result) Artifact(sw string) *Artifact { return r.Artifacts[sw] }
+
+// Shards reports how an extern variable was split: switch -> entries.
+func (r *Result) Shards(extern string) map[string]int64 { return r.plan.Shards[extern] }
+
+// FlowPaths returns the flow paths of a MULTI-SW algorithm's scope.
+func (r *Result) FlowPaths(alg string) [][]string {
+	if rs := r.plan.Input.Scopes[alg]; rs != nil {
+		return rs.Paths
+	}
+	return nil
+}
+
+// WriteTo writes each artifact to dir/<switch>.<ext> plus the control-plane
+// stubs to dir/<switch>_cp.py.
+func (r *Result) WriteTo(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for sw, art := range r.Artifacts {
+		ext := ".p4"
+		if art.Dialect == "NPL" {
+			ext = ".npl"
+		}
+		if err := os.WriteFile(filepath.Join(dir, sw+ext), []byte(art.Code), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, sw+"_cp.py"), []byte(art.ControlPlane), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Simulation wraps the packet-level data-plane simulator: it executes both
+// the reference one-big-pipeline semantics and the compiled distributed
+// deployment, standing in for the paper's hardware testbed.
+type Simulation struct {
+	res    *Result
+	dep    *dataplane.Deployment
+	tables *Tables
+}
+
+// NewTables returns empty control-plane table state.
+func NewTables() *Tables { return dataplane.NewTables() }
+
+// NewPacket returns an empty packet.
+func NewPacket() *Packet { return dataplane.NewPacket() }
+
+// Simulate deploys the compiled result with the given table contents.
+func (r *Result) Simulate(tables *Tables) (*Simulation, error) {
+	dep, err := dataplane.NewDeployment(r.plan, tables)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{res: r, dep: dep, tables: tables}, nil
+}
+
+// RunReference executes the source program's one-big-pipeline semantics.
+func (s *Simulation) RunReference(ctx *SimContext, pkt *Packet) (*Packet, error) {
+	return dataplane.RunReference(s.res.irp, s.tables, ctx, pkt)
+}
+
+// RunPath pushes a packet through the deployed network along a flow path.
+func (s *Simulation) RunPath(path []string, ctx *SimContext, pkt *Packet) (*Packet, error) {
+	return s.dep.RunPath(path, ctx, pkt)
+}
+
+// Serialize packs a packet's valid headers into wire bytes per the
+// program's parse graph, appending the payload.
+func (s *Simulation) Serialize(pkt *Packet, payload []byte) ([]byte, error) {
+	return dataplane.Serialize(s.res.irp, pkt, payload)
+}
+
+// ParseBytes runs the program's parse graph over raw bytes, returning the
+// parsed packet and the unconsumed payload.
+func (s *Simulation) ParseBytes(data []byte) (*Packet, []byte, error) {
+	return dataplane.ParseBytes(s.res.irp, data)
+}
+
+// RunPathBytes is the bytes-in/bytes-out variant of RunPath: the wire
+// packet is parsed, pushed through the deployed switches along the path,
+// and re-serialized — headers inserted by the data plane (INT probes,
+// metadata) appear as new bytes on the wire.
+func (s *Simulation) RunPathBytes(path []string, ctx *SimContext, data []byte) ([]byte, error) {
+	pkt, payload, err := s.ParseBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	out, err := s.RunPath(path, ctx, pkt)
+	if err != nil {
+		return nil, err
+	}
+	return s.Serialize(out, payload)
+}
+
+// RunPathWithContexts is RunPath with a per-switch environment: each hop
+// sees its own switch id, timestamps, and queue occupancy.
+func (s *Simulation) RunPathWithContexts(path []string, ctxOf func(sw string) *SimContext, pkt *Packet) (*Packet, error) {
+	return s.dep.RunPathWithContexts(path, ctxOf, pkt)
+}
+
+// SetSwitchEntry installs a control-plane entry on one switch only (role
+// assignment for PER-SW tables, e.g. the INT sink filter).
+func (s *Simulation) SetSwitchEntry(sw, extern string, key, value uint64) {
+	s.dep.SetSwitchEntry(sw, extern, key, value)
+}
+
+// ClearSwitchTable removes an extern's entries from one switch.
+func (s *Simulation) ClearSwitchTable(sw, extern string) {
+	s.dep.ClearSwitchTable(sw, extern)
+}

@@ -1,0 +1,213 @@
+package lyra
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const quickLB = `
+header_type ipv4_t { bit[32] srcAddr; bit[32] dstAddr; bit[8] protocol; }
+header ipv4_t ipv4;
+pipeline[LB]{loadbalancer};
+algorithm loadbalancer {
+  extern dict<bit[32] hash, bit[32] ip>[1024] conn_table;
+  bit[32] hash;
+  hash = crc32_hash(ipv4.srcAddr, ipv4.dstAddr, ipv4.protocol);
+  if (hash in conn_table) {
+    ipv4.dstAddr = conn_table[hash];
+  }
+}
+`
+
+const quickScope = `loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]`
+
+func TestCompileEndToEnd(t *testing.T) {
+	res, err := Compile(Request{
+		Source:    quickLB,
+		ScopeSpec: quickScope,
+		Network:   Testbed(),
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if len(res.Artifacts) == 0 {
+		t.Fatal("no artifacts")
+	}
+	if res.CompileTime <= 0 {
+		t.Error("no compile time recorded")
+	}
+	for _, rep := range res.Reports {
+		if !rep.OK {
+			t.Errorf("%s failed verification: %v", rep.Switch, rep.Problems)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	net := Testbed()
+	cases := []struct {
+		name string
+		req  Request
+		want string
+	}{
+		{"no network", Request{Source: quickLB, ScopeSpec: quickScope}, "network is required"},
+		{"syntax", Request{Source: "algorithm {", ScopeSpec: quickScope, Network: net}, "parse"},
+		{"semantic", Request{Source: "algorithm a { ghost(); }", ScopeSpec: "a: [ToR1|PER-SW|-]", Network: net}, "check"},
+		{"scope", Request{Source: quickLB, ScopeSpec: "loadbalancer: [oops", Network: net}, "scope"},
+		{"missing scope", Request{Source: quickLB, ScopeSpec: "", Network: net}, "no scope"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.req)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	res, err := Compile(Request{Source: quickLB, ScopeSpec: quickScope, Network: Testbed()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := res.WriteTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	var code, cp int
+	for _, e := range entries {
+		switch filepath.Ext(e.Name()) {
+		case ".p4", ".npl":
+			code++
+		case ".py":
+			cp++
+		}
+	}
+	if code == 0 || cp == 0 {
+		t.Errorf("dir has %d code files and %d control-plane files", code, cp)
+	}
+}
+
+func TestSimulateRoundTrip(t *testing.T) {
+	res, err := Compile(Request{Source: quickLB, ScopeSpec: quickScope, Network: Testbed()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := NewTables()
+	sim, err := res.Simulate(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := NewPacket()
+	pkt.Valid["ipv4"] = true
+	pkt.Fields["ipv4.srcAddr"] = 0x0A000001
+	pkt.Fields["ipv4.dstAddr"] = 0x0B000002
+	pkt.Fields["ipv4.protocol"] = 6
+	ctx := &SimContext{}
+	ref, err := sim.RunReference(ctx, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range res.FlowPaths("loadbalancer") {
+		got, err := sim.RunPath(path, ctx, pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Summary() != ref.Summary() {
+			t.Errorf("path %v mismatch:\n  ref:  %s\n  dist: %s", path, ref.Summary(), got.Summary())
+		}
+	}
+}
+
+func TestDialectOption(t *testing.T) {
+	res, err := Compile(Request{Source: quickLB, ScopeSpec: quickScope, Network: Testbed(), Dialect: P416})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sw := range res.Switches() {
+		a := res.Artifact(sw)
+		if a.Model.Lang.String() == "P4" && a.Dialect != "P4_16" {
+			t.Errorf("%s: got %s", sw, a.Dialect)
+		}
+	}
+}
+
+func TestObjectiveMinSwitches(t *testing.T) {
+	res, err := Compile(Request{
+		Source: quickLB, ScopeSpec: quickScope, Network: Testbed(),
+		Objective: ObjectiveMinSwitches,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Artifacts) > 2 {
+		t.Errorf("min-switches produced %d artifacts", len(res.Artifacts))
+	}
+}
+
+func TestRunPathBytes(t *testing.T) {
+	src := `
+header_type eth_t { bit[48] src_mac; bit[16] ether_type; }
+header eth_t eth;
+header_type tag_t { bit[8] mark; }
+header tag_t tag;
+parser_node start {
+  extract(eth);
+  select(eth.ether_type) {
+    0x0900: parse_tag;
+    default: accept;
+  }
+}
+parser_node parse_tag { extract(tag); }
+pipeline[P]{marker};
+algorithm marker {
+  extern list<bit[48] mac>[8] watch;
+  if (eth.src_mac in watch) {
+    add_header(tag);
+    tag.mark = 7;
+    eth.ether_type = 0x0900;
+  }
+}
+`
+	res, err := Compile(Request{
+		Source:    src,
+		ScopeSpec: "marker: [ ToR3 | PER-SW | - ]",
+		Network:   Testbed(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := NewTables()
+	tables.Set("watch", 0x112233445566, 1)
+	sim, err := res.Simulate(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewPacket()
+	in.Valid["eth"] = true
+	in.Fields["eth.src_mac"] = 0x112233445566
+	in.Fields["eth.ether_type"] = 0x0800
+	wire, err := sim.Serialize(in, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.RunPathBytes([]string{"ToR3"}, &SimContext{}, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(wire)+1 { // tag_t adds one byte
+		t.Fatalf("wire %d -> %d bytes, want +1", len(wire), len(out))
+	}
+	pkt, payload, err := sim.ParseBytes(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "payload" {
+		t.Errorf("payload = %q", payload)
+	}
+	if !pkt.Valid["tag"] || pkt.Fields["tag.mark"] != 7 {
+		t.Errorf("tag missing: %s", pkt.Summary())
+	}
+}

@@ -1,0 +1,119 @@
+package lyra
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lyra/internal/lang/parser"
+)
+
+// programNames are the ten evaluation programs of Figure 9.
+var programNames = []string{
+	"ingress_int", "transit_int", "egress_int",
+	"speedlight", "netcache", "netchain", "netpaxos",
+	"flowlet_switching", "simple_router", "switch",
+}
+
+// loadProgram reads a testdata program.
+func loadProgram(t testing.TB, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", "programs", name+".lyra"))
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	return string(b)
+}
+
+// perSwitchScope builds a PER-SW scope on one switch for every algorithm.
+func perSwitchScope(t testing.TB, src, sw string) string {
+	t.Helper()
+	prog, err := parser.Parse("prog.lyra", []byte(src))
+	if err != nil {
+		t.Fatalf("parse for scope: %v", err)
+	}
+	var b strings.Builder
+	for _, a := range prog.Algorithms {
+		fmt.Fprintf(&b, "%s: [ %s | PER-SW | - ]\n", a.Name, sw)
+	}
+	return b.String()
+}
+
+// TestFigure9ProgramsCompileP4 compiles each evaluation program for a
+// Tofino ToR and checks the generated P4 verifies.
+func TestFigure9ProgramsCompileP4(t *testing.T) {
+	for _, name := range programNames {
+		t.Run(name, func(t *testing.T) {
+			src := loadProgram(t, name)
+			res, err := Compile(Request{
+				Source:     src,
+				SourceName: name + ".lyra",
+				ScopeSpec:  perSwitchScope(t, src, "ToR1"),
+				Network:    Testbed(),
+			})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			art := res.Artifact("ToR1")
+			if art == nil || art.Dialect != "P4_14" {
+				t.Fatalf("no P4 artifact: %+v", res.Switches())
+			}
+			if art.Tables == 0 {
+				t.Error("no tables synthesized")
+			}
+			for _, rep := range res.Reports {
+				if !rep.OK {
+					t.Errorf("verify %s: %v", rep.Switch, rep.Problems)
+				}
+			}
+		})
+	}
+}
+
+// TestFigure9ProgramsCompileNPL compiles each program for a Trident-4 Agg.
+func TestFigure9ProgramsCompileNPL(t *testing.T) {
+	for _, name := range programNames {
+		t.Run(name, func(t *testing.T) {
+			src := loadProgram(t, name)
+			res, err := Compile(Request{
+				Source:     src,
+				SourceName: name + ".lyra",
+				ScopeSpec:  perSwitchScope(t, src, "Agg1"),
+				Network:    Testbed(),
+			})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			art := res.Artifact("Agg1")
+			if art == nil || art.Dialect != "NPL" {
+				t.Fatalf("no NPL artifact: %+v", res.Switches())
+			}
+			if !strings.Contains(art.Code, "program lyra") {
+				t.Error("NPL program block missing")
+			}
+		})
+	}
+}
+
+// TestFigure9ProgramsP416 spot-checks the P4_16 dialect on each program.
+func TestFigure9ProgramsP416(t *testing.T) {
+	for _, name := range programNames {
+		t.Run(name, func(t *testing.T) {
+			src := loadProgram(t, name)
+			res, err := Compile(Request{
+				Source:    src,
+				ScopeSpec: perSwitchScope(t, src, "ToR1"),
+				Network:   Testbed(),
+				Dialect:   P416,
+			})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if !strings.Contains(res.Artifact("ToR1").Code, "V1Switch(") {
+				t.Error("not P4_16")
+			}
+		})
+	}
+}
