@@ -1,0 +1,53 @@
+package asic
+
+import "fmt"
+
+// Scale derives a degraded copy of a chip model: stageF scales the
+// match-action stage count (and NPL code-path depth), memF the SRAM/TCAM
+// block and pooled-entry budgets, and phvF the PHV word inventory and
+// parser TCAM. Factors are clamped to (0,1]; every scaled resource keeps a
+// floor of 1 so the model stays structurally valid. Capability flags and
+// per-block geometry are unchanged — a degraded chip is the same silicon
+// with part of it fenced off.
+func Scale(m *Model, stageF, memF, phvF float64) *Model {
+	clamp := func(f float64) float64 {
+		if f <= 0 || f > 1 {
+			return 1
+		}
+		return f
+	}
+	stageF, memF, phvF = clamp(stageF), clamp(memF), clamp(phvF)
+	scale := func(n int, f float64) int {
+		if n <= 0 {
+			return n
+		}
+		v := int(float64(n) * f)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	scale64 := func(n int64, f float64) int64 {
+		if n <= 0 {
+			return n
+		}
+		v := int64(float64(n) * f)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	d := *m
+	d.Name = fmt.Sprintf("%s[degraded]", m.Name)
+	d.Stages = scale(m.Stages, stageF)
+	d.MaxCodePath = scale(m.MaxCodePath, stageF)
+	d.SRAMBlocks = scale(m.SRAMBlocks, memF)
+	d.TCAMBlocks = scale(m.TCAMBlocks, memF)
+	d.TotalEntryCapacity = scale64(m.TotalEntryCapacity, memF)
+	d.MaxLogicalTables = scale(m.MaxLogicalTables, memF)
+	d.PHV8 = scale(m.PHV8, phvF)
+	d.PHV16 = scale(m.PHV16, phvF)
+	d.PHV32 = scale(m.PHV32, phvF)
+	d.ParserEntries = scale(m.ParserEntries, phvF)
+	return &d
+}

@@ -1,12 +1,17 @@
 // Package core drives Lyra's end-to-end compilation pipeline — the paper's
 // primary contribution (§2.2, Figure 3): front-end (parse, check,
 // preprocess, analyze), back-end (synthesize, encode, SMT solve,
-// translate), and verification. The public lyra package wraps this driver
-// with a stable API.
+// translate), and verification. It also implements the incremental
+// recompilation loop of §6.3/§7: after a network change, placement is
+// re-solved on the surviving topology and only the switches whose plan
+// slice changed are re-translated. The public lyra package wraps this
+// driver with a stable API.
 package core
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"lyra/internal/backend"
@@ -41,13 +46,43 @@ type Result struct {
 	Plan      *encode.Plan
 	Artifacts map[string]*backend.Artifact
 	Reports   []verify.Report
+	// Fingerprints content-hashes each switch's plan slice; incremental
+	// recompilation compares them to decide which devices to reprogram.
+	Fingerprints map[string]string
+	// Diagnostics is the solver's fallback-ladder trail (what, if
+	// anything, was given up to reach the plan).
+	Diagnostics *encode.Diagnostics
 
 	CompileTime time.Duration
 	SolveTime   time.Duration
 }
 
+// Delta reports how a recompilation differs from its predecessor: which
+// switches must be reprogrammed, which keep their (byte-identical) code,
+// and which left the network.
+type Delta struct {
+	// Reprogram lists switches whose artifact changed or is new, sorted.
+	Reprogram []string
+	// Unchanged lists switches whose previous artifact was reused, sorted.
+	Unchanged []string
+	// Removed lists switches that were programmed before but host nothing
+	// now (failed, or no longer selected), sorted.
+	Removed []string
+}
+
+// String renders the delta compactly.
+func (d *Delta) String() string {
+	return fmt.Sprintf("reprogram=%v unchanged=%v removed=%v", d.Reprogram, d.Unchanged, d.Removed)
+}
+
 // Compile runs the full pipeline of Figure 3.
 func Compile(req Request) (*Result, error) {
+	return CompileContext(context.Background(), req)
+}
+
+// CompileContext is Compile with cooperative cancellation: ctx aborts the
+// SMT solve at its next poll point with a typed timeout error.
+func CompileContext(ctx context.Context, req Request) (*Result, error) {
 	start := time.Now()
 	if req.Network == nil {
 		return nil, fmt.Errorf("core: network is required")
@@ -81,30 +116,87 @@ func Compile(req Request) (*Result, error) {
 		return nil, fmt.Errorf("scope: %w", err)
 	}
 
+	return solveAndTranslate(ctx, req, irp, req.Network, scopes, start, nil, nil)
+}
+
+// Recompile re-solves placement after a network change (the §6.3 loop):
+// the front-end products of prev are reused verbatim, scopes are
+// re-resolved leniently against the degraded network (a region naming a
+// dead switch shrinks to its survivors), and only switches whose plan
+// slice changed are re-translated. The Delta lists what must actually be
+// pushed to hardware.
+func Recompile(ctx context.Context, prev *Result, req Request, net *topo.Network) (*Result, *Delta, error) {
+	start := time.Now()
+	if prev == nil || prev.IR == nil {
+		return nil, nil, fmt.Errorf("core: recompile requires a previous result")
+	}
+	if net == nil {
+		return nil, nil, fmt.Errorf("core: recompile requires a network")
+	}
+	spec, err := scope.Parse(req.ScopeSpec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scope: %w", err)
+	}
+	scopes, err := spec.ResolveWith(net, scope.ResolveOpts{AllowMissing: true})
+	if err != nil {
+		return nil, nil, fmt.Errorf("scope: %w", err)
+	}
+	res, err := solveAndTranslate(ctx, req, prev.IR, net, scopes, start, prev.Fingerprints, prev.Artifacts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, computeDelta(prev, res), nil
+}
+
+// solveAndTranslate is the shared back half of the pipeline: encode +
+// solve, translate (incrementally when prev fingerprints are supplied),
+// and verify.
+func solveAndTranslate(ctx context.Context, req Request, irp *ir.Program, net *topo.Network, scopes map[string]*scope.Resolved, start time.Time, prevFPs map[string]string, prevArts map[string]*backend.Artifact) (*Result, error) {
 	// Back-end: synthesis + constraint encoding + SMT solve (§5).
 	opts := encode.DefaultOptions()
 	opts.Objective = req.Objective
 	opts.PreferSwitch = req.PreferSwitch
+	opts.Ctx = ctx
 	if req.SolveBudget > 0 {
 		opts.TimeBudget = req.SolveBudget
 	}
-	plan, err := encode.Solve(&encode.Input{IR: irp, Net: req.Network, Scopes: scopes}, opts)
+	plan, err := encode.Solve(&encode.Input{IR: irp, Net: net, Scopes: scopes}, opts)
 	if err != nil {
 		return nil, err
 	}
+	fps := plan.Fingerprints()
 
-	// Translation to chip-specific code (§5.7–§5.8).
-	arts, err := backend.Translate(plan, &backend.Options{P4Dialect: req.Dialect})
+	// Translation to chip-specific code (§5.7–§5.8). With previous
+	// fingerprints available, only changed switches are re-emitted; the
+	// rest reuse their existing artifacts byte-for-byte.
+	topts := &backend.Options{P4Dialect: req.Dialect}
+	reused := map[string]*backend.Artifact{}
+	if prevFPs != nil {
+		topts.Only = map[string]bool{}
+		for sw, fp := range fps {
+			if prevFPs[sw] == fp && prevArts[sw] != nil {
+				reused[sw] = prevArts[sw]
+			} else {
+				topts.Only[sw] = true
+			}
+		}
+	}
+	arts, err := backend.Translate(plan, topts)
 	if err != nil {
 		return nil, fmt.Errorf("translate: %w", err)
 	}
+	for sw, art := range reused {
+		arts[sw] = art
+	}
 
 	res := &Result{
-		IR:          irp,
-		Plan:        plan,
-		Artifacts:   arts,
-		CompileTime: time.Since(start),
-		SolveTime:   plan.SolveTime,
+		IR:           irp,
+		Plan:         plan,
+		Artifacts:    arts,
+		Fingerprints: fps,
+		Diagnostics:  plan.Diagnostics,
+		CompileTime:  time.Since(start),
+		SolveTime:    plan.SolveTime,
 	}
 	// Verification: the vendor-compiler stand-in (admission + emitted-code
 	// validation).
@@ -117,4 +209,25 @@ func Compile(req Request) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// computeDelta classifies every switch touched by either result.
+func computeDelta(prev, next *Result) *Delta {
+	d := &Delta{}
+	for sw, fp := range next.Fingerprints {
+		if prevFP, ok := prev.Fingerprints[sw]; ok && prevFP == fp {
+			d.Unchanged = append(d.Unchanged, sw)
+		} else {
+			d.Reprogram = append(d.Reprogram, sw)
+		}
+	}
+	for sw := range prev.Fingerprints {
+		if _, ok := next.Fingerprints[sw]; !ok {
+			d.Removed = append(d.Removed, sw)
+		}
+	}
+	sort.Strings(d.Reprogram)
+	sort.Strings(d.Unchanged)
+	sort.Strings(d.Removed)
+	return d
 }

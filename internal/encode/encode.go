@@ -15,6 +15,8 @@
 package encode
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -26,6 +28,11 @@ import (
 	"lyra/internal/synth"
 	"lyra/internal/topo"
 )
+
+// ErrInfeasible is returned when the constraints are unsatisfiable: the
+// program cannot be placed on the target network at all (as opposed to the
+// solver running out of budget before a verdict).
+var ErrInfeasible = errors.New("encode: no feasible placement")
 
 // Input bundles everything the encoder needs.
 type Input struct {
@@ -59,12 +66,30 @@ type Options struct {
 	// PreferSwitch names the switch to load up under ObjPreferSwitch.
 	PreferSwitch   string
 	ConflictBudget int64
-	TimeBudget     time.Duration
+	// TimeBudget bounds the whole solve, fallback attempts included.
+	TimeBudget time.Duration
+	// Ctx, when non-nil, cancels the solve cooperatively; its deadline
+	// tightens TimeBudget.
+	Ctx context.Context
+	// Ladder is the fallback sequence tried, in order, when an attempt
+	// fails (the Parasol-style budget-escalation/relaxation ladder). Each
+	// rung gives up something — the optimization objective, solver budget
+	// frugality, or an optional placement constraint — and every step is
+	// recorded in the returned Plan's Diagnostics. nil disables fallback;
+	// DefaultOptions installs DefaultLadder.
+	Ladder []Relaxation
+	// ForceReplication applies RelaxReplication from the first attempt
+	// (experimentation hook; normally the ladder reaches it on demand).
+	ForceReplication bool
 }
 
 // DefaultOptions returns the standard solver configuration.
 func DefaultOptions() *Options {
-	return &Options{ConflictBudget: 2_000_000, TimeBudget: 120 * time.Second}
+	return &Options{
+		ConflictBudget: 2_000_000,
+		TimeBudget:     120 * time.Second,
+		Ladder:         DefaultLadder(),
+	}
 }
 
 // PlacedTable is a synthesized table bound to a switch with its concrete
@@ -105,6 +130,9 @@ type Plan struct {
 
 	SolveTime time.Duration
 	Stats     smt.Stats
+	// Diagnostics is the fallback-ladder trail: one entry per solve
+	// attempt, recording what (if anything) was given up to reach a plan.
+	Diagnostics *Diagnostics
 }
 
 // HostsOf returns the switches hosting an instruction.
@@ -115,25 +143,86 @@ func (p *Plan) HostsOf(alg string, id int) []string {
 	return nil
 }
 
-// Solve encodes and solves the placement problem.
+// Solve encodes and solves the placement problem. When the first attempt
+// fails and opts.Ladder is non-empty, Solve walks the fallback ladder:
+// each applicable rung relaxes the configuration and the solve is retried,
+// with every attempt recorded in the plan's Diagnostics so the caller
+// knows exactly what was given up.
 func Solve(in *Input, opts *Options) (*Plan, error) {
 	if opts == nil {
 		opts = DefaultOptions()
 	}
 	start := time.Now()
-	enc, err := newEncoder(in)
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var deadline time.Time
+	if opts.TimeBudget > 0 {
+		deadline = start.Add(opts.TimeBudget)
+	}
+	cfg := attemptCfg{
+		objective:      opts.Objective,
+		prefer:         opts.PreferSwitch,
+		conflictBudget: opts.ConflictBudget,
+		replicate:      opts.ForceReplication,
+	}
+	diags := &Diagnostics{}
+	ladder := append([]Relaxation(nil), opts.Ladder...)
+	step := "initial"
+	for {
+		aStart := time.Now()
+		plan, err := solveOnce(ctx, in, cfg, deadline)
+		diags.record(step, cfg, err, time.Since(aStart))
+		if err == nil {
+			plan.Diagnostics = diags
+			plan.SolveTime = time.Since(start)
+			return plan, nil
+		}
+		rung, rest, ok := nextRung(ladder, cfg, err, in)
+		if !ok {
+			if len(diags.Attempts) > 1 {
+				return nil, fmt.Errorf("%w (after %d fallback attempts: %s)", err, len(diags.Attempts)-1, diags.Summary())
+			}
+			return nil, err
+		}
+		ladder = rest
+		step = rung.String()
+		diags.Degraded = append(diags.Degraded, rung.describe(cfg, in))
+		rung.apply(&cfg, in)
+	}
+}
+
+// attemptCfg is the mutable configuration one ladder rung can relax.
+type attemptCfg struct {
+	objective      Objective
+	prefer         string
+	conflictBudget int64
+	replicate      bool
+}
+
+// solveOnce runs a single encode+solve attempt under the given config.
+func solveOnce(ctx context.Context, in *Input, cfg attemptCfg, deadline time.Time) (*Plan, error) {
+	enc, err := newEncoder(in, cfg.replicate)
 	if err != nil {
 		return nil, err
 	}
 	if err := enc.encode(); err != nil {
 		return nil, err
 	}
-	enc.solver.ConflictBudget = opts.ConflictBudget
-	enc.solver.TimeBudget = opts.TimeBudget
+	enc.solver.ConflictBudget = cfg.conflictBudget
+	enc.solver.Ctx = ctx
+	if !deadline.IsZero() {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, fmt.Errorf("encode: solver gave up: %w", smt.ErrTimeout)
+		}
+		enc.solver.TimeBudget = remaining
+	}
 
 	var st smt.Status
 	var serr error
-	switch opts.Objective {
+	switch cfg.objective {
 	case ObjMinPlacements:
 		var lits []smt.Lit
 		var w []int64
@@ -162,7 +251,7 @@ func Solve(in *Input, opts *Options) (*Plan, error) {
 		var w []int64
 		for _, pv := range enc.placeVars {
 			lits = append(lits, pv.lit)
-			if pv.sw == opts.PreferSwitch {
+			if pv.sw == cfg.prefer {
 				w = append(w, 0) // free on the preferred switch
 			} else {
 				w = append(w, 1)
@@ -182,7 +271,7 @@ func Solve(in *Input, opts *Options) (*Plan, error) {
 		if serr != nil {
 			return nil, fmt.Errorf("encode: solver gave up: %w", serr)
 		}
-		return nil, fmt.Errorf("encode: no feasible placement: the program does not fit the target network%s", enc.lastTheoryHint())
+		return nil, fmt.Errorf("%w: the program does not fit the target network%s", ErrInfeasible, enc.lastTheoryHint())
 	}
 	model := enc.solver.Model()
 	// Re-run the theory on the final model to materialize allocations and
@@ -191,7 +280,6 @@ func Solve(in *Input, opts *Options) (*Plan, error) {
 		return nil, fmt.Errorf("encode: internal error: accepted model rejected by theory")
 	}
 	plan := enc.extractPlan(model)
-	plan.SolveTime = time.Since(start)
 	plan.Stats = enc.solver.Statistics()
 	return plan, nil
 }
@@ -220,9 +308,12 @@ type encoder struct {
 
 	// sharedExternInstrs marks instructions reading split-capable externs.
 	sharedInstr map[string]map[int]bool
+	// relaxed marks algorithms whose exactly-one-per-path constraint was
+	// relaxed to coverage (the RelaxReplication ladder rung).
+	relaxed map[string]bool
 }
 
-func newEncoder(in *Input) (*encoder, error) {
+func newEncoder(in *Input, replicate bool) (*encoder, error) {
 	e := &encoder{
 		in:          in,
 		solver:      smt.NewSolver(),
@@ -230,6 +321,10 @@ func newEncoder(in *Input) (*encoder, error) {
 		p4:          map[string]*synth.Result{},
 		npl:         map[string]*synth.Result{},
 		sharedInstr: map[string]map[int]bool{},
+		relaxed:     map[string]bool{},
+	}
+	if replicate {
+		e.relaxed = replicableAlgs(in)
 	}
 	for _, a := range in.IR.Algorithms {
 		if _, ok := in.Scopes[a.Name]; !ok {
@@ -359,9 +454,12 @@ func (e *encoder) encodeMultiSwitch(a *ir.Algorithm, rs *scope.Resolved, candida
 			for _, sw := range hops {
 				lits = append(lits, e.vars[a.Name][inst.ID][sw])
 			}
-			if e.sharedInstr[a.Name][inst.ID] {
-				// Split-capable: at least one placement per path (Eq. 16's
-				// coverage condition).
+			if e.sharedInstr[a.Name][inst.ID] || e.relaxed[a.Name] {
+				// Split-capable (Eq. 16's coverage condition) — or the
+				// replication relaxation is active for this algorithm, in
+				// which case idempotent re-execution at extra hops is
+				// accepted to regain feasibility: at least one placement
+				// per path.
 				e.solver.AddClause(lits...)
 			} else {
 				// Exactly one placement per path (§5.5 flow path

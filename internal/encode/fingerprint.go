@@ -1,0 +1,121 @@
+package encode
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SwitchFingerprint content-hashes one switch's slice of the plan:
+// everything that determines the artifact generated for it — the chip
+// model, the placed instructions per algorithm, the concrete table
+// allotments (including extern shard geometry), the switch's bridge
+// exports, and the network-wide bridge header layout (which shapes the
+// parser and header declarations on every bridging switch). Two plans
+// assigning a switch identical fingerprints generate byte-identical code
+// for it, so incremental recompilation can skip reprogramming the device.
+func (p *Plan) SwitchFingerprint(sw string) string {
+	var b strings.Builder
+	net := p.Input.Net
+	if s := net.Switch(sw); s != nil {
+		fmt.Fprintf(&b, "model=%s\n", s.ASIC.Name)
+	}
+	for _, alg := range sortedKeys(p.Placement) {
+		var ids []int
+		for id, hosts := range p.Placement[alg] {
+			for _, h := range hosts {
+				if h == sw {
+					ids = append(ids, id)
+					break
+				}
+			}
+		}
+		if len(ids) == 0 {
+			continue
+		}
+		sort.Ints(ids)
+		fmt.Fprintf(&b, "alg=%s ids=%v\n", alg, ids)
+	}
+	for _, pt := range p.Tables[sw] {
+		fmt.Fprintf(&b, "table=%s entries=%d shard=%d/%d\n",
+			pt.Name, pt.Entries, pt.ShardIndex, pt.ShardCount)
+	}
+	for _, bv := range p.Bridges[sw] {
+		fmt.Fprintf(&b, "export=%s.%s bits=%d hit=%v\n", bv.Alg, bv.Var, bv.Bits, bv.Hit)
+	}
+	// Global bridge layout: a switch that imports or exports anything is
+	// sensitive to the full field list of the lyra_bridge header; switches
+	// with no bridge involvement are not invalidated by layout changes.
+	if p.bridgeInvolved(sw) {
+		var fields []string
+		for _, other := range sortedKeys(p.Bridges) {
+			for _, bv := range p.Bridges[other] {
+				fields = append(fields, fmt.Sprintf("%s.%s:%d", bv.Alg, bv.Var, bv.Bits))
+			}
+		}
+		sort.Strings(fields)
+		fmt.Fprintf(&b, "bridge-layout=%v\n", fields)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// bridgeInvolved reports whether a switch touches the lyra_bridge header:
+// it exports a variable, or one of its placed instructions reads a
+// variable some other switch exports (an import, mirroring
+// backend.importsOf).
+func (p *Plan) bridgeInvolved(sw string) bool {
+	if len(p.Bridges[sw]) > 0 {
+		return true
+	}
+	for _, a := range p.Input.IR.Algorithms {
+		placed := p.Placement[a.Name]
+		if placed == nil {
+			continue
+		}
+		for _, in := range a.Instrs {
+			hosted := false
+			for _, h := range placed[in.ID] {
+				if h == sw {
+					hosted = true
+					break
+				}
+			}
+			if !hosted {
+				continue
+			}
+			for _, v := range in.Reads() {
+				for other, bvs := range p.Bridges {
+					if other == sw {
+						continue
+					}
+					for _, bv := range bvs {
+						if bv.Var == v {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Fingerprints hashes every switch hosting anything in the plan.
+func (p *Plan) Fingerprints() map[string]string {
+	hosts := map[string]bool{}
+	for _, m := range p.Placement {
+		for _, hs := range m {
+			for _, h := range hs {
+				hosts[h] = true
+			}
+		}
+	}
+	out := map[string]string{}
+	for h := range hosts {
+		out[h] = p.SwitchFingerprint(h)
+	}
+	return out
+}

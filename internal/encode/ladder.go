@@ -1,0 +1,235 @@
+package encode
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"lyra/internal/ir"
+	"lyra/internal/scope"
+	"lyra/internal/smt"
+)
+
+// Relaxation is one rung of the fallback ladder: a concession the solver
+// makes when the previous attempt failed, in declared priority order.
+type Relaxation int
+
+// Ladder rungs.
+const (
+	// RelaxObjective drops the optimization objective to first-feasible
+	// (ObjNone). Applicable when an optimizing solve ran out of budget:
+	// feasibility is much cheaper than optimality.
+	RelaxObjective Relaxation = iota
+	// EscalateBudget multiplies the conflict budget by 8 and retries.
+	// Applicable when the conflict budget (not the clock) ran out.
+	EscalateBudget
+	// RelaxReplication turns the exactly-one-placement-per-path constraint
+	// into at-least-one for algorithms proven safe to re-execute (no
+	// stateful, environment-reading, or self-overwriting instructions).
+	// Replicating work at extra hops wastes resources but can recover
+	// feasibility on a degraded network.
+	RelaxReplication
+)
+
+func (r Relaxation) String() string {
+	switch r {
+	case RelaxObjective:
+		return "relax-objective"
+	case EscalateBudget:
+		return "escalate-budget"
+	case RelaxReplication:
+		return "relax-replication"
+	}
+	return fmt.Sprintf("relaxation(%d)", int(r))
+}
+
+// DefaultLadder returns the standard fallback priority order.
+func DefaultLadder() []Relaxation {
+	return []Relaxation{RelaxObjective, EscalateBudget, RelaxReplication}
+}
+
+// applicable reports whether the rung can help after the given failure.
+func (r Relaxation) applicable(cfg attemptCfg, err error, in *Input) bool {
+	switch r {
+	case RelaxObjective:
+		// Dropping the objective only helps if one was set, and only for
+		// budget exhaustion (an infeasible core stays infeasible).
+		return cfg.objective != ObjNone && errors.Is(err, smt.ErrBudget)
+	case EscalateBudget:
+		// More conflicts only help when conflicts were the limit.
+		return errors.Is(err, smt.ErrConflictBudget)
+	case RelaxReplication:
+		if cfg.replicate {
+			return false
+		}
+		if !errors.Is(err, ErrInfeasible) && !errors.Is(err, smt.ErrBudget) {
+			return false
+		}
+		return len(replicableAlgs(in)) > 0
+	}
+	return false
+}
+
+// apply mutates the attempt configuration.
+func (r Relaxation) apply(cfg *attemptCfg, in *Input) {
+	switch r {
+	case RelaxObjective:
+		cfg.objective = ObjNone
+	case EscalateBudget:
+		if cfg.conflictBudget > 0 {
+			cfg.conflictBudget *= 8
+		}
+	case RelaxReplication:
+		cfg.replicate = true
+	}
+}
+
+// describe renders what the rung gives up, for the Diagnostics trail.
+func (r Relaxation) describe(cfg attemptCfg, in *Input) string {
+	switch r {
+	case RelaxObjective:
+		return fmt.Sprintf("optimization objective %v dropped: accepting first feasible placement", cfg.objective)
+	case EscalateBudget:
+		return fmt.Sprintf("conflict budget escalated %d -> %d", cfg.conflictBudget, cfg.conflictBudget*8)
+	case RelaxReplication:
+		algs := sortedKeys(replicableAlgs(in))
+		return fmt.Sprintf("exactly-one placement relaxed to coverage for %s: instructions may execute at multiple hops", strings.Join(algs, ","))
+	}
+	return r.String()
+}
+
+// nextRung finds the first applicable rung on the remaining ladder. It
+// returns the rung, the ladder with everything up to and including the
+// rung consumed, and whether one was found.
+func nextRung(ladder []Relaxation, cfg attemptCfg, err error, in *Input) (Relaxation, []Relaxation, bool) {
+	for i, r := range ladder {
+		if r.applicable(cfg, err, in) {
+			return r, ladder[i+1:], true
+		}
+	}
+	return 0, nil, false
+}
+
+// replicableAlgs returns the MULTI-SW algorithms whose instructions are
+// safe to re-execute at multiple hops along a path: no switch-local state
+// (globals), no environment reads (library calls differ per switch), no
+// control-plane writes, and no instruction reading a header field the
+// algorithm also writes (re-execution downstream would observe the
+// modified value and diverge).
+func replicableAlgs(in *Input) map[string]bool {
+	out := map[string]bool{}
+	for _, a := range in.IR.Algorithms {
+		rs := in.Scopes[a.Name]
+		if rs == nil || rs.Deploy != scope.MultiSwitch {
+			continue
+		}
+		if replicable(a) {
+			out[a.Name] = true
+		}
+	}
+	return out
+}
+
+func replicable(a *ir.Algorithm) bool {
+	written := map[string]bool{}
+	for _, in := range a.Instrs {
+		switch in.Op {
+		case ir.IGlobalRead, ir.IGlobalWrite, ir.ILib, ir.IExternInsert:
+			return false
+		}
+		if in.Dest.Kind == ir.DestField {
+			written[in.Dest.Hdr+"."+in.Dest.Field] = true
+		}
+	}
+	for _, in := range a.Instrs {
+		for _, arg := range in.Args {
+			if arg.Kind == ir.OpdField && written[arg.Hdr+"."+arg.Field] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Attempt records one solve attempt of the fallback ladder.
+type Attempt struct {
+	// Step is "initial" or the relaxation that preceded this attempt.
+	Step           string
+	Objective      Objective
+	ConflictBudget int64
+	Replication    bool
+	// Outcome is "sat", "infeasible", "timeout", "conflict-budget", or
+	// "error".
+	Outcome  string
+	Err      string
+	Duration time.Duration
+}
+
+// Diagnostics is the structured degradation trail of a solve: every
+// attempt made and every concession granted, in order, so a caller (or an
+// operator reading logs) knows exactly what a returned plan gave up.
+type Diagnostics struct {
+	Attempts []Attempt
+	// Degraded lists, in ladder order, human-readable descriptions of each
+	// concession that was applied.
+	Degraded []string
+}
+
+func (d *Diagnostics) record(step string, cfg attemptCfg, err error, dur time.Duration) {
+	a := Attempt{
+		Step:           step,
+		Objective:      cfg.objective,
+		ConflictBudget: cfg.conflictBudget,
+		Replication:    cfg.replicate,
+		Outcome:        outcomeOf(err),
+		Duration:       dur,
+	}
+	if err != nil {
+		a.Err = err.Error()
+	}
+	d.Attempts = append(d.Attempts, a)
+}
+
+// FellBack reports whether the plan required any concession.
+func (d *Diagnostics) FellBack() bool { return d != nil && len(d.Degraded) > 0 }
+
+// Summary renders the trail compactly: "initial:timeout -> relax-objective:sat".
+func (d *Diagnostics) Summary() string {
+	if d == nil || len(d.Attempts) == 0 {
+		return "no attempts"
+	}
+	parts := make([]string, len(d.Attempts))
+	for i, a := range d.Attempts {
+		parts[i] = a.Step + ":" + a.Outcome
+	}
+	return strings.Join(parts, " -> ")
+}
+
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "sat"
+	case errors.Is(err, smt.ErrTimeout):
+		return "timeout"
+	case errors.Is(err, smt.ErrConflictBudget):
+		return "conflict-budget"
+	case errors.Is(err, ErrInfeasible):
+		return "infeasible"
+	}
+	return "error"
+}
+
+func (o Objective) String() string {
+	switch o {
+	case ObjNone:
+		return "none"
+	case ObjMinPlacements:
+		return "min-placements"
+	case ObjMinSwitches:
+		return "min-switches"
+	case ObjPreferSwitch:
+		return "prefer-switch"
+	}
+	return fmt.Sprintf("objective(%d)", int(o))
+}

@@ -181,32 +181,51 @@ type Resolved struct {
 	Paths    [][]string // flow paths within the scope (MULTI-SW only)
 }
 
+// ResolveOpts tunes scope resolution.
+type ResolveOpts struct {
+	// AllowMissing tolerates region or direction patterns that no longer
+	// match any switch — the situation after a failure removed devices the
+	// spec names explicitly. Resolution still fails if an entire region or
+	// direction endpoint set becomes empty, or no flow path survives.
+	AllowMissing bool
+}
+
 // Resolve binds every scope to the network, expanding region patterns and
 // enumerating flow paths.
 func (s *Spec) Resolve(net *topo.Network) (map[string]*Resolved, error) {
+	return s.ResolveWith(net, ResolveOpts{})
+}
+
+// ResolveWith is Resolve with explicit options; recompilation after a
+// fault uses AllowMissing so that a scope naming a dead switch degrades to
+// the surviving members instead of failing outright.
+func (s *Spec) ResolveWith(net *topo.Network, opts ResolveOpts) (map[string]*Resolved, error) {
 	out := map[string]*Resolved{}
 	for _, sc := range s.Scopes {
 		r := &Resolved{Scope: sc}
 		set := map[string]bool{}
 		for _, pat := range sc.Region {
 			matched := net.Match(pat)
-			if len(matched) == 0 {
+			if len(matched) == 0 && !opts.AllowMissing {
 				return nil, fmt.Errorf("scope %s: region pattern %q matches no switch", sc.Alg, pat)
 			}
 			for _, sw := range matched {
 				set[sw.Name] = true
 			}
 		}
+		if len(set) == 0 {
+			return nil, fmt.Errorf("scope %s: region %v matches no surviving switch", sc.Alg, sc.Region)
+		}
 		for name := range set {
 			r.Switches = append(r.Switches, name)
 		}
 		sort.Strings(r.Switches)
 		if sc.Deploy == MultiSwitch {
-			from, err := expand(net, sc.Direct.From)
+			from, err := expand(net, sc.Direct.From, opts)
 			if err != nil {
 				return nil, fmt.Errorf("scope %s: %w", sc.Alg, err)
 			}
-			to, err := expand(net, sc.Direct.To)
+			to, err := expand(net, sc.Direct.To, opts)
 			if err != nil {
 				return nil, fmt.Errorf("scope %s: %w", sc.Alg, err)
 			}
@@ -221,16 +240,19 @@ func (s *Spec) Resolve(net *topo.Network) (map[string]*Resolved, error) {
 	return out, nil
 }
 
-func expand(net *topo.Network, patterns []string) ([]string, error) {
+func expand(net *topo.Network, patterns []string, opts ResolveOpts) ([]string, error) {
 	set := map[string]bool{}
 	for _, p := range patterns {
 		ms := net.Match(p)
-		if len(ms) == 0 {
+		if len(ms) == 0 && !opts.AllowMissing {
 			return nil, fmt.Errorf("pattern %q matches no switch", p)
 		}
 		for _, m := range ms {
 			set[m.Name] = true
 		}
+	}
+	if len(set) == 0 {
+		return nil, fmt.Errorf("patterns %v match no surviving switch", patterns)
 	}
 	var out []string
 	for name := range set {

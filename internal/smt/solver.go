@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -29,8 +30,15 @@ func (s Status) String() string {
 }
 
 // ErrBudget is returned by Solve when the conflict or time budget runs out
-// before a verdict is reached.
+// before a verdict is reached. The concrete cause is one of the typed
+// errors below; all of them satisfy errors.Is(err, ErrBudget).
 var ErrBudget = errors.New("smt: solve budget exhausted")
+
+// ErrTimeout means the time budget or the caller's context expired.
+var ErrTimeout = fmt.Errorf("%w: time budget", ErrBudget)
+
+// ErrConflictBudget means the conflict budget ran out first.
+var ErrConflictBudget = fmt.Errorf("%w: conflict budget", ErrBudget)
 
 // Theory receives the solver's complete boolean assignments and may veto
 // them, in the style of DPLL(T). Check is invoked only on full assignments;
@@ -100,6 +108,16 @@ type Solver struct {
 	// Budget limits, applied per Solve call.
 	ConflictBudget int64
 	TimeBudget     time.Duration
+	// Ctx, when non-nil, cancels the search cooperatively: its deadline
+	// tightens the TimeBudget deadline and its cancellation aborts the
+	// solve with ErrTimeout at the next poll point.
+	Ctx context.Context
+
+	// pollStride counts propagations between abort polls; the poll runs on
+	// a conflict-count cadence as well so that neither a propagation-heavy
+	// nor a conflict-heavy search can overshoot the deadline.
+	lastPollProps int64
+	lastPollConfs int64
 }
 
 type watch struct {
@@ -523,6 +541,14 @@ func (s *Solver) Solve() (Status, error) {
 	if s.TimeBudget > 0 {
 		deadline = time.Now().Add(s.TimeBudget)
 	}
+	if s.Ctx != nil {
+		if d, ok := s.Ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+			deadline = d
+		}
+		if err := s.Ctx.Err(); err != nil {
+			return StatusUnknown, fmt.Errorf("%w (%v)", ErrTimeout, err)
+		}
+	}
 	conflictsAtStart := s.stats.Conflicts
 	restartNum := int64(0)
 
@@ -559,15 +585,18 @@ func (s *Solver) search(conflictLimit int64, deadline time.Time, confStart int64
 			}
 			s.decayActivities()
 			if s.ConflictBudget > 0 && s.stats.Conflicts-confStart > s.ConflictBudget {
-				return StatusUnknown, fmt.Errorf("%w: %d conflicts", ErrBudget, s.stats.Conflicts-confStart)
+				return StatusUnknown, fmt.Errorf("%w (%d conflicts)", ErrConflictBudget, s.stats.Conflicts-confStart)
+			}
+			if err := s.pollAbort(deadline); err != nil {
+				return StatusUnknown, err
 			}
 			if nConf >= conflictLimit {
 				return StatusUnknown, nil // restart
 			}
 			continue
 		}
-		if !deadline.IsZero() && s.stats.Conflicts%256 == 0 && time.Now().After(deadline) {
-			return StatusUnknown, fmt.Errorf("%w: time budget", ErrBudget)
+		if err := s.pollAbort(deadline); err != nil {
+			return StatusUnknown, err
 		}
 		s.reduceLearnts()
 		next := s.pickBranch()
@@ -607,6 +636,29 @@ func (s *Solver) search(conflictLimit int64, deadline time.Time, confStart int64
 		s.trailLim = append(s.trailLim, len(s.trail))
 		s.enqueue(next, reason{})
 	}
+}
+
+// pollAbort checks the deadline and the caller's context once enough
+// propagations or conflicts have accumulated since the last poll. The dual
+// cadence keeps the cost of time.Now negligible while ensuring that both
+// propagation-heavy and conflict-heavy search phases notice an expired
+// budget promptly (a pure conflict-count cadence can overshoot the deadline
+// by seconds in long unit-propagation chains).
+func (s *Solver) pollAbort(deadline time.Time) error {
+	if s.stats.Propagations-s.lastPollProps < 2048 && s.stats.Conflicts-s.lastPollConfs < 128 {
+		return nil
+	}
+	s.lastPollProps = s.stats.Propagations
+	s.lastPollConfs = s.stats.Conflicts
+	if s.Ctx != nil {
+		if err := s.Ctx.Err(); err != nil {
+			return fmt.Errorf("%w (%v)", ErrTimeout, err)
+		}
+	}
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		return ErrTimeout
+	}
+	return nil
 }
 
 // maxFalseLevel returns the highest decision level among the (false) literals

@@ -1,8 +1,11 @@
 package smt
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
+	"time"
 )
 
 func TestTrivialSat(t *testing.T) {
@@ -393,5 +396,94 @@ func TestPBWithTheory(t *testing.T) {
 	}
 	if m.Value(lits[0]) && m.Value(lits[1]) {
 		t.Error("theory veto ignored")
+	}
+}
+
+// hardUnsat builds an 8/7 pigeonhole instance: small to state, expensive to
+// refute — ideal for exercising budgets and cancellation.
+func hardUnsat(s *Solver) {
+	const P, H = 8, 7
+	var x [P][H]Lit
+	for p := 0; p < P; p++ {
+		var row []Lit
+		for h := 0; h < H; h++ {
+			x[p][h] = s.NewBool("")
+			row = append(row, x[p][h])
+		}
+		s.AddClause(row...)
+	}
+	for h := 0; h < H; h++ {
+		for p1 := 0; p1 < P; p1++ {
+			for p2 := p1 + 1; p2 < P; p2++ {
+				s.AddClause(x[p1][h].Not(), x[p2][h].Not())
+			}
+		}
+	}
+}
+
+func TestTypedConflictBudgetError(t *testing.T) {
+	s := NewSolver()
+	s.ConflictBudget = 10
+	hardUnsat(s)
+	st, err := s.Solve()
+	if st != StatusUnknown {
+		t.Fatalf("status = %v, want unknown", st)
+	}
+	if !errors.Is(err, ErrConflictBudget) {
+		t.Errorf("err = %v, want ErrConflictBudget", err)
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, must still satisfy ErrBudget", err)
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, must not be ErrTimeout", err)
+	}
+}
+
+func TestTypedTimeBudgetError(t *testing.T) {
+	s := NewSolver()
+	s.TimeBudget = time.Millisecond
+	hardUnsat(s)
+	st, err := s.Solve()
+	if st != StatusUnknown {
+		t.Fatalf("status = %v, want unknown", st)
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, must still satisfy ErrBudget", err)
+	}
+}
+
+func TestContextDeadlineAborts(t *testing.T) {
+	s := NewSolver()
+	const budget = 100 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	s.Ctx = ctx
+	hardUnsat(s)
+	start := time.Now()
+	st, err := s.Solve()
+	elapsed := time.Since(start)
+	// The solve may legitimately finish (UNSAT) before the deadline on a
+	// fast machine; what must never happen is blowing past 2x the budget.
+	if elapsed > 2*budget {
+		t.Fatalf("solve took %v, want <= %v", elapsed, 2*budget)
+	}
+	if st == StatusUnknown && !errors.Is(err, ErrTimeout) {
+		t.Errorf("aborted with err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestContextPreCancelled(t *testing.T) {
+	s := NewSolver()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Ctx = ctx
+	hardUnsat(s)
+	st, err := s.Solve()
+	if st != StatusUnknown || !errors.Is(err, ErrTimeout) {
+		t.Fatalf("got %v, %v; want unknown + ErrTimeout", st, err)
 	}
 }

@@ -42,7 +42,8 @@ func (n *Network) AddSwitch(name, layer string, model *asic.Model) (*Switch, err
 	return s, nil
 }
 
-// AddLink connects two switches bidirectionally.
+// AddLink connects two switches bidirectionally. Self-links and duplicate
+// links are rejected.
 func (n *Network) AddLink(a, b string) error {
 	if _, ok := n.byName[a]; !ok {
 		return fmt.Errorf("topo: unknown switch %q", a)
@@ -50,9 +51,86 @@ func (n *Network) AddLink(a, b string) error {
 	if _, ok := n.byName[b]; !ok {
 		return fmt.Errorf("topo: unknown switch %q", b)
 	}
+	if a == b {
+		return fmt.Errorf("topo: self-link on %q", a)
+	}
+	if n.adj[a][b] {
+		return fmt.Errorf("topo: duplicate link %s—%s", a, b)
+	}
 	n.adj[a][b] = true
 	n.adj[b][a] = true
 	return nil
+}
+
+// HasLink reports whether a direct link connects a and b.
+func (n *Network) HasLink(a, b string) bool { return n.adj[a][b] }
+
+// RemoveSwitch deletes a switch and every link touching it (a switch-down
+// fault). Removing an unknown switch is an error.
+func (n *Network) RemoveSwitch(name string) error {
+	if _, ok := n.byName[name]; !ok {
+		return fmt.Errorf("topo: remove unknown switch %q", name)
+	}
+	delete(n.byName, name)
+	for nb := range n.adj[name] {
+		delete(n.adj[nb], name)
+	}
+	delete(n.adj, name)
+	kept := n.Switches[:0]
+	for _, s := range n.Switches {
+		if s.Name != name {
+			kept = append(kept, s)
+		}
+	}
+	n.Switches = kept
+	return nil
+}
+
+// RemoveLink disconnects two switches (a link-down fault). Removing a link
+// that does not exist is an error.
+func (n *Network) RemoveLink(a, b string) error {
+	if !n.adj[a][b] {
+		return fmt.Errorf("topo: remove unknown link %s—%s", a, b)
+	}
+	delete(n.adj[a], b)
+	delete(n.adj[b], a)
+	return nil
+}
+
+// DegradeASIC swaps one switch's chip model for a (typically reduced)
+// replacement — a partial-failure or chip-swap event. The transform
+// receives the current model and returns the new one.
+func (n *Network) DegradeASIC(name string, transform func(*asic.Model) *asic.Model) error {
+	s := n.byName[name]
+	if s == nil {
+		return fmt.Errorf("topo: degrade unknown switch %q", name)
+	}
+	m := transform(s.ASIC)
+	if m == nil {
+		return fmt.Errorf("topo: degrade of %q produced a nil model", name)
+	}
+	s.ASIC = m
+	return nil
+}
+
+// Clone deep-copies the topology so that fault scenarios can be applied
+// without disturbing the original. Switch structs are copied (so DegradeASIC
+// on the clone leaves the original intact); ASIC models are shared, as they
+// are immutable registry values.
+func (n *Network) Clone() *Network {
+	c := New()
+	for _, s := range n.Switches {
+		cp := *s
+		c.Switches = append(c.Switches, &cp)
+		c.byName[cp.Name] = &cp
+		c.adj[cp.Name] = map[string]bool{}
+	}
+	for a, nbs := range n.adj {
+		for b := range nbs {
+			c.adj[a][b] = true
+		}
+	}
+	return c
 }
 
 // Switch returns a switch by name.

@@ -112,3 +112,135 @@ func TestSameSwitchPath(t *testing.T) {
 		t.Fatalf("paths = %v", paths)
 	}
 }
+
+func TestDuplicateLink(t *testing.T) {
+	n := New()
+	n.AddSwitch("a", "ToR", asic.RMT)
+	n.AddSwitch("b", "Agg", asic.RMT)
+	if err := n.AddLink("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddLink("a", "b"); err == nil {
+		t.Error("duplicate link must fail")
+	}
+	// Same link named from the other end is still a duplicate.
+	if err := n.AddLink("b", "a"); err == nil {
+		t.Error("reversed duplicate link must fail")
+	}
+	if err := n.AddLink("a", "a"); err == nil {
+		t.Error("self-link must fail")
+	}
+}
+
+func TestRemoveSwitch(t *testing.T) {
+	n := Testbed()
+	if err := n.RemoveSwitch("ghost"); err == nil {
+		t.Fatal("removing a nonexistent switch must fail")
+	}
+	if err := n.RemoveSwitch("Agg3"); err != nil {
+		t.Fatal(err)
+	}
+	if n.Switch("Agg3") != nil {
+		t.Error("Agg3 still present")
+	}
+	if len(n.Switches) != 9 {
+		t.Errorf("switches = %d, want 9", len(n.Switches))
+	}
+	// Neighbor adjacency must not dangle.
+	for _, nb := range n.Neighbors("ToR3") {
+		if nb == "Agg3" {
+			t.Error("ToR3 still adjacent to removed Agg3")
+		}
+	}
+	if n.HasLink("ToR3", "Agg3") {
+		t.Error("link ToR3-Agg3 survived switch removal")
+	}
+	// A second removal of the same switch fails.
+	if err := n.RemoveSwitch("Agg3"); err == nil {
+		t.Error("double removal must fail")
+	}
+}
+
+func TestRemoveLink(t *testing.T) {
+	n := Testbed()
+	if !n.HasLink("ToR3", "Agg3") {
+		t.Fatal("testbed should link ToR3-Agg3")
+	}
+	if err := n.RemoveLink("ToR3", "Agg3"); err != nil {
+		t.Fatal(err)
+	}
+	if n.HasLink("ToR3", "Agg3") || n.HasLink("Agg3", "ToR3") {
+		t.Error("link survived removal")
+	}
+	if err := n.RemoveLink("ToR3", "Agg3"); err == nil {
+		t.Error("removing a missing link must fail")
+	}
+	// Paths through the dead link disappear; the Agg4 path survives.
+	paths := n.Paths([]string{"Agg3", "Agg4"}, []string{"ToR3"}, []string{"Agg3", "Agg4", "ToR3"})
+	for _, p := range paths {
+		for i := 0; i+1 < len(p); i++ {
+			if p[i] == "Agg3" && p[i+1] == "ToR3" {
+				t.Errorf("path %v uses removed link", p)
+			}
+		}
+	}
+	if len(paths) == 0 {
+		t.Error("no surviving paths at all")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := Testbed()
+	c := n.Clone()
+	if err := c.RemoveSwitch("Agg3"); err != nil {
+		t.Fatal(err)
+	}
+	if n.Switch("Agg3") == nil {
+		t.Error("removal from clone mutated the original")
+	}
+	if !n.HasLink("ToR3", "Agg3") {
+		t.Error("original lost a link")
+	}
+	if err := c.DegradeASIC("ToR1", func(m *asic.Model) *asic.Model {
+		return asic.Scale(m, 0.5, 1, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, orig := c.Switch("ToR1").ASIC.Stages, n.Switch("ToR1").ASIC.Stages; got >= orig {
+		t.Errorf("clone ToR1 stages = %d, want < original %d", got, orig)
+	}
+}
+
+func TestDegradeASIC(t *testing.T) {
+	n := Testbed()
+	orig := n.Switch("ToR1").ASIC
+	if err := n.DegradeASIC("ghost", nil); err == nil {
+		t.Fatal("degrading a nonexistent switch must fail")
+	}
+	if err := n.DegradeASIC("ToR1", func(m *asic.Model) *asic.Model {
+		return asic.Scale(m, 0.5, 0.25, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := n.Switch("ToR1").ASIC
+	if got.Stages != orig.Stages/2 {
+		t.Errorf("stages = %d, want %d", got.Stages, orig.Stages/2)
+	}
+	if got.SRAMBlocks != orig.SRAMBlocks/4 {
+		t.Errorf("sram = %d, want %d", got.SRAMBlocks, orig.SRAMBlocks/4)
+	}
+	if got.PHV32 != orig.PHV32 {
+		t.Errorf("phv untouched factor changed: %d vs %d", got.PHV32, orig.PHV32)
+	}
+	// The shared model value must not have been mutated in place.
+	if orig.Stages != Testbed().Switch("ToR1").ASIC.Stages {
+		t.Error("Scale mutated the shared chip model")
+	}
+}
+
+func TestScaleClampsToOne(t *testing.T) {
+	m := asic.Scale(asic.Tofino32Q, 0.0001, 0.0001, 0.0001)
+	if m.Stages < 1 || m.SRAMBlocks < 1 || m.PHV8 < 1 || m.ParserEntries < 1 {
+		t.Errorf("degraded model has zeroed resources: %+v", m)
+	}
+}

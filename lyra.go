@@ -24,9 +24,11 @@
 package lyra
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"time"
 
 	"lyra/internal/asic"
@@ -34,7 +36,9 @@ import (
 	"lyra/internal/core"
 	"lyra/internal/dataplane"
 	"lyra/internal/encode"
+	"lyra/internal/faults"
 	"lyra/internal/ir"
+	"lyra/internal/smt"
 	"lyra/internal/topo"
 	"lyra/internal/verify"
 )
@@ -106,6 +110,83 @@ const (
 	ObjectivePreferSwitch = encode.ObjPreferSwitch
 )
 
+// Typed solver errors. All budget errors satisfy errors.Is(err, ErrBudget);
+// ErrTimeout and ErrConflictBudget discriminate which limit was hit.
+var (
+	// ErrBudget is the umbrella: the solver ran out of some budget.
+	ErrBudget = smt.ErrBudget
+	// ErrTimeout means the wall-clock deadline (SolveBudget or a context
+	// deadline/cancellation) expired.
+	ErrTimeout = smt.ErrTimeout
+	// ErrConflictBudget means the conflict budget was exhausted.
+	ErrConflictBudget = smt.ErrConflictBudget
+	// ErrInfeasible means the program provably does not fit the network.
+	ErrInfeasible = encode.ErrInfeasible
+)
+
+// Fault-injection surface (re-exported from internal/faults): scenarios
+// describe network events, generators enumerate them deterministically, and
+// Recompile recovers from them.
+type (
+	// Scenario is a named sequence of fault events.
+	Scenario = faults.Scenario
+	// FaultEvent is one network event (switch-down, link-down, degrade).
+	FaultEvent = faults.Event
+	// Delta reports which switches a recompilation must reprogram.
+	Delta = core.Delta
+	// Diagnostics is the solver's fallback-ladder trail.
+	Diagnostics = encode.Diagnostics
+)
+
+// Fault-event constructors.
+var (
+	// SwitchDown fails a switch, removing it and its links.
+	SwitchDown = faults.SwitchDown
+	// LinkDown fails the link between two switches.
+	LinkDown = faults.LinkDown
+	// Degrade scales a switch's ASIC resources by the given factors.
+	Degrade = faults.Degrade
+)
+
+// Deterministic scenario generators.
+var (
+	// SingleSwitchFailures yields one switch-down scenario per switch.
+	SingleSwitchFailures = faults.SingleSwitchFailures
+	// SingleLinkFailures yields one link-down scenario per link.
+	SingleLinkFailures = faults.SingleLinkFailures
+	// KRandomFaults yields k distinct random faults from a seeded RNG.
+	KRandomFaults = faults.KRandomFaults
+)
+
+// InternalError wraps a panic that escaped the compiler pipeline. The
+// compiler is supposed to report all failures as ordinary errors; a panic
+// reaching the API boundary is a bug, surfaced with its stack rather than
+// crashing the embedding process (a network controller mid-failover).
+type InternalError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at the point of recovery.
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("lyra: internal error: %v", e.Value)
+}
+
+// recoverInternal converts a panic into an *InternalError assigned to *errp.
+func recoverInternal(errp *error) {
+	if v := recover(); v != nil {
+		*errp = &InternalError{Value: v, Stack: debug.Stack()}
+	}
+}
+
+// Pipeline indirection points, swapped by tests to exercise the panic
+// boundary without corrupting a real compile.
+var (
+	corePipeline      = core.CompileContext
+	recompilePipeline = core.Recompile
+)
+
 // Request is one compilation request.
 type Request struct {
 	// Source is the Lyra program text.
@@ -135,6 +216,12 @@ type Result struct {
 	Artifacts map[string]*Artifact
 	// Reports holds per-switch verification results (nil with SkipVerify).
 	Reports []Report
+	// Fingerprints content-hashes each programmed switch's plan slice;
+	// Recompile compares them to decide which devices need new code.
+	Fingerprints map[string]string
+	// Diagnostics records the solver's fallback ladder: every attempt and
+	// every concession (nil means the field was not populated).
+	Diagnostics *Diagnostics
 	// CompileTime is the wall-clock cost of the whole pipeline.
 	CompileTime time.Duration
 	// SolveTime is the SMT portion.
@@ -142,13 +229,67 @@ type Result struct {
 
 	plan *encode.Plan
 	irp  *ir.Program
+	cres *core.Result
+	creq core.Request
+	net  *Network
 }
 
 // Compile runs the full Lyra pipeline: parse, check, preprocess, analyze,
 // synthesize, encode, solve, translate, and verify. The pipeline itself
 // lives in internal/core.
 func Compile(req Request) (*Result, error) {
-	cres, err := core.Compile(core.Request{
+	return CompileContext(context.Background(), req)
+}
+
+// CompileContext is Compile with cooperative cancellation: cancelling ctx
+// (or hitting its deadline) aborts the SMT solve at its next poll point and
+// returns an error satisfying errors.Is(err, ErrTimeout).
+func CompileContext(ctx context.Context, req Request) (res *Result, err error) {
+	defer recoverInternal(&err)
+	creq := coreRequest(req)
+	cres, err := corePipeline(ctx, creq)
+	res = wrapResult(cres, creq, req.Network)
+	if err != nil {
+		return res, fmt.Errorf("lyra: %w", err)
+	}
+	return res, nil
+}
+
+// Recompile re-solves a previous compilation after the network suffers the
+// given fault scenario (§6.3's incremental loop). The degraded topology is
+// derived by applying sc to a clone of the previous network; the original
+// Network value is never mutated. Front-end work is reused, placement is
+// re-solved with the graceful-degradation ladder enabled, and switches whose
+// plan slice is unchanged keep their previous artifact byte-for-byte — the
+// returned Delta lists exactly which devices need reprogramming.
+func (r *Result) Recompile(sc Scenario) (*Result, *Delta, error) {
+	return r.RecompileContext(context.Background(), sc)
+}
+
+// RecompileContext is Recompile with cooperative cancellation.
+func (r *Result) RecompileContext(ctx context.Context, sc Scenario) (res *Result, delta *Delta, err error) {
+	defer recoverInternal(&err)
+	if r == nil || r.cres == nil {
+		return nil, nil, fmt.Errorf("lyra: recompile requires a completed compilation")
+	}
+	degraded := r.net.Clone()
+	if err := sc.Apply(degraded); err != nil {
+		return nil, nil, fmt.Errorf("lyra: applying scenario %s: %w", sc.Name, err)
+	}
+	cres, delta, err := recompilePipeline(ctx, r.cres, r.creq, degraded)
+	res = wrapResult(cres, r.creq, degraded)
+	if err != nil {
+		return res, delta, fmt.Errorf("lyra: recompile after %s: %w", sc.Name, err)
+	}
+	return res, delta, nil
+}
+
+// Network returns the topology this result was compiled against (after
+// Recompile, the degraded clone).
+func (r *Result) Network() *Network { return r.net }
+
+func coreRequest(req Request) core.Request {
+	return core.Request{
 		Source:       req.Source,
 		SourceName:   req.SourceName,
 		ScopeSpec:    req.ScopeSpec,
@@ -158,22 +299,26 @@ func Compile(req Request) (*Result, error) {
 		PreferSwitch: req.PreferSwitch,
 		SolveBudget:  req.SolveBudget,
 		SkipVerify:   req.SkipVerify,
-	})
-	var res *Result
-	if cres != nil {
-		res = &Result{
-			Artifacts:   cres.Artifacts,
-			Reports:     cres.Reports,
-			CompileTime: cres.CompileTime,
-			SolveTime:   cres.SolveTime,
-			plan:        cres.Plan,
-			irp:         cres.IR,
-		}
 	}
-	if err != nil {
-		return res, fmt.Errorf("lyra: %w", err)
+}
+
+func wrapResult(cres *core.Result, creq core.Request, net *Network) *Result {
+	if cres == nil {
+		return nil
 	}
-	return res, nil
+	return &Result{
+		Artifacts:    cres.Artifacts,
+		Reports:      cres.Reports,
+		Fingerprints: cres.Fingerprints,
+		Diagnostics:  cres.Diagnostics,
+		CompileTime:  cres.CompileTime,
+		SolveTime:    cres.SolveTime,
+		plan:         cres.Plan,
+		irp:          cres.IR,
+		cres:         cres,
+		creq:         creq,
+		net:          net,
+	}
 }
 
 // Switches lists the switches that received code, sorted.
