@@ -8,6 +8,7 @@ package lyra
 // table-split crossovers fall. EXPERIMENTS.md records paper-vs-measured.
 
 import (
+	"context"
 	"testing"
 
 	"lyra/internal/asic"
@@ -158,6 +159,64 @@ func BenchmarkFigure10_NetCacheMulti_Trident_K32(b *testing.B) {
 }
 
 // --- §7.2 extensibility and §7.3 composition case studies ---
+
+// --- CI benchmark smoke: end-to-end compile on fat-tree pods ---
+//
+// The bench-smoke CI job runs `go test -bench=Compile -benchtime=1x` over
+// these to track the perf trajectory per commit; the Serial variants pin
+// the same workload to one worker so the parallel speedup is visible in
+// the same run. The workload is the five-algorithm service chain spread
+// over disjoint switch groups of the pod, so every concurrent stage of the
+// pipeline is exercised: component solving, per-switch code emission, and
+// verification.
+
+func fatTreeChainScopes(k int) string {
+	algs := []string{"classifier", "firewall", "gateway", "chain_lb", "scheduler"}
+	// Distribute the pod's switches round-robin over the algorithms. Every
+	// algorithm needs a scope, so when the pod has fewer switches than
+	// algorithms the tail wraps around and shares switches (fusing those
+	// components); with k >= 5 the scopes are fully disjoint and the
+	// placement splits into one component per algorithm.
+	names := FatTreePod(k, Tofino32Q).Names()
+	groups := make([][]string, len(algs))
+	for i, sw := range names {
+		groups[i%len(algs)] = append(groups[i%len(algs)], sw)
+	}
+	for i := len(names); i < len(algs); i++ {
+		groups[i] = append(groups[i], names[i%len(names)])
+	}
+	scopeSpec := ""
+	for i, a := range algs {
+		scopeSpec += a + ": [ "
+		for j, sw := range groups[i] {
+			if j > 0 {
+				scopeSpec += ","
+			}
+			scopeSpec += sw
+		}
+		scopeSpec += " | PER-SW | - ]\n"
+	}
+	return scopeSpec
+}
+
+func benchCompileFatTree(b *testing.B, k, workers int) {
+	b.Helper()
+	src := loadProgram(b, "composition")
+	scopeSpec := fatTreeChainScopes(k)
+	net := FatTreePod(k, Tofino32Q)
+	c := New(WithParallelism(workers))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compile(context.Background(), src, scopeSpec, net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileFatTreeK4(b *testing.B)       { benchCompileFatTree(b, 4, 0) }
+func BenchmarkCompileFatTreeK4Serial(b *testing.B) { benchCompileFatTree(b, 4, 1) }
+func BenchmarkCompileFatTreeK8(b *testing.B)       { benchCompileFatTree(b, 8, 0) }
+func BenchmarkCompileFatTreeK8Serial(b *testing.B) { benchCompileFatTree(b, 8, 1) }
 
 func BenchmarkExtensibilityCase(b *testing.B) {
 	for i := 0; i < b.N; i++ {

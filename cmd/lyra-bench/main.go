@@ -3,12 +3,14 @@
 //
 //	lyra-bench -experiment fig9     # Figure 9: portability comparison table
 //	lyra-bench -experiment fig10    # Figure 10: compile-time scalability
+//	lyra-bench -experiment phases   # per-phase timing breakdown (+ JSON via -out)
 //	lyra-bench -experiment ext      # §7.2 extensibility case study
 //	lyra-bench -experiment comp     # §7.3 composition case study
 //	lyra-bench -experiment all
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,8 +22,10 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig9 | fig10 | ext | comp | ablation | all")
-		ks         = flag.String("k", "4,8,16,24,32", "fat-tree sizes for fig10")
+		experiment = flag.String("experiment", "all", "fig9 | fig10 | phases | ext | comp | ablation | all")
+		ks         = flag.String("k", "4,8,16,24,32", "fat-tree sizes for fig10 and phases")
+		parallel   = flag.Int("parallel", 0, "worker pool size for phases (0 = all CPUs)")
+		outPath    = flag.String("out", "", "write the phases breakdown as JSON to this file")
 	)
 	flag.Parse()
 
@@ -47,13 +51,9 @@ func main() {
 	})
 
 	run("fig10", func() error {
-		var sizes []int
-		for _, s := range strings.Split(*ks, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil {
-				return fmt.Errorf("bad -k: %w", err)
-			}
-			sizes = append(sizes, n)
+		sizes, err := parseKs(*ks)
+		if err != nil {
+			return err
 		}
 		points, err := eval.Figure10(sizes)
 		if err != nil {
@@ -62,6 +62,31 @@ func main() {
 		fmt.Println("== Figure 10: compile-time scalability ==")
 		fmt.Print(eval.FormatFigure10(points))
 		fmt.Println()
+		return nil
+	})
+
+	run("phases", func() error {
+		sizes, err := parseKs(*ks)
+		if err != nil {
+			return err
+		}
+		points, err := eval.PhaseBreakdown(sizes, *parallel)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Per-phase compile-time breakdown ==")
+		fmt.Print(eval.FormatPhases(points))
+		fmt.Println()
+		if *outPath != "" {
+			data, err := json.MarshalIndent(points, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *outPath)
+		}
 		return nil
 	})
 
@@ -97,4 +122,17 @@ func main() {
 		fmt.Println()
 		return nil
 	})
+}
+
+// parseKs parses the comma-separated -k list.
+func parseKs(ks string) ([]int, error) {
+	var sizes []int
+	for _, s := range strings.Split(ks, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("bad -k: %w", err)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
 }

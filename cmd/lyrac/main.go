@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,8 @@ func main() {
 		dialect     = flag.String("dialect", "p4_14", "P4 dialect for P4 chips: p4_14 or p4_16")
 		objective   = flag.String("objective", "none", "placement objective: none, min-placements, min-switches, prefer:<switch>")
 		outDir      = flag.String("out", "lyra-out", "output directory")
+		parallel    = flag.Int("parallel", 0, "worker pool size (0 = all CPUs, 1 = sequential)")
+		phases      = flag.Bool("phases", false, "print the per-phase timing breakdown")
 		quiet       = flag.Bool("q", false, "suppress the per-switch summary")
 	)
 	flag.Parse()
@@ -50,34 +53,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	req := lyra.Request{
-		Source:     string(src),
-		SourceName: *programPath,
-		ScopeSpec:  string(scopeText),
-		Network:    net,
+	opts := []lyra.Option{
+		lyra.WithSourceName(*programPath),
+		lyra.WithParallelism(*parallel),
 	}
 	switch strings.ToLower(*dialect) {
 	case "p4_14", "p414":
-		req.Dialect = lyra.P414
+		opts = append(opts, lyra.WithDialect(lyra.P414))
 	case "p4_16", "p416":
-		req.Dialect = lyra.P416
+		opts = append(opts, lyra.WithDialect(lyra.P416))
 	default:
 		fatal(fmt.Errorf("unknown dialect %q", *dialect))
 	}
 	switch {
 	case strings.EqualFold(*objective, "none"):
-		req.Objective = lyra.ObjectiveNone
 	case strings.EqualFold(*objective, "min-placements"):
-		req.Objective = lyra.ObjectiveMinPlacements
+		opts = append(opts, lyra.WithObjective(lyra.ObjectiveMinPlacements))
 	case strings.EqualFold(*objective, "min-switches"):
-		req.Objective = lyra.ObjectiveMinSwitches
+		opts = append(opts, lyra.WithObjective(lyra.ObjectiveMinSwitches))
 	case strings.HasPrefix(*objective, "prefer:"):
-		req.Objective = lyra.ObjectivePreferSwitch
-		req.PreferSwitch = strings.TrimPrefix(*objective, "prefer:")
+		opts = append(opts, lyra.WithPreferSwitch(strings.TrimPrefix(*objective, "prefer:")))
 	default:
 		fatal(fmt.Errorf("unknown objective %q", *objective))
 	}
-	res, err := lyra.Compile(req)
+	res, err := lyra.New(opts...).Compile(context.Background(), string(src), string(scopeText), net)
 	if err != nil {
 		fatal(err)
 	}
@@ -85,8 +84,19 @@ func main() {
 		fatal(err)
 	}
 	if !*quiet {
-		fmt.Printf("compiled %s in %s (solve %s)\n", *programPath,
-			res.CompileTime.Round(1e6), res.SolveTime.Round(1e6))
+		fmt.Printf("compiled %s in %s (solve %s, %d SMT instance(s))\n", *programPath,
+			res.CompileTime.Round(1e6), res.SolveTime.Round(1e6), res.SolveInstances)
+		if *phases {
+			for _, pt := range res.Phases {
+				fmt.Printf("  phase %-8s %s\n", pt.Phase, pt.Duration.Round(1e3))
+			}
+			st := res.SolverStats
+			fmt.Printf("  solver: %d decisions, %d propagations, %d conflicts, %d restarts\n",
+				st.Decisions, st.Propagations, st.Conflicts, st.Restarts)
+		}
+		if res.Diagnostics.FellBack() {
+			fmt.Printf("degraded solve:\n%s\n", res.Diagnostics)
+		}
 		for _, sw := range res.Switches() {
 			a := res.Artifact(sw)
 			fmt.Printf("  %-8s %-6s %4d LoC  %2d tables  %2d actions  %d registers\n",

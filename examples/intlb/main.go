@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -110,11 +111,7 @@ loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]
 `
 
 func main() {
-	res, err := lyra.Compile(lyra.Request{
-		Source:    program,
-		ScopeSpec: scopeSpec,
-		Network:   lyra.Testbed(),
-	})
+	res, err := lyra.New().Compile(context.Background(), program, scopeSpec, lyra.Testbed())
 	if err != nil {
 		log.Fatal(err)
 	}

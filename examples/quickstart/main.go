@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,15 +38,15 @@ algorithm loadbalancer {
 const scopeSpec = `loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]`
 
 func main() {
-	res, err := lyra.Compile(lyra.Request{
-		Source:    program,
-		ScopeSpec: scopeSpec,
-		Network:   lyra.Testbed(),
-	})
+	res, err := lyra.New().Compile(context.Background(), program, scopeSpec, lyra.Testbed())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("compiled in %s (SMT solve %s)\n\n", res.CompileTime.Round(1e6), res.SolveTime.Round(1e6))
+	fmt.Printf("compiled in %s (SMT solve %s)\n", res.CompileTime.Round(1e6), res.SolveTime.Round(1e6))
+	for _, pt := range res.Phases {
+		fmt.Printf("  phase %-8s %s\n", pt.Phase, pt.Duration.Round(1e3))
+	}
+	fmt.Println()
 	for _, sw := range res.Switches() {
 		art := res.Artifact(sw)
 		fmt.Printf("================ %s (%s, %s) ================\n", sw, art.Model.Name, art.Dialect)

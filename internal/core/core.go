@@ -21,6 +21,7 @@ import (
 	"lyra/internal/lang/checker"
 	"lyra/internal/lang/parser"
 	"lyra/internal/scope"
+	"lyra/internal/smt"
 	"lyra/internal/topo"
 	"lyra/internal/verify"
 )
@@ -37,6 +38,14 @@ type Request struct {
 	PreferSwitch string
 	SolveBudget  time.Duration
 	SkipVerify   bool
+	// Parallelism bounds the worker pools used for component solving,
+	// per-switch translation, and verification. <= 0 selects GOMAXPROCS;
+	// 1 forces a fully sequential pipeline. Results are identical at any
+	// setting — only wall-clock time changes.
+	Parallelism int
+	// Observer, when non-nil, receives a callback as each pipeline phase
+	// completes.
+	Observer Observer
 }
 
 // Result is a successful compilation, exposing every intermediate product
@@ -52,6 +61,18 @@ type Result struct {
 	// Diagnostics is the solver's fallback-ladder trail (what, if
 	// anything, was given up to reach the plan).
 	Diagnostics *encode.Diagnostics
+
+	// Phases is the per-phase timing breakdown, in pipeline order. The
+	// legacy CompileTime/SolveTime pair is derived from the same clock:
+	// CompileTime spans the whole pipeline, SolveTime equals the solve
+	// phase.
+	Phases []PhaseTiming
+	// SolverStats aggregates SAT-solver counters across every SMT instance
+	// solved for this result.
+	SolverStats smt.Stats
+	// SolveInstances counts the independent SMT instances solved (>1 when
+	// the placement problem split into disjoint components).
+	SolveInstances int
 
 	CompileTime time.Duration
 	SolveTime   time.Duration
@@ -91,32 +112,43 @@ func CompileContext(ctx context.Context, req Request) (*Result, error) {
 	if name == "" {
 		name = "input.lyra"
 	}
+	tr := &phaseTracker{obs: req.Observer}
 
 	// Front-end: checker (§4.1), preprocessor (§4.2), code analyzer (§4.3).
-	prog, err := parser.Parse(name, []byte(req.Source))
-	if err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
+	var irp *ir.Program
+	if err := tr.run(PhaseParse, func() error {
+		prog, err := parser.Parse(name, []byte(req.Source))
+		if err != nil {
+			return fmt.Errorf("parse: %w", err)
+		}
+		if err := checker.Check(prog); err != nil {
+			return fmt.Errorf("check: %w", err)
+		}
+		if irp, err = frontend.Preprocess(prog); err != nil {
+			return fmt.Errorf("preprocess: %w", err)
+		}
+		frontend.Analyze(irp)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	if err := checker.Check(prog); err != nil {
-		return nil, fmt.Errorf("check: %w", err)
-	}
-	irp, err := frontend.Preprocess(prog)
-	if err != nil {
-		return nil, fmt.Errorf("preprocess: %w", err)
-	}
-	frontend.Analyze(irp)
 
 	// Deployment inputs: algorithm scopes over the target topology (§3.3).
-	spec, err := scope.Parse(req.ScopeSpec)
-	if err != nil {
-		return nil, fmt.Errorf("scope: %w", err)
-	}
-	scopes, err := spec.Resolve(req.Network)
-	if err != nil {
-		return nil, fmt.Errorf("scope: %w", err)
+	var scopes map[string]*scope.Resolved
+	if err := tr.run(PhaseScope, func() error {
+		spec, err := scope.Parse(req.ScopeSpec)
+		if err != nil {
+			return fmt.Errorf("scope: %w", err)
+		}
+		if scopes, err = spec.Resolve(req.Network); err != nil {
+			return fmt.Errorf("scope: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
-	return solveAndTranslate(ctx, req, irp, req.Network, scopes, start, nil, nil)
+	return solveAndTranslate(ctx, req, irp, req.Network, scopes, start, tr, nil, nil)
 }
 
 // Recompile re-solves placement after a network change (the §6.3 loop):
@@ -133,15 +165,21 @@ func Recompile(ctx context.Context, prev *Result, req Request, net *topo.Network
 	if net == nil {
 		return nil, nil, fmt.Errorf("core: recompile requires a network")
 	}
-	spec, err := scope.Parse(req.ScopeSpec)
-	if err != nil {
-		return nil, nil, fmt.Errorf("scope: %w", err)
+	tr := &phaseTracker{obs: req.Observer}
+	var scopes map[string]*scope.Resolved
+	if err := tr.run(PhaseScope, func() error {
+		spec, err := scope.Parse(req.ScopeSpec)
+		if err != nil {
+			return fmt.Errorf("scope: %w", err)
+		}
+		if scopes, err = spec.ResolveWith(net, scope.ResolveOpts{AllowMissing: true}); err != nil {
+			return fmt.Errorf("scope: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return nil, nil, err
 	}
-	scopes, err := spec.ResolveWith(net, scope.ResolveOpts{AllowMissing: true})
-	if err != nil {
-		return nil, nil, fmt.Errorf("scope: %w", err)
-	}
-	res, err := solveAndTranslate(ctx, req, prev.IR, net, scopes, start, prev.Fingerprints, prev.Artifacts)
+	res, err := solveAndTranslate(ctx, req, prev.IR, net, scopes, start, tr, prev.Fingerprints, prev.Artifacts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -150,13 +188,15 @@ func Recompile(ctx context.Context, prev *Result, req Request, net *topo.Network
 
 // solveAndTranslate is the shared back half of the pipeline: encode +
 // solve, translate (incrementally when prev fingerprints are supplied),
-// and verify.
-func solveAndTranslate(ctx context.Context, req Request, irp *ir.Program, net *topo.Network, scopes map[string]*scope.Resolved, start time.Time, prevFPs map[string]string, prevArts map[string]*backend.Artifact) (*Result, error) {
+// and verify. Every stage is timed into tr; CompileTime is stamped last so
+// it spans the whole pipeline, verification included.
+func solveAndTranslate(ctx context.Context, req Request, irp *ir.Program, net *topo.Network, scopes map[string]*scope.Resolved, start time.Time, tr *phaseTracker, prevFPs map[string]string, prevArts map[string]*backend.Artifact) (*Result, error) {
 	// Back-end: synthesis + constraint encoding + SMT solve (§5).
 	opts := encode.DefaultOptions()
 	opts.Objective = req.Objective
 	opts.PreferSwitch = req.PreferSwitch
 	opts.Ctx = ctx
+	opts.Parallelism = req.Parallelism
 	if req.SolveBudget > 0 {
 		opts.TimeBudget = req.SolveBudget
 	}
@@ -164,12 +204,15 @@ func solveAndTranslate(ctx context.Context, req Request, irp *ir.Program, net *t
 	if err != nil {
 		return nil, err
 	}
-	fps := plan.Fingerprints()
+	tr.done(PhaseEncode, plan.EncodeTime)
+	tr.done(PhaseSolve, plan.SolveTime)
 
 	// Translation to chip-specific code (§5.7–§5.8). With previous
 	// fingerprints available, only changed switches are re-emitted; the
 	// rest reuse their existing artifacts byte-for-byte.
-	topts := &backend.Options{P4Dialect: req.Dialect}
+	cgStart := time.Now()
+	fps := plan.Fingerprints()
+	topts := &backend.Options{P4Dialect: req.Dialect, Parallelism: req.Parallelism}
 	reused := map[string]*backend.Artifact{}
 	if prevFPs != nil {
 		topts.Only = map[string]bool{}
@@ -188,25 +231,36 @@ func solveAndTranslate(ctx context.Context, req Request, irp *ir.Program, net *t
 	for sw, art := range reused {
 		arts[sw] = art
 	}
+	tr.done(PhaseCodegen, time.Since(cgStart))
 
 	res := &Result{
-		IR:           irp,
-		Plan:         plan,
-		Artifacts:    arts,
-		Fingerprints: fps,
-		Diagnostics:  plan.Diagnostics,
-		CompileTime:  time.Since(start),
-		SolveTime:    plan.SolveTime,
+		IR:             irp,
+		Plan:           plan,
+		Artifacts:      arts,
+		Fingerprints:   fps,
+		Diagnostics:    plan.Diagnostics,
+		SolverStats:    plan.Stats,
+		SolveInstances: plan.Instances,
+		SolveTime:      plan.SolveTime,
 	}
 	// Verification: the vendor-compiler stand-in (admission + emitted-code
 	// validation).
+	var verifyErr error
 	if !req.SkipVerify {
-		res.Reports = verify.Plan(plan, arts)
+		vStart := time.Now()
+		res.Reports = verify.PlanParallel(plan, arts, req.Parallelism)
+		tr.done(PhaseVerify, time.Since(vStart))
 		for _, r := range res.Reports {
 			if !r.OK {
-				return res, fmt.Errorf("verification failed on %s: %v", r.Switch, r.Problems)
+				verifyErr = fmt.Errorf("verification failed on %s: %v", r.Switch, r.Problems)
+				break
 			}
 		}
+	}
+	res.Phases = tr.phases
+	res.CompileTime = time.Since(start)
+	if verifyErr != nil {
+		return res, verifyErr
 	}
 	return res, nil
 }

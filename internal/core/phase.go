@@ -1,0 +1,80 @@
+package core
+
+import "time"
+
+// Phase names one stage of the compilation pipeline (Figure 3). The set is
+// fixed: every successful compile reports all six, in pipeline order.
+type Phase string
+
+// Pipeline phases, in execution order.
+const (
+	// PhaseParse covers the whole front-end: parsing, the checker (§4.1),
+	// the preprocessor (§4.2), and the code analyzer (§4.3).
+	PhaseParse Phase = "parse"
+	// PhaseScope is deployment-scope parsing and resolution over the
+	// target topology (§3.3).
+	PhaseScope Phase = "scope"
+	// PhaseEncode is constraint construction: table synthesis plus clause
+	// generation for every SMT instance (§5.4–§5.6).
+	PhaseEncode Phase = "encode"
+	// PhaseSolve is the SMT search itself, fallback-ladder attempts
+	// included.
+	PhaseSolve Phase = "solve"
+	// PhaseCodegen is per-switch translation to chip code and control-plane
+	// stubs (§5.7–§5.8), plus plan fingerprinting.
+	PhaseCodegen Phase = "codegen"
+	// PhaseVerify is per-switch re-admission and emitted-code linting.
+	PhaseVerify Phase = "verify"
+)
+
+// Phases lists every pipeline phase in execution order.
+func Phases() []Phase {
+	return []Phase{PhaseParse, PhaseScope, PhaseEncode, PhaseSolve, PhaseCodegen, PhaseVerify}
+}
+
+// PhaseTiming is one completed phase with its wall-clock duration. The
+// encode and solve phases of a concurrent solve are proportional
+// attributions of the solver's wall time (per-instance work overlaps); all
+// other phases are direct measurements.
+type PhaseTiming struct {
+	Phase    Phase
+	Duration time.Duration
+}
+
+// Observer receives a callback as each pipeline phase completes, in
+// pipeline order. Implementations must be cheap and must not retain the
+// goroutine: the callback runs inline on the compiling goroutine.
+type Observer interface {
+	ObservePhase(PhaseTiming)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(PhaseTiming)
+
+// ObservePhase implements Observer.
+func (f ObserverFunc) ObservePhase(t PhaseTiming) { f(t) }
+
+// phaseTracker accumulates the per-phase breakdown during one pipeline run
+// and forwards each completed phase to the optional observer.
+type phaseTracker struct {
+	obs    Observer
+	phases []PhaseTiming
+}
+
+// run measures fn as one phase, recording it even when fn fails so partial
+// runs still account for the time they spent.
+func (pt *phaseTracker) run(p Phase, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	pt.done(p, time.Since(start))
+	return err
+}
+
+// done records an externally measured phase duration.
+func (pt *phaseTracker) done(p Phase, d time.Duration) {
+	t := PhaseTiming{Phase: p, Duration: d}
+	pt.phases = append(pt.phases, t)
+	if pt.obs != nil {
+		pt.obs.ObservePhase(t)
+	}
+}

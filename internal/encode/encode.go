@@ -23,6 +23,7 @@ import (
 
 	"lyra/internal/asic"
 	"lyra/internal/ir"
+	"lyra/internal/par"
 	"lyra/internal/scope"
 	"lyra/internal/smt"
 	"lyra/internal/synth"
@@ -81,6 +82,11 @@ type Options struct {
 	// ForceReplication applies RelaxReplication from the first attempt
 	// (experimentation hook; normally the ladder reaches it on demand).
 	ForceReplication bool
+	// Parallelism bounds the worker pool solving independent components
+	// concurrently. <= 0 selects GOMAXPROCS. The decomposition itself never
+	// depends on this value — only wall-clock time does — so any setting
+	// yields an identical Plan.
+	Parallelism int
 }
 
 // DefaultOptions returns the standard solver configuration.
@@ -128,8 +134,17 @@ type Plan struct {
 	// Shards maps extern name -> switch -> entries.
 	Shards map[string]map[string]int64
 
-	SolveTime time.Duration
-	Stats     smt.Stats
+	// EncodeTime and SolveTime split the wall-clock time Solve spent:
+	// constraint construction versus SMT search. With concurrent component
+	// solves the per-instance durations overlap, so the wall time is
+	// attributed proportionally; the two always sum to the full Solve call.
+	EncodeTime time.Duration
+	SolveTime  time.Duration
+	// Stats aggregates solver counters across every SMT instance solved.
+	Stats smt.Stats
+	// Instances counts the independent SMT instances solved (the number of
+	// disjoint components the placement problem split into).
+	Instances int
 	// Diagnostics is the fallback-ladder trail: one entry per solve
 	// attempt, recording what (if anything) was given up to reach a plan.
 	Diagnostics *Diagnostics
@@ -143,11 +158,17 @@ func (p *Plan) HostsOf(alg string, id int) []string {
 	return nil
 }
 
-// Solve encodes and solves the placement problem. When the first attempt
-// fails and opts.Ladder is non-empty, Solve walks the fallback ladder:
-// each applicable rung relaxes the configuration and the solve is retried,
-// with every attempt recorded in the plan's Diagnostics so the caller
-// knows exactly what was given up.
+// Solve encodes and solves the placement problem. The input is first
+// partitioned into independent components (disjoint algorithm scopes on
+// disjoint switch sets); each component is encoded and solved as its own
+// SMT instance on a bounded worker pool, and the per-component plans are
+// merged. Overlapping scopes fuse into one component, so a fully coupled
+// program degenerates to the original monolithic solve.
+//
+// When an attempt fails and opts.Ladder is non-empty, that component walks
+// the fallback ladder: each applicable rung relaxes the configuration and
+// the solve is retried, with every attempt recorded in the plan's
+// Diagnostics so the caller knows exactly what was given up.
 func Solve(in *Input, opts *Options) (*Plan, error) {
 	if opts == nil {
 		opts = DefaultOptions()
@@ -161,6 +182,54 @@ func Solve(in *Input, opts *Options) (*Plan, error) {
 	if opts.TimeBudget > 0 {
 		deadline = start.Add(opts.TimeBudget)
 	}
+
+	comps := Partition(in)
+	results := make([]componentResult, len(comps))
+	par.For(len(comps), opts.Parallelism, func(i int) {
+		label := ""
+		if len(comps) > 1 {
+			label = comps[i].Label()
+		}
+		r := &results[i]
+		r.plan, r.enc, r.slv, r.err = solveComponent(ctx, comps[i].In, opts, deadline, label)
+	})
+	// Deterministic error selection: the lowest-index failing component
+	// wins, regardless of which goroutine finished first.
+	for i, r := range results {
+		if r.err != nil {
+			if len(comps) > 1 {
+				return nil, fmt.Errorf("component %s: %w", comps[i].Label(), r.err)
+			}
+			return nil, r.err
+		}
+	}
+
+	plan := results[0].plan
+	if len(comps) > 1 {
+		plan = mergePlans(in, results)
+	}
+	plan.Instances = len(comps)
+
+	// Attribute the wall time of this call to encode vs. solve in
+	// proportion to the (possibly overlapping) per-instance durations, so
+	// EncodeTime + SolveTime always equals the caller-observed duration.
+	var encSum, slvSum time.Duration
+	for _, r := range results {
+		encSum += r.enc
+		slvSum += r.slv
+	}
+	wall := time.Since(start)
+	if tot := encSum + slvSum; tot > 0 {
+		plan.EncodeTime = time.Duration(float64(wall) * float64(encSum) / float64(tot))
+	}
+	plan.SolveTime = wall - plan.EncodeTime
+	return plan, nil
+}
+
+// solveComponent runs the fallback-ladder loop for one component,
+// accumulating how long was spent constructing constraints (enc) versus
+// searching (slv) across all attempts.
+func solveComponent(ctx context.Context, in *Input, opts *Options, deadline time.Time, label string) (plan *Plan, enc, slv time.Duration, err error) {
 	cfg := attemptCfg{
 		objective:      opts.Objective,
 		prefer:         opts.PreferSwitch,
@@ -172,25 +241,90 @@ func Solve(in *Input, opts *Options) (*Plan, error) {
 	step := "initial"
 	for {
 		aStart := time.Now()
-		plan, err := solveOnce(ctx, in, cfg, deadline)
-		diags.record(step, cfg, err, time.Since(aStart))
-		if err == nil {
-			plan.Diagnostics = diags
-			plan.SolveTime = time.Since(start)
-			return plan, nil
+		p, encDur, aerr := solveOnce(ctx, in, cfg, deadline)
+		aDur := time.Since(aStart)
+		enc += encDur
+		slv += aDur - encDur
+		diags.record(label, step, cfg, aerr, aDur)
+		if aerr == nil {
+			p.Diagnostics = diags
+			return p, enc, slv, nil
 		}
-		rung, rest, ok := nextRung(ladder, cfg, err, in)
+		rung, rest, ok := nextRung(ladder, cfg, aerr, in)
 		if !ok {
 			if len(diags.Attempts) > 1 {
-				return nil, fmt.Errorf("%w (after %d fallback attempts: %s)", err, len(diags.Attempts)-1, diags.Summary())
+				return nil, enc, slv, fmt.Errorf("%w (after %d fallback attempts: %s)", aerr, len(diags.Attempts)-1, diags.Summary())
 			}
-			return nil, err
+			return nil, enc, slv, aerr
 		}
 		ladder = rest
 		step = rung.String()
 		diags.Degraded = append(diags.Degraded, rung.describe(cfg, in))
 		rung.apply(&cfg, in)
 	}
+}
+
+// componentResult carries one component's solve outcome back from the
+// worker pool, slot-addressed by component index.
+type componentResult struct {
+	plan     *Plan
+	enc, slv time.Duration
+	err      error
+}
+
+// mergePlans unions per-component plans into one whole-program plan.
+// Components touch disjoint switch sets and disjoint algorithms, so the
+// switch-keyed maps union without collisions; Shards is keyed by extern
+// name, which two components may share, so its inner per-switch maps union
+// element-wise.
+func mergePlans(in *Input, results []componentResult) *Plan {
+	merged := &Plan{
+		Input:       in,
+		Placement:   map[string]map[int][]string{},
+		Tables:      map[string][]*PlacedTable{},
+		Bridges:     map[string][]BridgeVar{},
+		Allocations: map[string]*asic.Allocation{},
+		Shards:      map[string]map[string]int64{},
+		Diagnostics: &Diagnostics{},
+	}
+	for _, r := range results {
+		p := r.plan
+		for alg, m := range p.Placement {
+			merged.Placement[alg] = m
+		}
+		for sw, ts := range p.Tables {
+			merged.Tables[sw] = ts
+		}
+		for sw, bs := range p.Bridges {
+			merged.Bridges[sw] = bs
+		}
+		for sw, al := range p.Allocations {
+			merged.Allocations[sw] = al
+		}
+		for ext, bySwitch := range p.Shards {
+			if merged.Shards[ext] == nil {
+				merged.Shards[ext] = map[string]int64{}
+			}
+			for sw, n := range bySwitch {
+				merged.Shards[ext][sw] = n
+			}
+		}
+		merged.Stats.Add(p.Stats)
+		if d := p.Diagnostics; d != nil {
+			merged.Diagnostics.Attempts = append(merged.Diagnostics.Attempts, d.Attempts...)
+			for _, deg := range d.Degraded {
+				label := ""
+				if len(d.Attempts) > 0 {
+					label = d.Attempts[0].Component
+				}
+				if label != "" {
+					deg = "component " + label + ": " + deg
+				}
+				merged.Diagnostics.Degraded = append(merged.Diagnostics.Degraded, deg)
+			}
+		}
+	}
+	return merged
 }
 
 // attemptCfg is the mutable configuration one ladder rung can relax.
@@ -201,21 +335,26 @@ type attemptCfg struct {
 	replicate      bool
 }
 
-// solveOnce runs a single encode+solve attempt under the given config.
-func solveOnce(ctx context.Context, in *Input, cfg attemptCfg, deadline time.Time) (*Plan, error) {
+// solveOnce runs a single encode+solve attempt under the given config. The
+// returned duration is the time spent constructing the constraint problem
+// (synthesis + clause generation), separated out so callers can report
+// encode vs. search time distinctly.
+func solveOnce(ctx context.Context, in *Input, cfg attemptCfg, deadline time.Time) (*Plan, time.Duration, error) {
+	encStart := time.Now()
 	enc, err := newEncoder(in, cfg.replicate)
 	if err != nil {
-		return nil, err
+		return nil, time.Since(encStart), err
 	}
 	if err := enc.encode(); err != nil {
-		return nil, err
+		return nil, time.Since(encStart), err
 	}
+	encDur := time.Since(encStart)
 	enc.solver.ConflictBudget = cfg.conflictBudget
 	enc.solver.Ctx = ctx
 	if !deadline.IsZero() {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			return nil, fmt.Errorf("encode: solver gave up: %w", smt.ErrTimeout)
+			return nil, encDur, fmt.Errorf("encode: solver gave up: %w", smt.ErrTimeout)
 		}
 		enc.solver.TimeBudget = remaining
 	}
@@ -269,19 +408,19 @@ func solveOnce(ctx context.Context, in *Input, cfg attemptCfg, deadline time.Tim
 	}
 	if st != smt.StatusSat {
 		if serr != nil {
-			return nil, fmt.Errorf("encode: solver gave up: %w", serr)
+			return nil, encDur, fmt.Errorf("encode: solver gave up: %w", serr)
 		}
-		return nil, fmt.Errorf("%w: the program does not fit the target network%s", ErrInfeasible, enc.lastTheoryHint())
+		return nil, encDur, fmt.Errorf("%w: the program does not fit the target network%s", ErrInfeasible, enc.lastTheoryHint())
 	}
 	model := enc.solver.Model()
 	// Re-run the theory on the final model to materialize allocations and
 	// shard sizes deterministically.
 	if conflict := enc.theory.Check(model); conflict != nil {
-		return nil, fmt.Errorf("encode: internal error: accepted model rejected by theory")
+		return nil, encDur, fmt.Errorf("encode: internal error: accepted model rejected by theory")
 	}
 	plan := enc.extractPlan(model)
 	plan.Stats = enc.solver.Statistics()
-	return plan, nil
+	return plan, encDur, nil
 }
 
 // placeVar identifies one f_s(i) literal.

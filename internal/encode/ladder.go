@@ -154,6 +154,9 @@ func replicable(a *ir.Algorithm) bool {
 
 // Attempt records one solve attempt of the fallback ladder.
 type Attempt struct {
+	// Component names the partition component this attempt solved ("" when
+	// the problem was not split).
+	Component string
 	// Step is "initial" or the relaxation that preceded this attempt.
 	Step           string
 	Objective      Objective
@@ -176,8 +179,9 @@ type Diagnostics struct {
 	Degraded []string
 }
 
-func (d *Diagnostics) record(step string, cfg attemptCfg, err error, dur time.Duration) {
+func (d *Diagnostics) record(component, step string, cfg attemptCfg, err error, dur time.Duration) {
 	a := Attempt{
+		Component:      component,
 		Step:           step,
 		Objective:      cfg.objective,
 		ConflictBudget: cfg.conflictBudget,
@@ -195,6 +199,7 @@ func (d *Diagnostics) record(step string, cfg attemptCfg, err error, dur time.Du
 func (d *Diagnostics) FellBack() bool { return d != nil && len(d.Degraded) > 0 }
 
 // Summary renders the trail compactly: "initial:timeout -> relax-objective:sat".
+// Attempts from a split solve are prefixed with their component label.
 func (d *Diagnostics) Summary() string {
 	if d == nil || len(d.Attempts) == 0 {
 		return "no attempts"
@@ -202,8 +207,27 @@ func (d *Diagnostics) Summary() string {
 	parts := make([]string, len(d.Attempts))
 	for i, a := range d.Attempts {
 		parts[i] = a.Step + ":" + a.Outcome
+		if a.Component != "" {
+			parts[i] = a.Component + "/" + parts[i]
+		}
 	}
 	return strings.Join(parts, " -> ")
+}
+
+// String renders the full trail in a stable, operator-readable form: the
+// attempt summary on the first line, then one indented line per concession
+// granted. It is the canonical CLI representation of a degraded solve.
+func (d *Diagnostics) String() string {
+	if d == nil || len(d.Attempts) == 0 {
+		return "no solve attempts"
+	}
+	var b strings.Builder
+	b.WriteString(d.Summary())
+	for _, deg := range d.Degraded {
+		b.WriteString("\n  concession: ")
+		b.WriteString(deg)
+	}
+	return b.String()
 }
 
 func outcomeOf(err error) string {

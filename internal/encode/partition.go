@@ -1,0 +1,117 @@
+package encode
+
+import (
+	"sort"
+	"strings"
+
+	"lyra/internal/scope"
+)
+
+// Component is one independent slice of the placement problem: a set of
+// algorithms whose resolved scopes touch a switch set disjoint from every
+// other component's. Because chip admission is per-switch and flow paths
+// are confined to a scope's switches, a component can be encoded and solved
+// as its own SMT instance with no loss of precision; the per-component
+// plans merge into exactly the plan a monolithic solve would admit.
+type Component struct {
+	// Algs lists the member algorithms in program declaration order.
+	Algs []string
+	// In is the component's sub-problem: the original input with the
+	// algorithm list and scope map filtered down to the members. The full
+	// network is retained (candidate switches come from the scopes).
+	In *Input
+}
+
+// Label names the component for diagnostics: the member algorithms joined
+// with "+".
+func (c *Component) Label() string { return strings.Join(c.Algs, "+") }
+
+// Partition splits the input into independent components by union-find
+// over algorithms that share a candidate switch. Algorithms with
+// overlapping scopes stay fused — the monolithic fallback — so partitioning
+// never changes what the solver can or cannot prove. The result is ordered
+// by each component's first algorithm in program order, which makes the
+// decomposition (and everything downstream) independent of goroutine
+// scheduling and of the configured parallelism.
+//
+// Inputs that cannot be meaningfully split — fewer than two algorithms, or
+// an algorithm missing its scope (the encoder owns that error) — come back
+// as a single component wrapping the original input.
+func Partition(in *Input) []*Component {
+	algs := in.IR.Algorithms
+	whole := []*Component{wholeComponent(in)}
+	if len(algs) < 2 {
+		return whole
+	}
+	for _, a := range algs {
+		if in.Scopes[a.Name] == nil {
+			return whole
+		}
+	}
+
+	// Union algorithms whose scopes share a switch.
+	parent := make([]int, len(algs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	owner := map[string]int{} // switch -> first algorithm index seen
+	for i, a := range algs {
+		for _, sw := range in.Scopes[a.Name].Switches {
+			if j, ok := owner[sw]; ok {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					parent[ri] = rj
+				}
+			} else {
+				owner[sw] = i
+			}
+		}
+	}
+
+	groups := map[int][]int{} // root -> member indices, ascending
+	var roots []int
+	for i := range algs {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			roots = append(roots, r)
+		}
+		groups[r] = append(groups[r], i)
+	}
+	if len(roots) < 2 {
+		return whole
+	}
+	// Order components by their earliest member (program order).
+	sort.Slice(roots, func(a, b int) bool { return groups[roots[a]][0] < groups[roots[b]][0] })
+
+	comps := make([]*Component, 0, len(roots))
+	for _, r := range roots {
+		c := &Component{}
+		sub := *in.IR // shallow copy; only the algorithm list narrows
+		sub.Algorithms = nil
+		scopes := map[string]*scope.Resolved{}
+		for _, i := range groups[r] {
+			a := algs[i]
+			c.Algs = append(c.Algs, a.Name)
+			sub.Algorithms = append(sub.Algorithms, a)
+			scopes[a.Name] = in.Scopes[a.Name]
+		}
+		c.In = &Input{IR: &sub, Net: in.Net, Scopes: scopes}
+		comps = append(comps, c)
+	}
+	return comps
+}
+
+func wholeComponent(in *Input) *Component {
+	var names []string
+	for _, a := range in.IR.Algorithms {
+		names = append(names, a.Name)
+	}
+	return &Component{Algs: names, In: in}
+}

@@ -1,0 +1,139 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"lyra/internal/asic"
+	"lyra/internal/core"
+	"lyra/internal/topo"
+)
+
+// PhasePoint is one end-to-end compile with its per-phase breakdown, the
+// unit of the BENCH_compile.json artifact the CI benchmark smoke job
+// publishes. Durations are milliseconds so the JSON is directly plottable.
+type PhasePoint struct {
+	Workload    string             `json:"workload"`
+	Chip        string             `json:"chip"`
+	K           int                `json:"k"`
+	Parallelism int                `json:"parallelism"`
+	CompileMs   float64            `json:"compile_ms"`
+	SolveMs     float64            `json:"solve_ms"`
+	PhasesMs    map[string]float64 `json:"phases_ms"`
+	// SMTInstances counts the independent SMT instances the placement
+	// split into (1 = monolithic solve).
+	SMTInstances int   `json:"smt_instances"`
+	Decisions    int64 `json:"decisions"`
+	Propagations int64 `json:"propagations"`
+	Conflicts    int64 `json:"conflicts"`
+	Restarts     int64 `json:"restarts"`
+}
+
+// PhaseBreakdown compiles the Figure 10 workloads (MULTI-SW load balancer
+// and PER-SW NetCache) end to end on Tofino fat-tree pods of the given
+// sizes, through the full core pipeline, and reports each compile's phase
+// timings and solver counters. parallelism <= 0 uses all CPUs.
+func PhaseBreakdown(ks []int, parallelism int) ([]PhasePoint, error) {
+	if len(ks) == 0 {
+		ks = []int{4, 8}
+	}
+	ncSrc, err := LoadProgram("netcache")
+	if err != nil {
+		return nil, err
+	}
+	chainSrc, err := LoadProgram("composition")
+	if err != nil {
+		return nil, err
+	}
+	fixed := func(s string) func(*topo.Network) string {
+		return func(*topo.Network) string { return s }
+	}
+	workloads := []struct {
+		name, src string
+		scope     func(*topo.Network) string
+	}{
+		{"lb-multi", lbSource(100_000, 10_000), fixed("loadbalancer: [ ToR*,Agg* | MULTI-SW | (Agg*->ToR*) ]")},
+		{"netcache-per", ncSrc, fixed("netcache: [ ToR*,Agg* | PER-SW | - ]")},
+		// chain-disjoint spreads the five-algorithm service chain over
+		// disjoint switch groups, so the placement splits into independent
+		// SMT instances (smt_instances > 1) and the solve phase itself runs
+		// on the worker pool.
+		{"chain-disjoint", chainSrc, chainScopes},
+	}
+	var out []PhasePoint
+	for _, k := range ks {
+		net := topo.FatTreePod(k, asic.Tofino32Q)
+		for _, w := range workloads {
+			res, err := core.CompileContext(context.Background(), core.Request{
+				Source:      w.src,
+				ScopeSpec:   w.scope(net),
+				Network:     net,
+				Parallelism: parallelism,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("phases %s k=%d: %w", w.name, k, err)
+			}
+			p := PhasePoint{
+				Workload:     w.name,
+				Chip:         "Tofino",
+				K:            k,
+				Parallelism:  parallelism,
+				CompileMs:    ms(res.CompileTime),
+				SolveMs:      ms(res.SolveTime),
+				PhasesMs:     map[string]float64{},
+				SMTInstances: res.SolveInstances,
+				Decisions:    res.SolverStats.Decisions,
+				Propagations: res.SolverStats.Propagations,
+				Conflicts:    res.SolverStats.Conflicts,
+				Restarts:     res.SolverStats.Restarts,
+			}
+			for _, pt := range res.Phases {
+				p.PhasesMs[string(pt.Phase)] += ms(pt.Duration)
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// chainScopes assigns the network's switches round-robin to the five
+// service-chain algorithms, producing disjoint PER-SW scopes. When the
+// network has fewer switches than algorithms, the tail wraps around and
+// shares switches, fusing those components.
+func chainScopes(net *topo.Network) string {
+	algs := []string{"classifier", "firewall", "gateway", "chain_lb", "scheduler"}
+	names := net.Names()
+	groups := make([][]string, len(algs))
+	for i, sw := range names {
+		groups[i%len(algs)] = append(groups[i%len(algs)], sw)
+	}
+	for i := len(names); i < len(algs); i++ {
+		groups[i] = append(groups[i], names[i%len(names)])
+	}
+	var b strings.Builder
+	for i, a := range algs {
+		fmt.Fprintf(&b, "%s: [ %s | PER-SW | - ]\n", a, strings.Join(groups[i], ","))
+	}
+	return b.String()
+}
+
+// FormatPhases renders the breakdown as a table, one row per compile with
+// the six phases as columns.
+func FormatPhases(points []PhasePoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %4s %4s %9s %9s %9s %9s %9s %9s %9s %5s\n",
+		"Workload", "k", "par", "compile", "parse", "scope", "encode", "solve", "codegen", "verify", "inst")
+	fmt.Fprintln(&b, strings.Repeat("-", 104))
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-14s %4d %4d %8.1fms %8.1fms %8.1fms %8.1fms %8.1fms %8.1fms %8.1fms %5d\n",
+			p.Workload, p.K, p.Parallelism, p.CompileMs,
+			p.PhasesMs["parse"], p.PhasesMs["scope"], p.PhasesMs["encode"],
+			p.PhasesMs["solve"], p.PhasesMs["codegen"], p.PhasesMs["verify"],
+			p.SMTInstances)
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+// Package par provides the bounded fan-out primitive shared by the
+// compiler's concurrent stages (component solving, per-switch translation,
+// per-switch verification). Work is handed out by index so callers write
+// results into index-addressed slots, which keeps every pipeline output
+// order-stable no matter how the goroutines are scheduled.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(0), fn(1), …, fn(n-1) on at most workers goroutines and
+// returns once every call has completed. workers <= 0 selects
+// runtime.GOMAXPROCS(0); workers == 1 (or n == 1) degenerates to a plain
+// sequential loop on the calling goroutine, so single-threaded runs have no
+// goroutine overhead and identical stack traces to the pre-parallel
+// pipeline.
+//
+// If any fn panics, the first panic value (in completion order) is
+// re-raised on the calling goroutine after all workers have drained, so the
+// panic crosses the API boundary exactly once and can be recovered by the
+// caller as before.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[capturedPanic]
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if p := run(fn, i); p != nil {
+					panicked.CompareAndSwap(nil, p)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p.value)
+	}
+}
+
+type capturedPanic struct{ value any }
+
+// run invokes fn(i), converting a panic into a captured value instead of
+// unwinding the worker goroutine past the pool.
+func run(fn func(int), i int) (p *capturedPanic) {
+	defer func() {
+		if v := recover(); v != nil {
+			p = &capturedPanic{value: v}
+		}
+	}()
+	fn(i)
+	return nil
+}

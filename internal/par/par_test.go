@@ -1,0 +1,46 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		const n = 100
+		var counts [n]atomic.Int32
+		For(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	For(0, 4, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	defer func() {
+		if v := recover(); v != "boom" {
+			t.Fatalf("recovered %v, want boom", v)
+		}
+	}()
+	For(8, 4, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+	t.Fatal("For returned instead of panicking")
+}
+
+func TestForSequentialPanicPropagates(t *testing.T) {
+	defer func() {
+		if v := recover(); v != "seq" {
+			t.Fatalf("recovered %v, want seq", v)
+		}
+	}()
+	For(2, 1, func(i int) { panic("seq") })
+}

@@ -60,6 +60,18 @@ type Stats struct {
 	TheoryFails  int64
 }
 
+// Add accumulates another solver's counters into s, so callers running
+// several independent SMT instances can report one aggregate.
+func (s *Stats) Add(o Stats) {
+	s.Decisions += o.Decisions
+	s.Propagations += o.Propagations
+	s.Conflicts += o.Conflicts
+	s.Restarts += o.Restarts
+	s.Learned += o.Learned
+	s.TheoryChecks += o.TheoryChecks
+	s.TheoryFails += o.TheoryFails
+}
+
 type clause struct {
 	lits    []Lit
 	learnt  bool

@@ -14,6 +14,7 @@ import (
 	"lyra/internal/encode"
 	"lyra/internal/nplcheck"
 	"lyra/internal/p4check"
+	"lyra/internal/par"
 	"lyra/internal/synth"
 )
 
@@ -30,23 +31,39 @@ type Report struct {
 // per switch and an error only on internal failures (an inadmissible
 // program yields OK=false, not an error).
 func Plan(plan *encode.Plan, arts map[string]*backend.Artifact) []Report {
-	var out []Report
-	for _, sw := range sortedKeys(arts) {
-		art := arts[sw]
-		r := Report{Switch: sw, Dialect: art.Dialect, OK: true}
-		if alloc, err := Admit(art.Program); err != nil {
-			r.OK = false
-			r.Problems = append(r.Problems, err.Error())
-		} else {
-			r.Alloc = alloc
-		}
-		for _, p := range Lint(art) {
-			r.OK = false
-			r.Problems = append(r.Problems, p)
-		}
-		out = append(out, r)
+	return PlanParallel(plan, arts, 1)
+}
+
+// PlanParallel is Plan with the per-switch admission and lint checks fanned
+// out over a bounded worker pool (workers <= 0 selects GOMAXPROCS). Each
+// switch is checked independently and reports are returned in sorted switch
+// order, so the result is identical at any parallelism level.
+func PlanParallel(plan *encode.Plan, arts map[string]*backend.Artifact, workers int) []Report {
+	keys := sortedKeys(arts)
+	if len(keys) == 0 {
+		return nil
 	}
+	out := make([]Report, len(keys))
+	par.For(len(keys), workers, func(i int) {
+		out[i] = verifyOne(keys[i], arts[keys[i]])
+	})
 	return out
+}
+
+// verifyOne re-admits and lints a single switch's artifact.
+func verifyOne(sw string, art *backend.Artifact) Report {
+	r := Report{Switch: sw, Dialect: art.Dialect, OK: true}
+	if alloc, err := Admit(art.Program); err != nil {
+		r.OK = false
+		r.Problems = append(r.Problems, err.Error())
+	} else {
+		r.Alloc = alloc
+	}
+	for _, p := range Lint(art) {
+		r.OK = false
+		r.Problems = append(r.Problems, p)
+	}
+	return r
 }
 
 // Admit re-runs chip admission for a switch program from scratch.

@@ -13,14 +13,16 @@
 // Quick start:
 //
 //	net := lyra.Testbed()
-//	res, err := lyra.Compile(lyra.Request{
-//	    Source:    src,
-//	    ScopeSpec: "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
-//	    Network:   net,
-//	})
+//	c := lyra.New(lyra.WithDialect(lyra.P416))
+//	res, err := c.Compile(ctx, src,
+//	    "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
+//	    net)
 //	for _, sw := range res.Switches() {
 //	    fmt.Println(res.Artifact(sw).Code)
 //	}
+//
+// The legacy lyra.Compile(lyra.Request{...}) form remains supported as a
+// thin wrapper over a Compiler.
 package lyra
 
 import (
@@ -138,6 +140,42 @@ type (
 	Diagnostics = encode.Diagnostics
 )
 
+// Phase observability surface (re-exported from internal/core): every
+// Result carries a per-phase timing breakdown, and an Observer can watch
+// phases complete live.
+type (
+	// Phase names one stage of the compilation pipeline.
+	Phase = core.Phase
+	// PhaseTiming is one completed phase and its wall-clock duration.
+	PhaseTiming = core.PhaseTiming
+	// Observer receives a callback as each pipeline phase completes.
+	Observer = core.Observer
+	// ObserverFunc adapts a plain function to the Observer interface.
+	ObserverFunc = core.ObserverFunc
+	// SolverStats aggregates SAT-solver counters (decisions, propagations,
+	// conflicts, restarts, ...) across every SMT instance of a compile.
+	SolverStats = smt.Stats
+)
+
+// Pipeline phases, in execution order.
+const (
+	// PhaseParse covers the front-end: parse, check, preprocess, analyze.
+	PhaseParse = core.PhaseParse
+	// PhaseScope is scope parsing and resolution over the topology.
+	PhaseScope = core.PhaseScope
+	// PhaseEncode is table synthesis plus SMT constraint construction.
+	PhaseEncode = core.PhaseEncode
+	// PhaseSolve is the SMT search, fallback attempts included.
+	PhaseSolve = core.PhaseSolve
+	// PhaseCodegen is per-switch code emission and plan fingerprinting.
+	PhaseCodegen = core.PhaseCodegen
+	// PhaseVerify is per-switch re-admission and lint of emitted code.
+	PhaseVerify = core.PhaseVerify
+)
+
+// Phases lists every pipeline phase in execution order.
+func Phases() []Phase { return core.Phases() }
+
 // Fault-event constructors.
 var (
 	// SwitchDown fails a switch, removing it and its links.
@@ -187,7 +225,136 @@ var (
 	recompilePipeline = core.Recompile
 )
 
-// Request is one compilation request.
+// Compiler is a reusable, immutable compiler configuration. The zero-value
+// configuration (from New with no options) compiles P4_14 with no
+// optimization objective, full verification, and a worker pool sized to
+// GOMAXPROCS. A Compiler is safe for concurrent use: each Compile call
+// carries its own state.
+type Compiler struct {
+	dialect      Dialect
+	objective    Objective
+	preferSwitch string
+	solveBudget  time.Duration
+	parallelism  int
+	observer     Observer
+	skipVerify   bool
+	sourceName   string
+}
+
+// Option configures a Compiler.
+type Option func(*Compiler)
+
+// New returns a Compiler with the given options applied.
+func New(opts ...Option) *Compiler {
+	c := &Compiler{}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// WithDialect selects the P4 flavor emitted for P4-programmable chips
+// (default P414).
+func WithDialect(d Dialect) Option { return func(c *Compiler) { c.dialect = d } }
+
+// WithObjective selects the placement optimization objective (default
+// ObjectiveNone: first feasible placement).
+func WithObjective(o Objective) Option { return func(c *Compiler) { c.objective = o } }
+
+// WithPreferSwitch sets ObjectivePreferSwitch and names the switch to load
+// up (Appendix C.2).
+func WithPreferSwitch(sw string) Option {
+	return func(c *Compiler) {
+		c.objective = ObjectivePreferSwitch
+		c.preferSwitch = sw
+	}
+}
+
+// WithSolveBudget bounds total solver work, fallback attempts included
+// (0 = the 120s default).
+func WithSolveBudget(d time.Duration) Option { return func(c *Compiler) { c.solveBudget = d } }
+
+// WithParallelism bounds the worker pools used for component solving,
+// per-switch code emission, and verification. n <= 0 selects GOMAXPROCS;
+// n == 1 forces a fully sequential pipeline. The compiled result is
+// byte-identical at every setting — only wall-clock time changes.
+func WithParallelism(n int) Option { return func(c *Compiler) { c.parallelism = n } }
+
+// WithObserver registers a phase observer, called inline as each pipeline
+// phase completes.
+func WithObserver(o Observer) Option { return func(c *Compiler) { c.observer = o } }
+
+// WithSkipVerify disables the post-hoc admission verification.
+func WithSkipVerify() Option { return func(c *Compiler) { c.skipVerify = true } }
+
+// WithSourceName sets the file name used in diagnostics (default
+// "input.lyra").
+func WithSourceName(name string) Option { return func(c *Compiler) { c.sourceName = name } }
+
+// Compile runs the full Lyra pipeline — parse, check, preprocess, analyze,
+// synthesize, encode, solve, translate, verify — on the given program text,
+// scope specification (§3.3, Figure 7), and target topology. Cancelling ctx
+// (or hitting its deadline) aborts the SMT solve at its next poll point and
+// returns an error satisfying errors.Is(err, ErrTimeout).
+func (c *Compiler) Compile(ctx context.Context, source, scopeSpec string, net *Network) (res *Result, err error) {
+	defer recoverInternal(&err)
+	creq := c.coreRequest(source, scopeSpec, net)
+	cres, err := corePipeline(ctx, creq)
+	res = wrapResult(cres, creq, net)
+	if err != nil {
+		return res, fmt.Errorf("lyra: %w", err)
+	}
+	return res, nil
+}
+
+// Recompile re-solves a previous compilation after the network suffers the
+// given fault scenario (§6.3's incremental loop), under this Compiler's
+// configuration. The degraded topology is derived by applying sc to a clone
+// of prev's network; the original Network is never mutated. Front-end work
+// is reused and switches whose plan slice is unchanged keep their previous
+// artifact byte-for-byte — the Delta lists exactly which devices need
+// reprogramming.
+func (c *Compiler) Recompile(ctx context.Context, prev *Result, sc Scenario) (res *Result, delta *Delta, err error) {
+	defer recoverInternal(&err)
+	if prev == nil || prev.cres == nil {
+		return nil, nil, fmt.Errorf("lyra: recompile requires a completed compilation")
+	}
+	degraded := prev.net.Clone()
+	if err := sc.Apply(degraded); err != nil {
+		return nil, nil, fmt.Errorf("lyra: applying scenario %s: %w", sc.Name, err)
+	}
+	creq := c.coreRequest(prev.creq.Source, prev.creq.ScopeSpec, degraded)
+	creq.SourceName = prev.creq.SourceName
+	cres, delta, err := recompilePipeline(ctx, prev.cres, creq, degraded)
+	res = wrapResult(cres, creq, degraded)
+	if err != nil {
+		return res, delta, fmt.Errorf("lyra: recompile after %s: %w", sc.Name, err)
+	}
+	return res, delta, nil
+}
+
+// coreRequest materializes the compiler's configuration into one pipeline
+// request.
+func (c *Compiler) coreRequest(source, scopeSpec string, net *Network) core.Request {
+	return core.Request{
+		Source:       source,
+		SourceName:   c.sourceName,
+		ScopeSpec:    scopeSpec,
+		Network:      net,
+		Dialect:      c.dialect,
+		Objective:    c.objective,
+		PreferSwitch: c.preferSwitch,
+		SolveBudget:  c.solveBudget,
+		SkipVerify:   c.skipVerify,
+		Parallelism:  c.parallelism,
+		Observer:     c.observer,
+	}
+}
+
+// Request is one compilation request — the legacy, struct-configured entry
+// point. New code should prefer lyra.New(...).Compile(ctx, ...); each
+// Request field maps onto a Compiler option (see the migration table in
+// README.md).
 type Request struct {
 	// Source is the Lyra program text.
 	Source string
@@ -222,6 +389,17 @@ type Result struct {
 	// Diagnostics records the solver's fallback ladder: every attempt and
 	// every concession (nil means the field was not populated).
 	Diagnostics *Diagnostics
+	// Phases is the per-phase timing breakdown (parse, scope, encode,
+	// solve, codegen, verify) in pipeline order. CompileTime and SolveTime
+	// are derived views of the same clock.
+	Phases []PhaseTiming
+	// SolverStats aggregates SAT-solver counters across every SMT instance
+	// solved for this result.
+	SolverStats SolverStats
+	// SolveInstances counts the independent SMT instances solved: >1 when
+	// disjoint algorithm scopes let the placement problem split into
+	// components solved concurrently.
+	SolveInstances int
 	// CompileTime is the wall-clock cost of the whole pipeline.
 	CompileTime time.Duration
 	// SolveTime is the SMT portion.
@@ -235,8 +413,9 @@ type Result struct {
 }
 
 // Compile runs the full Lyra pipeline: parse, check, preprocess, analyze,
-// synthesize, encode, solve, translate, and verify. The pipeline itself
-// lives in internal/core.
+// synthesize, encode, solve, translate, and verify. It is a compatibility
+// wrapper over the Compiler API; the pipeline itself lives in
+// internal/core.
 func Compile(req Request) (*Result, error) {
 	return CompileContext(context.Background(), req)
 }
@@ -244,15 +423,21 @@ func Compile(req Request) (*Result, error) {
 // CompileContext is Compile with cooperative cancellation: cancelling ctx
 // (or hitting its deadline) aborts the SMT solve at its next poll point and
 // returns an error satisfying errors.Is(err, ErrTimeout).
-func CompileContext(ctx context.Context, req Request) (res *Result, err error) {
-	defer recoverInternal(&err)
-	creq := coreRequest(req)
-	cres, err := corePipeline(ctx, creq)
-	res = wrapResult(cres, creq, req.Network)
-	if err != nil {
-		return res, fmt.Errorf("lyra: %w", err)
+func CompileContext(ctx context.Context, req Request) (*Result, error) {
+	return compilerFromRequest(req).Compile(ctx, req.Source, req.ScopeSpec, req.Network)
+}
+
+// compilerFromRequest maps legacy Request fields onto the equivalent
+// Compiler options.
+func compilerFromRequest(req Request) *Compiler {
+	return &Compiler{
+		dialect:      req.Dialect,
+		objective:    req.Objective,
+		preferSwitch: req.PreferSwitch,
+		solveBudget:  req.SolveBudget,
+		skipVerify:   req.SkipVerify,
+		sourceName:   req.SourceName,
 	}
-	return res, nil
 }
 
 // Recompile re-solves a previous compilation after the network suffers the
@@ -288,36 +473,25 @@ func (r *Result) RecompileContext(ctx context.Context, sc Scenario) (res *Result
 // Recompile, the degraded clone).
 func (r *Result) Network() *Network { return r.net }
 
-func coreRequest(req Request) core.Request {
-	return core.Request{
-		Source:       req.Source,
-		SourceName:   req.SourceName,
-		ScopeSpec:    req.ScopeSpec,
-		Network:      req.Network,
-		Dialect:      req.Dialect,
-		Objective:    req.Objective,
-		PreferSwitch: req.PreferSwitch,
-		SolveBudget:  req.SolveBudget,
-		SkipVerify:   req.SkipVerify,
-	}
-}
-
 func wrapResult(cres *core.Result, creq core.Request, net *Network) *Result {
 	if cres == nil {
 		return nil
 	}
 	return &Result{
-		Artifacts:    cres.Artifacts,
-		Reports:      cres.Reports,
-		Fingerprints: cres.Fingerprints,
-		Diagnostics:  cres.Diagnostics,
-		CompileTime:  cres.CompileTime,
-		SolveTime:    cres.SolveTime,
-		plan:         cres.Plan,
-		irp:          cres.IR,
-		cres:         cres,
-		creq:         creq,
-		net:          net,
+		Artifacts:      cres.Artifacts,
+		Reports:        cres.Reports,
+		Fingerprints:   cres.Fingerprints,
+		Diagnostics:    cres.Diagnostics,
+		Phases:         cres.Phases,
+		SolverStats:    cres.SolverStats,
+		SolveInstances: cres.SolveInstances,
+		CompileTime:    cres.CompileTime,
+		SolveTime:      cres.SolveTime,
+		plan:           cres.Plan,
+		irp:            cres.IR,
+		cres:           cres,
+		creq:           creq,
+		net:            net,
 	}
 }
 
@@ -337,6 +511,17 @@ func (r *Result) Switches() []string {
 
 // Artifact returns the generated code for one switch (nil if none).
 func (r *Result) Artifact(sw string) *Artifact { return r.Artifacts[sw] }
+
+// PhaseDuration returns the recorded duration of one pipeline phase
+// (0 if the phase did not run, e.g. verify under WithSkipVerify).
+func (r *Result) PhaseDuration(p Phase) time.Duration {
+	for _, t := range r.Phases {
+		if t.Phase == p {
+			return t.Duration
+		}
+	}
+	return 0
+}
 
 // Shards reports how an extern variable was split: switch -> entries.
 func (r *Result) Shards(extern string) map[string]int64 { return r.plan.Shards[extern] }
