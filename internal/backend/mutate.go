@@ -1,0 +1,44 @@
+package backend
+
+import "lyra/internal/ir"
+
+// TestMutation, when non-nil, is applied to every SwitchProgram that Build
+// produces, after normal construction. It exists solely for the
+// differential tester's oracle self-test: injecting a deliberate "backend
+// bug" (dropping an instruction, losing a bridge export) must surface as an
+// output divergence that the oracle catches and the shrinker minimizes.
+// Production code never sets it.
+var TestMutation func(sw string, sp *SwitchProgram)
+
+// applyTestMutation runs the registered mutation hook, if any.
+func applyTestMutation(sw string, sp *SwitchProgram) {
+	if TestMutation != nil {
+		TestMutation(sw, sp)
+	}
+}
+
+// Canned mutations for the difftest oracle. Each simulates a realistic
+// translation bug class; all mutate only the SwitchProgram's own slices
+// (never the shared IR instructions, which the reference interpreter also
+// executes).
+
+// MutationDropLastInstr removes the final placed instruction — a lost
+// statement during code emission.
+func MutationDropLastInstr(sw string, sp *SwitchProgram) {
+	if len(sp.Instrs) > 0 {
+		sp.Instrs = sp.Instrs[:len(sp.Instrs)-1]
+	}
+}
+
+// MutationDropExports forgets the bridge exports — downstream switches read
+// zeroes instead of upstream results (a lyra_bridge emission bug).
+func MutationDropExports(sw string, sp *SwitchProgram) {
+	sp.Exports = nil
+}
+
+// MutationDropHitGuards disables shard gating — downstream shards of a
+// split extern re-apply even when an upstream shard already hit
+// (an Algorithm 2 translation bug).
+func MutationDropHitGuards(sw string, sp *SwitchProgram) {
+	sp.HitGuards = map[string]*ir.Var{}
+}

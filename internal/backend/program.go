@@ -151,7 +151,11 @@ func Build(plan *encode.Plan) (map[string]*SwitchProgram, error) {
 		sp.Headers = headersUsed(irp, instrs)
 		sp.Metadata = metadataVars(instrs)
 		sp.Registers = registersUsed(irp, instrs)
-		sp.Tables = orderTables(plan.Tables[sw.Name])
+		placed := map[*ir.Instr]bool{}
+		for _, in := range instrs {
+			placed[in] = true
+		}
+		sp.Tables = filterPlaced(orderTables(plan.Tables[sw.Name]), placed)
 		sp.Exports = plan.Bridges[sw.Name]
 		sp.Imports = importsOf(plan, sw.Name, instrs)
 		if len(sp.Exports) > 0 || len(sp.Imports) > 0 {
@@ -170,6 +174,7 @@ func Build(plan *encode.Plan) (map[string]*SwitchProgram, error) {
 				}
 			}
 		}
+		applyTestMutation(sw.Name, sp)
 		out[sw.Name] = sp
 	}
 	return out, nil
@@ -282,6 +287,48 @@ func registersUsed(irp *ir.Program, instrs []*ir.Instr) []*RegisterDef {
 		out = append(out, &RegisterDef{Name: g.Name, Bits: g.Bits, Len: g.Len})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// filterPlaced narrows each placed table to the instructions actually
+// hosted on this switch. Under MULTI-SW scopes the solver may split one
+// synthesized table's instructions across hops; the printers emit table
+// contents, so without filtering a switch's code would show statements —
+// and reference metadata — belonging to another hop, while the simulator
+// executes only sp.Instrs. The shared synth.Table values are never
+// mutated: each placed table gets shallow copies with filtered slices.
+func filterPlaced(tables []*encode.PlacedTable, placed map[*ir.Instr]bool) []*encode.PlacedTable {
+	out := make([]*encode.PlacedTable, 0, len(tables))
+	for _, pt := range tables {
+		st := *pt.Table
+		st.FieldPreds = nil
+		for _, fp := range pt.Table.FieldPreds {
+			if fp.Instr == nil || placed[fp.Instr] {
+				st.FieldPreds = append(st.FieldPreds, fp)
+			}
+		}
+		st.Actions = nil
+		lookups := 0
+		for _, a := range pt.Table.Actions {
+			na := *a
+			na.Instrs = nil
+			for _, in := range a.Instrs {
+				if placed[in] {
+					na.Instrs = append(na.Instrs, in)
+					if in.Op == ir.IMember || in.Op == ir.ILookup {
+						lookups++
+					}
+				}
+			}
+			st.Actions = append(st.Actions, &na)
+		}
+		npt := *pt
+		npt.Table = &st
+		if lookups > 0 && npt.Lookups > lookups {
+			npt.Lookups = lookups
+		}
+		out = append(out, &npt)
+	}
 	return out
 }
 

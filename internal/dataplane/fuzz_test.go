@@ -5,6 +5,13 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+
+	"lyra/internal/encode"
+	"lyra/internal/frontend"
+	"lyra/internal/lang/checker"
+	"lyra/internal/lang/parser"
+	"lyra/internal/scope"
+	"lyra/internal/topo"
 )
 
 // progGen emits random but well-formed Lyra algorithms over a fixed header,
@@ -123,6 +130,81 @@ func TestFuzzEquivalencePerSwitch(t *testing.T) {
 // variables on every random program.
 func TestFuzzEquivalenceMultiSwitch(t *testing.T) {
 	fuzzEquivalence(t, "fuzzalg: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]", nil, 25)
+}
+
+// FuzzEquivalence is the native fuzzing harness over the same generator:
+// each int64 seed expands into a random program via progGen, which is
+// compiled PER-SW and checked for reference/distributed equivalence on
+// random packets. Run with:
+//
+//	go test ./internal/dataplane -fuzz FuzzEquivalence
+//
+// The checked-in seed corpus lives in testdata/fuzz/FuzzEquivalence.
+func FuzzEquivalence(f *testing.F) {
+	for _, s := range []int64{1, 42, 20200810} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		gen := &progGen{rng: rng}
+		src := gen.generate()
+		prog, err := parser.Parse("fuzz.lyra", []byte(src))
+		if err != nil {
+			t.Fatalf("generator emitted unparseable program: %v\n%s", err, src)
+		}
+		if err := checker.Check(prog); err != nil {
+			t.Fatalf("generator emitted ill-typed program: %v\n%s", err, src)
+		}
+		irp, err := frontend.Preprocess(prog)
+		if err != nil {
+			t.Fatalf("preprocess: %v\n%s", err, src)
+		}
+		frontend.Analyze(irp)
+		spec, err := scope.Parse("fuzzalg: [ ToR3 | PER-SW | - ]")
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := topo.Testbed()
+		scopes, err := spec.Resolve(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := encode.Solve(&encode.Input{IR: irp, Net: net, Scopes: scopes}, nil)
+		if err != nil {
+			// A genuinely infeasible placement is not an equivalence bug.
+			t.Skipf("solve: %v", err)
+		}
+		tables := NewTables()
+		for i := 0; i < 16; i++ {
+			tables.Set("fuzz_table", uint64(rng.Intn(64)), uint64(rng.Uint32()))
+		}
+		ctx := &Context{SwitchID: 5, IngressTS: 100, EgressTS: 200, QueueLen: 4}
+		for i := 0; i < 5; i++ {
+			pkt := NewPacket()
+			pkt.Valid["h"] = true
+			pkt.Fields["h.a"] = uint64(rng.Intn(64))
+			pkt.Fields["h.b"] = uint64(rng.Intn(64))
+			pkt.Fields["h.c"] = uint64(rng.Uint32())
+			// Fresh deployment and reference per packet: stateful counters
+			// must advance from the same baseline on both sides.
+			dep, err := NewDeployment(plan, tables)
+			if err != nil {
+				t.Fatalf("deployment: %v\n%s", err, src)
+			}
+			ref, err := RunReference(irp, tables, ctx, pkt)
+			if err != nil {
+				t.Fatalf("reference: %v\n%s", err, src)
+			}
+			got, err := dep.RunPath([]string{"ToR3"}, ctx, pkt)
+			if err != nil {
+				t.Fatalf("distributed: %v\n%s", err, src)
+			}
+			if got.Summary() != ref.Summary() {
+				t.Fatalf("seed %d diverges:\n  ref:  %s\n  dist: %s\nsource:\n%s",
+					seed, ref.Summary(), got.Summary(), src)
+			}
+		}
+	})
 }
 
 func fuzzEquivalence(t *testing.T, scopeText string, fixedPaths [][]string, nProgs int) {

@@ -1,0 +1,97 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file holds the trace-level comparison hooks used by the
+// differential tester (internal/difftest): field-granular packet diffs for
+// failure reports, and per-hop execution traces that show where along a
+// flow path a distributed run departs from the reference semantics.
+
+// DiffPackets compares two packets field by field and returns one line per
+// difference ("base.out: ref=3 got=7"). A nil fields slice compares every
+// observable dimension: all fields either packet carries, header validity,
+// and the packet-level flags. A non-nil fields slice restricts the field
+// comparison to the named "hdr.field" entries (the caller's ownership set)
+// while still comparing flags; this is what lets the oracle check one
+// algorithm's outputs without charging it for fields another algorithm
+// writes.
+func DiffPackets(ref, got *Packet, fields []string) []string {
+	var diffs []string
+	if fields == nil {
+		seen := map[string]bool{}
+		for k := range ref.Fields {
+			seen[k] = true
+		}
+		for k := range got.Fields {
+			seen[k] = true
+		}
+		for k := range seen {
+			fields = append(fields, k)
+		}
+		sort.Strings(fields)
+		vseen := map[string]bool{}
+		for k := range ref.Valid {
+			vseen[k] = true
+		}
+		for k := range got.Valid {
+			vseen[k] = true
+		}
+		var vkeys []string
+		for k := range vseen {
+			vkeys = append(vkeys, k)
+		}
+		sort.Strings(vkeys)
+		for _, k := range vkeys {
+			if ref.Valid[k] != got.Valid[k] {
+				diffs = append(diffs, fmt.Sprintf("valid[%s]: ref=%v got=%v", k, ref.Valid[k], got.Valid[k]))
+			}
+		}
+	}
+	for _, f := range fields {
+		if rv, gv := ref.Fields[f], got.Fields[f]; rv != gv {
+			diffs = append(diffs, fmt.Sprintf("%s: ref=%d got=%d", f, rv, gv))
+		}
+	}
+	if ref.Dropped != got.Dropped {
+		diffs = append(diffs, fmt.Sprintf("drop: ref=%v got=%v", ref.Dropped, got.Dropped))
+	}
+	if ref.EgressPort != got.EgressPort {
+		diffs = append(diffs, fmt.Sprintf("egress: ref=%d got=%d", ref.EgressPort, got.EgressPort))
+	}
+	if ref.Mirrored != got.Mirrored {
+		diffs = append(diffs, fmt.Sprintf("mirror: ref=%v got=%v", ref.Mirrored, got.Mirrored))
+	}
+	if ref.ToCPU != got.ToCPU {
+		diffs = append(diffs, fmt.Sprintf("cpu: ref=%v got=%v", ref.ToCPU, got.ToCPU))
+	}
+	return diffs
+}
+
+// HopSnapshot is the packet state observed after one switch of a traced
+// path execution.
+type HopSnapshot struct {
+	Switch  string
+	Summary string
+}
+
+// RunPathTraced is RunPath with a per-hop packet snapshot after every
+// switch, for divergence localization in failure reports. Executing a path
+// one hop at a time is semantically identical to one RunPath call: bridge
+// variables travel in the packet and per-switch state lives in the
+// deployment.
+func (d *Deployment) RunPathTraced(path []string, ctx *Context, in *Packet) (*Packet, []HopSnapshot, error) {
+	pkt := in.Clone()
+	trace := make([]HopSnapshot, 0, len(path))
+	for _, sw := range path {
+		out, err := d.RunPath([]string{sw}, ctx, pkt)
+		if err != nil {
+			return nil, trace, fmt.Errorf("at %s: %w", sw, err)
+		}
+		pkt = out
+		trace = append(trace, HopSnapshot{Switch: sw, Summary: pkt.Summary()})
+	}
+	return pkt, trace, nil
+}

@@ -1,0 +1,161 @@
+// Package difftest is Lyra's differential-testing subsystem: a seeded
+// generator of random well-typed one-big-pipeline programs, topologies,
+// scopes, and packet traces; a cross-backend equivalence oracle that
+// compiles every case for each dialect at two parallelism levels and
+// executes the compiled deployment against the reference semantics; a
+// structured shrinker that minimizes failing cases while preserving their
+// failure class; and a corpus manager that persists replayable failure
+// bundles.
+//
+// The subsystem machine-checks the paper's central claim — one OBP program
+// compiles to semantically equivalent chip-specific code across
+// heterogeneous ASICs (§5–§7) — on generated scenarios instead of a
+// handful of curated golden programs.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Class is the oracle's verdict taxonomy for one generated case.
+type Class int
+
+// Outcome classes, from benign to fatal.
+const (
+	// Equivalent: every dialect compiled, parallel and sequential compiles
+	// were byte-identical, admission verification passed, and the
+	// distributed execution matched the reference on every trace packet.
+	Equivalent Class = iota
+	// Infeasible: the program provably does not fit the topology — an
+	// explained outcome, provided every dialect and parallelism level
+	// agrees on it.
+	Infeasible
+	// OutputDivergence: the compiled deployment computed something
+	// different from the one-big-pipeline reference.
+	OutputDivergence
+	// SolverDisagreement: two compiles that must agree did not — parallel
+	// vs sequential artifacts differ, dialects disagree on feasibility, or
+	// plan fingerprints diverge across dialects.
+	SolverDisagreement
+	// AdmissionRejection: the solver admitted a placement that the
+	// post-hoc admission verifier then rejected.
+	AdmissionRejection
+	// Crash: a panic escaped the compiler (surfaced as *lyra.InternalError)
+	// or the simulator failed outright.
+	Crash
+	// GeneratorError: the front end rejected a generated program — a bug
+	// in the generator (or the parser/checker) rather than the backend.
+	GeneratorError
+)
+
+var classNames = map[Class]string{
+	Equivalent:         "equivalent",
+	Infeasible:         "infeasible",
+	OutputDivergence:   "output-divergence",
+	SolverDisagreement: "solver-disagreement",
+	AdmissionRejection: "admission-rejection",
+	Crash:              "crash",
+	GeneratorError:     "generator-error",
+}
+
+func (c Class) String() string { return classNames[c] }
+
+// ClassByName inverts String (bundle metadata round-trips through text).
+func ClassByName(name string) (Class, bool) {
+	for c, n := range classNames {
+		if n == name {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// Explained reports whether the class is an acceptable campaign outcome:
+// anything else is a compiler bug (or a generator bug) to report.
+func (c Class) Explained() bool { return c == Equivalent || c == Infeasible }
+
+// Outcome is the oracle's verdict on one case.
+type Outcome struct {
+	Class  Class
+	Detail string
+}
+
+func (o Outcome) String() string {
+	if o.Detail == "" {
+		return o.Class.String()
+	}
+	return fmt.Sprintf("%s: %s", o.Class, o.Detail)
+}
+
+// Failure is one unexplained case, before and after shrinking.
+type Failure struct {
+	// Index is the case's position in the campaign; Seed is the per-case
+	// seed derived from the campaign seed (reproduce with exactly Seed).
+	Index int
+	Seed  int64
+	// Outcome is the original verdict; Case the case that produced it.
+	Outcome Outcome
+	Case    *Case
+	// Shrunk is the minimized case (nil when shrinking is disabled);
+	// ShrunkOutcome its verdict, same class as Outcome by construction.
+	Shrunk        *Case
+	ShrunkOutcome Outcome
+}
+
+// Summary aggregates a campaign.
+type Summary struct {
+	Cases    int
+	Counts   map[Class]int
+	Failures []*Failure
+}
+
+// Unexplained counts cases whose class is not an acceptable outcome.
+func (s *Summary) Unexplained() int {
+	n := 0
+	for c, k := range s.Counts {
+		if !c.Explained() {
+			n += k
+		}
+	}
+	return n
+}
+
+// CaseSeed derives the deterministic per-case seed for case i of a
+// campaign: an splitmix64 step over the campaign seed, so neighboring
+// cases decorrelate while -seed/-n reproduce byte-for-byte.
+func CaseSeed(campaignSeed int64, i int) int64 {
+	z := uint64(campaignSeed) + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Run executes an n-case campaign from the given seed. Each failing case
+// is shrunk (unless opts.SkipShrink) with the same oracle configuration.
+// The progress callback, when non-nil, is invoked after every case.
+func Run(n int, seed int64, opts Options, progress func(i int, out Outcome)) *Summary {
+	sum := &Summary{Counts: map[Class]int{}}
+	oracle := NewOracle(opts)
+	for i := 0; i < n; i++ {
+		cs := CaseSeed(seed, i)
+		c := Generate(cs)
+		out := oracle.Check(c)
+		sum.Cases++
+		sum.Counts[out.Class]++
+		if !out.Class.Explained() {
+			f := &Failure{Index: i, Seed: cs, Outcome: out, Case: c}
+			if !opts.SkipShrink {
+				f.Shrunk, f.ShrunkOutcome = Shrink(c, out.Class, oracle.Check)
+			}
+			sum.Failures = append(sum.Failures, f)
+		}
+		if progress != nil {
+			progress(i, out)
+		}
+	}
+	return sum
+}
+
+// rng returns a deterministic PRNG for a seed.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,248 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 42, CaseSeed(7, 3)} {
+		a, b := Generate(seed), Generate(seed)
+		if a.Source() != b.Source() {
+			t.Fatalf("seed %d: program not deterministic", seed)
+		}
+		if a.ScopeText() != b.ScopeText() {
+			t.Fatalf("seed %d: scopes not deterministic", seed)
+		}
+		if !reflect.DeepEqual(a.Topo, b.Topo) {
+			t.Fatalf("seed %d: topology not deterministic", seed)
+		}
+		if !reflect.DeepEqual(a.Trace, b.Trace) || !reflect.DeepEqual(a.Entries, b.Entries) {
+			t.Fatalf("seed %d: trace not deterministic", seed)
+		}
+	}
+}
+
+func TestCaseSeedDecorrelates(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		s := CaseSeed(1, i)
+		if seen[s] {
+			t.Fatalf("duplicate case seed at index %d", i)
+		}
+		seen[s] = true
+	}
+	if CaseSeed(1, 0) == CaseSeed(2, 0) {
+		t.Fatal("campaign seed does not affect case seeds")
+	}
+}
+
+func TestClassNamesRoundTrip(t *testing.T) {
+	for c := Equivalent; c <= GeneratorError; c++ {
+		got, ok := ClassByName(c.String())
+		if !ok || got != c {
+			t.Errorf("class %v does not round-trip through %q", c, c.String())
+		}
+	}
+	if _, ok := ClassByName("nonsense"); ok {
+		t.Error("ClassByName accepted an unknown name")
+	}
+}
+
+// TestCampaignAllExplained is the subsystem's core claim on itself: every
+// generated case either compiles to an equivalent deployment across
+// dialects and parallelism levels, or is consistently infeasible. The CI
+// smoke job and `lyra-fuzz -n 500 -seed 1` run the same check at larger n.
+func TestCampaignAllExplained(t *testing.T) {
+	sum := Run(40, 1, Options{SkipShrink: true}, nil)
+	if sum.Cases != 40 {
+		t.Fatalf("ran %d cases, want 40", sum.Cases)
+	}
+	if n := sum.Unexplained(); n != 0 {
+		for _, f := range sum.Failures {
+			t.Errorf("case %d (seed %d): %s", f.Index, f.Seed, f.Outcome)
+		}
+		t.Fatalf("%d unexplained cases", n)
+	}
+	if sum.Counts[Equivalent] == 0 {
+		t.Fatal("campaign produced no equivalent cases — oracle coverage is vacuous")
+	}
+}
+
+// TestSeededBugCaughtAndShrunk: injecting a deliberate backend bug must
+// surface as unexplained failures, and the shrinker must minimize at least
+// one of them while preserving its failure class.
+func TestSeededBugCaughtAndShrunk(t *testing.T) {
+	sum := Run(10, 1, Options{Mutation: "drop-last-instr"}, nil)
+	if len(sum.Failures) == 0 {
+		t.Fatal("seeded backend bug went undetected across 10 cases")
+	}
+	shrunkSeen := false
+	for _, f := range sum.Failures {
+		if f.Outcome.Class.Explained() {
+			t.Errorf("failure list contains explained outcome %s", f.Outcome)
+		}
+		if f.Shrunk == nil {
+			continue
+		}
+		shrunkSeen = true
+		if f.ShrunkOutcome.Class != f.Outcome.Class {
+			t.Errorf("case %d: shrink changed class %s -> %s",
+				f.Index, f.Outcome.Class, f.ShrunkOutcome.Class)
+		}
+		if o, s := caseWeight(f.Case), caseWeight(f.Shrunk); s > o {
+			t.Errorf("case %d: shrunk case is larger (%d > %d)", f.Index, s, o)
+		}
+	}
+	if !shrunkSeen {
+		t.Fatal("no failure was shrunk")
+	}
+}
+
+// caseWeight is a coarse size metric: statements + switches + packets.
+func caseWeight(c *Case) int {
+	n := len(c.Topo.Switches) + len(c.Trace)
+	for _, a := range c.Prog.Algorithms {
+		n += countStmts(a.Body)
+	}
+	return n
+}
+
+func TestMutationNamesResolve(t *testing.T) {
+	for _, name := range MutationNames() {
+		if fn, ok := MutationByName(name); !ok || fn == nil {
+			t.Errorf("mutation %q does not resolve", name)
+		}
+	}
+	if fn, ok := MutationByName(""); !ok || fn != nil {
+		t.Error("empty mutation name must resolve to no-op")
+	}
+	if _, ok := MutationByName("no-such-bug"); ok {
+		t.Error("unknown mutation name accepted")
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	c := Generate(CaseSeed(1, 5))
+	meta := BundleMeta{
+		Seed: c.Seed, CaseIndex: 5, CampaignSeed: 1, GitSHA: "deadbeef",
+		Class: Equivalent.String(), CreatedBy: "difftest_test",
+	}
+	dir := filepath.Join(t.TempDir(), "bundle")
+	if err := WriteBundle(dir, c, meta); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"case.lyra", "case.scope", "topo.txt", "trace.txt", "meta.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("bundle missing %s: %v", name, err)
+		}
+	}
+	got, gotMeta, err := LoadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source() != c.Source() {
+		t.Errorf("program did not round-trip:\n%s\nvs\n%s", got.Source(), c.Source())
+	}
+	if got.ScopeText() != c.ScopeText() {
+		t.Errorf("scopes did not round-trip: %q vs %q", got.ScopeText(), c.ScopeText())
+	}
+	if !reflect.DeepEqual(got.Topo, c.Topo) {
+		t.Error("topology did not round-trip")
+	}
+	if !reflect.DeepEqual(got.Trace, c.Trace) {
+		t.Errorf("trace did not round-trip: %#v vs %#v", got.Trace, c.Trace)
+	}
+	if !reflect.DeepEqual(got.Entries, c.Entries) {
+		t.Error("entries did not round-trip")
+	}
+	if *gotMeta != meta {
+		t.Errorf("meta did not round-trip: %+v vs %+v", *gotMeta, meta)
+	}
+}
+
+// corpusDir is the checked-in regression corpus (repo-root testdata).
+const corpusDir = "../../testdata/difftest/corpus"
+
+// TestCorpusReplay replays every checked-in bundle and requires the oracle
+// to reproduce the recorded class — interesting seeds become deterministic
+// regression tests. Regenerate with:
+//
+//	LYRA_WRITE_CORPUS=1 go test ./internal/difftest -run TestWriteCorpus
+func TestCorpusReplay(t *testing.T) {
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatalf("reading corpus: %v (regenerate with LYRA_WRITE_CORPUS=1)", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("corpus is empty")
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			out, meta, err := Replay(filepath.Join(corpusDir, e.Name()), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Class.String() != meta.Class {
+				t.Fatalf("replay verdict %s, bundle recorded %s (detail: %s)",
+					out.Class, meta.Class, out.Detail)
+			}
+		})
+	}
+}
+
+// TestWriteCorpus regenerates the checked-in corpus deterministically from
+// campaign seed 1. Gated so normal test runs never rewrite testdata.
+func TestWriteCorpus(t *testing.T) {
+	if os.Getenv("LYRA_WRITE_CORPUS") == "" {
+		t.Skip("set LYRA_WRITE_CORPUS=1 to regenerate the corpus")
+	}
+	if err := os.RemoveAll(corpusDir); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, c *Case, idx int, class Class, mutation string) {
+		meta := BundleMeta{
+			Seed: c.Seed, CaseIndex: idx, CampaignSeed: 1, GitSHA: "corpus",
+			Class: class.String(), Mutation: mutation, CreatedBy: "TestWriteCorpus",
+		}
+		if err := WriteBundle(filepath.Join(corpusDir, name), c, meta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One equivalent multi-algorithm case and one infeasible case, straight
+	// from the campaign stream.
+	var haveEq, haveInf bool
+	oracle := NewOracle(Options{})
+	for i := 0; i < 200 && !(haveEq && haveInf); i++ {
+		c := Generate(CaseSeed(1, i))
+		out := oracle.Check(c)
+		switch {
+		case !haveEq && out.Class == Equivalent && len(c.Prog.Algorithms) >= 2:
+			write(fmt.Sprintf("equivalent-multialg-%03d", i), c, i, Equivalent, "")
+			haveEq = true
+		case !haveInf && out.Class == Infeasible:
+			write(fmt.Sprintf("infeasible-%03d", i), c, i, Infeasible, "")
+			haveInf = true
+		}
+	}
+	if !haveEq || !haveInf {
+		t.Fatal("campaign stream did not yield both corpus classes")
+	}
+	// One shrunk divergence under the seeded backend bug: replaying the
+	// bundle re-injects the mutation and must reproduce the divergence.
+	sum := Run(10, 1, Options{Mutation: "drop-last-instr"}, nil)
+	for _, f := range sum.Failures {
+		if f.Shrunk != nil && f.ShrunkOutcome.Class == OutputDivergence {
+			write(fmt.Sprintf("mutation-divergence-%03d", f.Index),
+				f.Shrunk, f.Index, OutputDivergence, "drop-last-instr")
+			return
+		}
+	}
+	t.Fatal("mutation campaign yielded no shrunk divergence")
+}

@@ -1,0 +1,665 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"lyra/internal/asic"
+	"lyra/internal/lang/ast"
+	"lyra/internal/topo"
+)
+
+// SwitchSpec describes one switch of a serializable topology.
+type SwitchSpec struct {
+	Name, Layer, Model string
+}
+
+// TopoSpec is a topology in replayable form: bundles persist it as text and
+// the shrinker deletes switches from it structurally.
+type TopoSpec struct {
+	Switches []SwitchSpec
+	Links    [][2]string
+}
+
+// Build materializes the spec into a Network.
+func (ts *TopoSpec) Build() (*topo.Network, error) {
+	n := topo.New()
+	for _, s := range ts.Switches {
+		m, ok := asic.ByName(s.Model)
+		if !ok {
+			return nil, fmt.Errorf("difftest: unknown chip model %q", s.Model)
+		}
+		if _, err := n.AddSwitch(s.Name, s.Layer, m); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range ts.Links {
+		if err := n.AddLink(l[0], l[1]); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// SpecOf snapshots a Network into a replayable spec. Switches keep network
+// order; links are emitted once each, lexicographically.
+func SpecOf(n *topo.Network) *TopoSpec {
+	ts := &TopoSpec{}
+	for _, s := range n.Switches {
+		ts.Switches = append(ts.Switches, SwitchSpec{Name: s.Name, Layer: s.Layer, Model: s.ASIC.Name})
+	}
+	for _, s := range n.Switches {
+		for _, nb := range n.Neighbors(s.Name) {
+			if s.Name < nb {
+				ts.Links = append(ts.Links, [2]string{s.Name, nb})
+			}
+		}
+	}
+	sort.Slice(ts.Links, func(i, j int) bool {
+		if ts.Links[i][0] != ts.Links[j][0] {
+			return ts.Links[i][0] < ts.Links[j][0]
+		}
+		return ts.Links[i][1] < ts.Links[j][1]
+	})
+	return ts
+}
+
+// Clone deep-copies the spec.
+func (ts *TopoSpec) Clone() *TopoSpec {
+	c := &TopoSpec{
+		Switches: append([]SwitchSpec(nil), ts.Switches...),
+		Links:    append([][2]string(nil), ts.Links...),
+	}
+	return c
+}
+
+// ScopeSpec is one algorithm's placement specification in structured form.
+type ScopeSpec struct {
+	Alg     string
+	Region  []string
+	MultiSw bool
+	From    []string
+	To      []string
+}
+
+// Line renders the Figure-7 scope line.
+func (s ScopeSpec) Line() string {
+	region := strings.Join(s.Region, ",")
+	if !s.MultiSw {
+		return fmt.Sprintf("%s: [ %s | PER-SW | - ]", s.Alg, region)
+	}
+	return fmt.Sprintf("%s: [ %s | MULTI-SW | (%s->%s) ]",
+		s.Alg, region, strings.Join(s.From, ","), strings.Join(s.To, ","))
+}
+
+// TracePacket is one generated input packet.
+type TracePacket struct {
+	Fields map[string]uint64
+	Valid  []string
+}
+
+// Entry is one control-plane table entry.
+type Entry struct {
+	Key, Value uint64
+}
+
+// Case is one generated differential-testing scenario: a program (held as
+// AST so the shrinker can delete structurally), scopes, a topology, and a
+// packet trace with control-plane contents.
+type Case struct {
+	Seed    int64
+	Prog    *ast.Program
+	Scopes  []ScopeSpec
+	Topo    *TopoSpec
+	Trace   []TracePacket
+	Entries map[string][]Entry
+}
+
+// Source renders the program text compiled by the oracle.
+func (c *Case) Source() string { return ast.Format(c.Prog) }
+
+// ScopeText renders the scope specification.
+func (c *Case) ScopeText() string {
+	var b strings.Builder
+	for _, s := range c.Scopes {
+		b.WriteString(s.Line())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Network builds the target topology.
+func (c *Case) Network() (*topo.Network, error) { return c.Topo.Build() }
+
+// Stateful reports whether the program declares global registers — those
+// cases need a fresh deployment per comparison so counters do not skew.
+func (c *Case) Stateful() bool {
+	for _, a := range c.Prog.Algorithms {
+		if anyStmt(a.Body, func(s ast.Stmt) bool {
+			d, ok := s.(*ast.VarDecl)
+			return ok && d.Global
+		}) {
+			return true
+		}
+	}
+	return false
+}
+
+// AlgNames lists the program's algorithms in declaration order.
+func (c *Case) AlgNames() []string {
+	out := make([]string, len(c.Prog.Algorithms))
+	for i, a := range c.Prog.Algorithms {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// OutputsOf derives the "hdr.field" set an algorithm may write, from its
+// AST — the ownership set the oracle compares. Derivation (rather than
+// generator bookkeeping) keeps it correct across shrinking and bundle
+// reload.
+func (c *Case) OutputsOf(alg string) []string {
+	a := c.Prog.Algorithm(alg)
+	if a == nil {
+		return nil
+	}
+	set := map[string]bool{}
+	walkStmts(a.Body, func(s ast.Stmt) {
+		as, ok := s.(*ast.Assign)
+		if !ok {
+			return
+		}
+		if fa, ok := as.LHS.(*ast.FieldAccess); ok {
+			if id, ok := fa.X.(*ast.Ident); ok {
+				set[id.Name+"."+fa.Name] = true
+			}
+		}
+	})
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OwnsPacketOps reports whether the algorithm issues packet-level
+// operations (forward/drop/mirror/copy_to_cpu); the oracle compares
+// packet flags only on that algorithm's paths.
+func (c *Case) OwnsPacketOps(alg string) bool {
+	a := c.Prog.Algorithm(alg)
+	if a == nil {
+		return false
+	}
+	return anyStmt(a.Body, func(s ast.Stmt) bool {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.Call)
+		if !ok {
+			return false
+		}
+		switch call.Name {
+		case "forward", "drop", "mirror", "copy_to_cpu":
+			return true
+		}
+		return false
+	})
+}
+
+// ExternDecls lists the program's extern declarations (for trace-entry
+// generation and bundle serialization).
+func (c *Case) ExternDecls() []*ast.ExternDecl {
+	var out []*ast.ExternDecl
+	for _, a := range c.Prog.Algorithms {
+		walkStmts(a.Body, func(s ast.Stmt) {
+			if d, ok := s.(*ast.ExternDecl); ok {
+				out = append(out, d)
+			}
+		})
+	}
+	return out
+}
+
+func walkStmts(stmts []ast.Stmt, fn func(ast.Stmt)) {
+	for _, s := range stmts {
+		fn(s)
+		if ifs, ok := s.(*ast.If); ok {
+			walkStmts(ifs.Then, fn)
+			walkStmts(ifs.Else, fn)
+		}
+	}
+}
+
+func anyStmt(stmts []ast.Stmt, pred func(ast.Stmt) bool) bool {
+	found := false
+	walkStmts(stmts, func(s ast.Stmt) {
+		if pred(s) {
+			found = true
+		}
+	})
+	return found
+}
+
+// ---- Generation ----
+
+// generator carries the per-case random state.
+type generator struct {
+	r   *rand.Rand
+	opt bool // optional second header present
+
+	algIdx   int
+	vars     []string // assigned temporaries of the current algorithm
+	dicts    []string // extern dict names of the current algorithm
+	lists    []string // extern list names of the current algorithm
+	reg      string   // global register of the current algorithm ("" = none)
+	opsOwner int      // algorithm index allowed packet ops (-1 = none)
+}
+
+// Generate produces the deterministic case for a seed: same seed, same
+// case, byte for byte.
+func Generate(seed int64) *Case {
+	r := rng(seed)
+	g := &generator{r: r}
+	c := &Case{Seed: seed, Entries: map[string][]Entry{}}
+
+	c.Topo = g.genTopo()
+	nAlgs := 1 + r.Intn(3)
+	g.opt = r.Intn(2) == 0
+	g.opsOwner = -1
+	if r.Intn(2) == 0 {
+		g.opsOwner = r.Intn(nAlgs)
+	}
+
+	c.Prog = g.genProgram(nAlgs)
+	c.Scopes = g.genScopes(c)
+	g.genTrace(c)
+	return c
+}
+
+func (g *generator) pick(ss []string) string { return ss[g.r.Intn(len(ss))] }
+
+func (g *generator) genTopo() *TopoSpec {
+	var n *topo.Network
+	if g.r.Intn(3) == 0 {
+		n = topo.Testbed()
+	} else {
+		pods := 1 + g.r.Intn(2)
+		k := 4 + 2*g.r.Intn(2)
+		p4Models := []*asic.Model{asic.Tofino32Q, asic.Tofino64Q, asic.SiliconOne}
+		aggModels := []*asic.Model{asic.Trident4, asic.Tofino32Q, asic.SiliconOne}
+		n = topo.MultiPodFatTree(pods, k, func(layer string, idx int) *asic.Model {
+			if layer == "Agg" {
+				return aggModels[g.r.Intn(len(aggModels))]
+			}
+			return p4Models[g.r.Intn(len(p4Models))]
+		})
+	}
+	return SpecOf(n)
+}
+
+// genProgram builds the AST: headers (base + optional selected header),
+// parse graph, pipelines, and nAlgs algorithms.
+func (g *generator) genProgram(nAlgs int) *ast.Program {
+	p := &ast.Program{}
+	baseFields := []ast.Field{ast.F(16, "kind"), ast.F(32, "a"), ast.F(32, "b"), ast.F(32, "c")}
+	for i := 0; i < nAlgs; i++ {
+		baseFields = append(baseFields, ast.F(32, fmt.Sprintf("out%d", i)))
+	}
+	p.Headers = append(p.Headers, ast.NewHeaderType("base_t", baseFields...))
+	p.Instances = append(p.Instances, ast.NewInstance("base_t", "base"))
+	if g.opt {
+		p.Headers = append(p.Headers, ast.NewHeaderType("opt_t", ast.F(32, "x")))
+		p.Instances = append(p.Instances, ast.NewInstance("opt_t", "opt"))
+		p.Parsers = append(p.Parsers,
+			ast.NewParserNode("start", []string{"base"},
+				ast.NewSelect(ast.Fld("base", "kind"), "", ast.SelectCase{Value: 0x10, Next: "parse_opt"})),
+			ast.NewParserNode("parse_opt", []string{"opt"}, nil),
+		)
+	} else if g.r.Intn(2) == 0 {
+		p.Parsers = append(p.Parsers, ast.NewParserNode("start", []string{"base"}, nil))
+	}
+
+	var algNames []string
+	for i := 0; i < nAlgs; i++ {
+		algNames = append(algNames, fmt.Sprintf("alg%d", i))
+	}
+	if g.r.Intn(2) == 0 {
+		p.Pipelines = append(p.Pipelines, ast.NewPipeline("MAIN", algNames...))
+	} else {
+		for i, name := range algNames {
+			p.Pipelines = append(p.Pipelines, ast.NewPipeline(fmt.Sprintf("P%d", i), name))
+		}
+	}
+	for i, name := range algNames {
+		p.Algorithms = append(p.Algorithms, g.genAlgorithm(i, name))
+	}
+	return p
+}
+
+func (g *generator) genAlgorithm(i int, name string) *ast.Algorithm {
+	g.algIdx = i
+	g.vars, g.dicts, g.lists, g.reg = nil, nil, nil, ""
+	var body []ast.Stmt
+	sizes := []int{16, 64, 256}
+	for j, n := 0, g.r.Intn(3); j < n; j++ {
+		dn := fmt.Sprintf("d%d_%d", i, j)
+		body = append(body, ast.Dict(ast.F(32, "k"), ast.F(32, "v"), sizes[g.r.Intn(len(sizes))], dn))
+		g.dicts = append(g.dicts, dn)
+	}
+	if g.r.Intn(3) == 0 {
+		ln := fmt.Sprintf("l%d", i)
+		body = append(body, ast.List(ast.F(32, "ip"), 64, ln))
+		g.lists = append(g.lists, ln)
+	}
+	if g.r.Intn(2) == 0 {
+		g.reg = fmt.Sprintf("reg%d", i)
+		body = append(body, ast.Global(ast.BitsArray(32, 16), g.reg))
+	}
+	n := 3 + g.r.Intn(6)
+	for s := 0; s < n; s++ {
+		body = append(body, g.genStmt(2)...)
+	}
+	// Guarantee at least one observable output.
+	body = append(body, g.ownedWrite())
+	return ast.NewAlgorithm(name, body...)
+}
+
+// out returns the algorithm's owned output field.
+func (g *generator) out() *ast.FieldAccess {
+	return ast.Fld("base", fmt.Sprintf("out%d", g.algIdx))
+}
+
+func (g *generator) ownedWrite() ast.Stmt { return ast.Set(g.out(), g.genExpr(2)) }
+
+func (g *generator) tmpAssign() ast.Stmt {
+	name := fmt.Sprintf("a%dv%d", g.algIdx, g.r.Intn(4))
+	st := ast.Set(ast.ID(name), g.genExpr(2))
+	for _, v := range g.vars {
+		if v == name {
+			return st
+		}
+	}
+	g.vars = append(g.vars, name)
+	return st
+}
+
+// genStmt emits one statement (occasionally a small compound run).
+func (g *generator) genStmt(depth int) []ast.Stmt {
+	switch k := g.r.Intn(12); {
+	case k < 2:
+		return []ast.Stmt{g.tmpAssign()}
+	case k < 4:
+		return []ast.Stmt{g.ownedWrite()}
+	case k == 4 && depth > 0:
+		// Mutually exclusive if/else-if chain over base.kind — absorbed
+		// comparisons against distinct constants, the synth merge case.
+		consts := []uint64{0x10, 0x11, 0x20}
+		c1 := consts[g.r.Intn(len(consts))]
+		c2 := c1
+		for c2 == c1 {
+			c2 = consts[g.r.Intn(len(consts))]
+		}
+		inner := ast.IfElse(
+			ast.Bin(ast.OpEq, ast.Fld("base", "kind"), ast.Hex(c2)),
+			g.genBlock(depth-1), g.genBlock(depth-1))
+		return []ast.Stmt{ast.IfElse(
+			ast.Bin(ast.OpEq, ast.Fld("base", "kind"), ast.Hex(c1)),
+			g.genBlock(depth-1), []ast.Stmt{inner})}
+	case k == 5 && depth > 0:
+		cond := g.genCond()
+		if g.r.Intn(2) == 0 {
+			return []ast.Stmt{ast.IfThen(cond, g.genBlock(depth-1)...)}
+		}
+		return []ast.Stmt{ast.IfElse(cond, g.genBlock(depth-1), g.genBlock(depth-1))}
+	case k < 8 && len(g.dicts) > 0:
+		// Pop the dict: a P4 table may be applied only once, so each dict
+		// gets at most one lookup site.
+		di := g.r.Intn(len(g.dicts))
+		d := g.dicts[di]
+		g.dicts = append(g.dicts[:di], g.dicts[di+1:]...)
+		key := g.pick([]string{"a", "b", "c"})
+		hit := []ast.Stmt{ast.Set(g.out(), ast.Idx(ast.ID(d), ast.Fld("base", key)))}
+		if g.r.Intn(2) == 0 {
+			return []ast.Stmt{ast.IfElse(ast.In(ast.Fld("base", key), d), hit,
+				[]ast.Stmt{ast.Set(g.out(), g.genExpr(1))})}
+		}
+		return []ast.Stmt{ast.IfThen(ast.In(ast.Fld("base", key), d), hit...)}
+	case k == 8 && len(g.lists) > 0:
+		li := g.r.Intn(len(g.lists))
+		l := g.lists[li]
+		g.lists = append(g.lists[:li], g.lists[li+1:]...)
+		key := g.pick([]string{"a", "b"})
+		return []ast.Stmt{ast.IfThen(ast.In(ast.Fld("base", key), l), g.ownedWrite())}
+	case k == 9 && g.reg != "":
+		idx := ast.Bin(ast.OpAnd, ast.Fld("base", g.pick([]string{"a", "b"})), ast.Num(15))
+		if g.r.Intn(2) == 0 {
+			return []ast.Stmt{ast.Set(ast.Idx(ast.ID(g.reg), idx),
+				ast.Bin(ast.OpAdd, ast.Idx(ast.ID(g.reg), idx), g.genExpr(1)))}
+		}
+		return []ast.Stmt{ast.Set(g.out(), ast.Idx(ast.ID(g.reg), idx))}
+	case k == 10:
+		lib := g.pick([]string{"get_switch_id", "get_ingress_timestamp", "get_ingress_port"})
+		name := fmt.Sprintf("a%dv%d", g.algIdx, g.r.Intn(4))
+		st := ast.Set(ast.ID(name), &ast.Call{Name: lib})
+		for _, v := range g.vars {
+			if v == name {
+				return []ast.Stmt{st}
+			}
+		}
+		g.vars = append(g.vars, name)
+		return []ast.Stmt{st}
+	case k == 11 && g.algIdx == g.opsOwner:
+		switch g.r.Intn(4) {
+		case 0:
+			return []ast.Stmt{ast.Do("forward", ast.Num(uint64(1+g.r.Intn(8))))}
+		case 1:
+			return []ast.Stmt{ast.Do("mirror")}
+		case 2:
+			return []ast.Stmt{ast.Do("copy_to_cpu")}
+		default:
+			return []ast.Stmt{ast.Do("drop")}
+		}
+	default:
+		return []ast.Stmt{g.tmpAssign()}
+	}
+}
+
+func (g *generator) genBlock(depth int) []ast.Stmt {
+	n := 1 + g.r.Intn(2)
+	var out []ast.Stmt
+	for i := 0; i < n; i++ {
+		out = append(out, g.genStmt(depth)...)
+	}
+	return out
+}
+
+func (g *generator) genLeaf() ast.Expr {
+	switch g.r.Intn(5) {
+	case 0:
+		return ast.Fld("base", g.pick([]string{"a", "b", "c"}))
+	case 1:
+		if len(g.vars) > 0 {
+			return ast.ID(g.pick(g.vars))
+		}
+		return ast.Fld("base", "a")
+	case 2:
+		if g.opt {
+			return ast.Fld("opt", "x")
+		}
+		return ast.Fld("base", "c")
+	case 3:
+		return ast.Num(uint64(g.r.Intn(1 << 16)))
+	default:
+		return ast.Hex(uint64(g.r.Intn(1 << 20)))
+	}
+}
+
+func (g *generator) genExpr(depth int) ast.Expr {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		return g.genLeaf()
+	}
+	if g.r.Intn(5) == 0 {
+		return ast.Bin(ast.OpShl, g.genExpr(depth-1), ast.Num(uint64(g.r.Intn(8))))
+	}
+	ops := []ast.Op{ast.OpAdd, ast.OpSub, ast.OpAnd, ast.OpOr, ast.OpXor}
+	return ast.Bin(ops[g.r.Intn(len(ops))], g.genExpr(depth-1), g.genExpr(depth-1))
+}
+
+func (g *generator) genCond() ast.Expr {
+	ops := []ast.Op{ast.OpEq, ast.OpNe, ast.OpLt, ast.OpGt, ast.OpLe, ast.OpGe}
+	return ast.Bin(ops[g.r.Intn(len(ops))], g.genLeaf(), g.genLeaf())
+}
+
+// pod groups one pod's switches for scope construction.
+type pod struct {
+	ToRs, Aggs []string
+}
+
+// podsOf derives the pod structure from a topology spec: ToR/Agg switches
+// connected by links (ignoring Core switches) form one pod.
+func podsOf(ts *TopoSpec) (pods []pod, cores []string) {
+	layer := map[string]string{}
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, s := range ts.Switches {
+		layer[s.Name] = s.Layer
+		if s.Layer == "Core" {
+			cores = append(cores, s.Name)
+		} else {
+			parent[s.Name] = s.Name
+		}
+	}
+	for _, l := range ts.Links {
+		a, b := l[0], l[1]
+		if layer[a] == "Core" || layer[b] == "Core" {
+			continue
+		}
+		if _, ok := parent[a]; !ok {
+			continue
+		}
+		if _, ok := parent[b]; !ok {
+			continue
+		}
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	byRoot := map[string]*pod{}
+	var order []string
+	for _, s := range ts.Switches {
+		if s.Layer == "Core" {
+			continue
+		}
+		r := find(s.Name)
+		p := byRoot[r]
+		if p == nil {
+			p = &pod{}
+			byRoot[r] = p
+			order = append(order, r)
+		}
+		if s.Layer == "Agg" {
+			p.Aggs = append(p.Aggs, s.Name)
+		} else {
+			p.ToRs = append(p.ToRs, s.Name)
+		}
+	}
+	for _, r := range order {
+		p := byRoot[r]
+		if len(p.ToRs) > 0 && len(p.Aggs) > 0 {
+			pods = append(pods, *p)
+		}
+	}
+	return pods, cores
+}
+
+func (g *generator) genScopes(c *Case) []ScopeSpec {
+	pods, cores := podsOf(c.Topo)
+	var all []string
+	for _, s := range c.Topo.Switches {
+		all = append(all, s.Name)
+	}
+	var scopes []ScopeSpec
+	for i, a := range c.Prog.Algorithms {
+		sc := ScopeSpec{Alg: a.Name}
+		p := pods[g.r.Intn(len(pods))]
+		if len(pods) > 1 && g.r.Intn(2) == 0 {
+			p = pods[i%len(pods)] // spread algorithms across pods (disjoint components)
+		}
+		switch g.r.Intn(5) {
+		case 0:
+			sc.Region = []string{g.pick(all)}
+		case 1:
+			a1, a2 := g.pick(all), g.pick(all)
+			sc.Region = []string{a1}
+			if a2 != a1 {
+				sc.Region = append(sc.Region, a2)
+			}
+		case 2:
+			sc.Region = []string{"ToR*"}
+		case 3:
+			sc.MultiSw = true
+			sc.Region = append(append([]string(nil), p.ToRs...), p.Aggs...)
+			sc.From = append([]string(nil), p.Aggs...)
+			sc.To = append([]string(nil), p.ToRs...)
+		default:
+			if len(cores) > 0 {
+				sc.MultiSw = true
+				sc.Region = append(append(append([]string(nil), p.ToRs...), p.Aggs...), cores...)
+				sc.From = append([]string(nil), p.ToRs...)
+				sc.To = append([]string(nil), cores...)
+			} else {
+				sc.MultiSw = true
+				sc.Region = append(append([]string(nil), p.ToRs...), p.Aggs...)
+				sc.From = append([]string(nil), p.Aggs...)
+				sc.To = append([]string(nil), p.ToRs...)
+			}
+		}
+		scopes = append(scopes, sc)
+	}
+	return scopes
+}
+
+func (g *generator) genTrace(c *Case) {
+	kinds := []uint64{0x10, 0x11, 0x20}
+	n := 4 + g.r.Intn(5)
+	for i := 0; i < n; i++ {
+		tp := TracePacket{Fields: map[string]uint64{}, Valid: []string{"base"}}
+		kind := kinds[g.r.Intn(len(kinds))]
+		tp.Fields["base.kind"] = kind
+		tp.Fields["base.a"] = uint64(g.r.Intn(64))
+		tp.Fields["base.b"] = uint64(g.r.Intn(64))
+		tp.Fields["base.c"] = uint64(g.r.Uint32())
+		if g.opt && kind == 0x10 {
+			tp.Valid = append(tp.Valid, "opt")
+			tp.Fields["opt.x"] = uint64(g.r.Uint32())
+		}
+		c.Trace = append(c.Trace, tp)
+	}
+	for _, d := range c.ExternDecls() {
+		max := d.Size
+		if max > 8 {
+			max = 8
+		}
+		nE := g.r.Intn(max + 1)
+		seen := map[uint64]bool{}
+		for j := 0; j < nE; j++ {
+			k := uint64(g.r.Intn(64))
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			c.Entries[d.Name] = append(c.Entries[d.Name], Entry{Key: k, Value: uint64(g.r.Int31())})
+		}
+	}
+}

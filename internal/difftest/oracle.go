@@ -1,0 +1,330 @@
+package difftest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"lyra"
+	"lyra/internal/backend"
+	"lyra/internal/dataplane"
+)
+
+// Options configures an Oracle.
+type Options struct {
+	// Dialects are the P4 flavors compiled for every case (default
+	// P4_14 and P4_16). NPL coverage comes from the generated topologies:
+	// Trident-4 switches always emit NPL regardless of this setting.
+	Dialects []lyra.Dialect
+	// Parallelism is the worker count whose compile is compared
+	// byte-for-byte against a sequential (parallelism=1) compile
+	// (default 4).
+	Parallelism int
+	// Mutation optionally names a backend bug to inject while building
+	// the simulated deployment (see MutationByName) — the seeded-bug
+	// check: a campaign under any mutation must report unexplained
+	// failures.
+	Mutation string
+	// SkipShrink disables minimization of failing cases in Run.
+	SkipShrink bool
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Dialects) == 0 {
+		o.Dialects = []lyra.Dialect{lyra.P414, lyra.P416}
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 4
+	}
+	return o
+}
+
+// MutationByName resolves a seeded-backend-bug name. The empty name
+// resolves to no mutation.
+func MutationByName(name string) (func(string, *backend.SwitchProgram), bool) {
+	switch name {
+	case "":
+		return nil, true
+	case "drop-last-instr":
+		return backend.MutationDropLastInstr, true
+	case "drop-exports":
+		return backend.MutationDropExports, true
+	case "drop-hit-guards":
+		return backend.MutationDropHitGuards, true
+	}
+	return nil, false
+}
+
+// MutationNames lists the available seeded-bug mutations.
+func MutationNames() []string {
+	return []string{"drop-last-instr", "drop-exports", "drop-hit-guards"}
+}
+
+// Oracle checks generated cases for cross-backend equivalence.
+type Oracle struct {
+	opts Options
+	mut  func(string, *backend.SwitchProgram)
+}
+
+// NewOracle builds an oracle; an unknown opts.Mutation name is ignored
+// (lyra-fuzz validates the flag before constructing one).
+func NewOracle(opts Options) *Oracle {
+	o := &Oracle{opts: opts.withDefaults()}
+	o.mut, _ = MutationByName(opts.Mutation)
+	return o
+}
+
+func dialectName(d lyra.Dialect) string {
+	if d == lyra.P416 {
+		return "p4_16"
+	}
+	return "p4_14"
+}
+
+// compile runs one (dialect, parallelism) compile of the case. It returns
+// a non-nil Outcome only for terminal classifications (crash, front-end
+// rejection); infeasibility is returned as a flag so the caller can check
+// that every compile agrees on it.
+func (o *Oracle) compile(c *Case, d lyra.Dialect, par int) (*lyra.Result, *Outcome, bool) {
+	net, err := c.Network()
+	if err != nil {
+		return nil, &Outcome{Class: GeneratorError, Detail: err.Error()}, false
+	}
+	res, err := lyra.New(lyra.WithDialect(d), lyra.WithParallelism(par)).
+		Compile(context.Background(), c.Source(), c.ScopeText(), net)
+	if err != nil {
+		var ie *lyra.InternalError
+		switch {
+		case errors.As(err, &ie):
+			return nil, &Outcome{Class: Crash,
+				Detail: fmt.Sprintf("%s parallelism=%d: %v", dialectName(d), par, err)}, false
+		case errors.Is(err, lyra.ErrInfeasible):
+			return nil, nil, true
+		case errors.Is(err, lyra.ErrBudget):
+			return nil, &Outcome{Class: Crash,
+				Detail: fmt.Sprintf("%s parallelism=%d: solver budget: %v", dialectName(d), par, err)}, false
+		default:
+			return nil, &Outcome{Class: GeneratorError,
+				Detail: fmt.Sprintf("%s parallelism=%d: %v", dialectName(d), par, err)}, false
+		}
+	}
+	return res, nil, false
+}
+
+// diffResults compares two compiles of the same dialect that must be
+// byte-identical (the parallelism invariant). Returns "" when identical.
+func diffResults(a, b *lyra.Result) string {
+	as, bs := a.Switches(), b.Switches()
+	if len(as) != len(bs) {
+		return fmt.Sprintf("switch sets differ: %v vs %v", as, bs)
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return fmt.Sprintf("switch sets differ: %v vs %v", as, bs)
+		}
+	}
+	for _, sw := range as {
+		aa, ba := a.Artifact(sw), b.Artifact(sw)
+		if aa.Code != ba.Code {
+			return fmt.Sprintf("%s: generated code differs", sw)
+		}
+		if aa.ControlPlane != ba.ControlPlane {
+			return fmt.Sprintf("%s: control-plane stub differs", sw)
+		}
+		if a.Fingerprints[sw] != b.Fingerprints[sw] {
+			return fmt.Sprintf("%s: plan fingerprint %s vs %s", sw, a.Fingerprints[sw], b.Fingerprints[sw])
+		}
+	}
+	return ""
+}
+
+// diffPlans compares two compiles of different dialects: the emitted code
+// legitimately differs, but the placement — switch set and dialect-
+// independent plan fingerprints — must not. Returns "" when consistent.
+func diffPlans(a, b *lyra.Result) string {
+	as, bs := a.Switches(), b.Switches()
+	if len(as) != len(bs) {
+		return fmt.Sprintf("switch sets differ: %v vs %v", as, bs)
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return fmt.Sprintf("switch sets differ: %v vs %v", as, bs)
+		}
+	}
+	for _, sw := range as {
+		if a.Fingerprints[sw] != b.Fingerprints[sw] {
+			return fmt.Sprintf("%s: plan fingerprint %s vs %s", sw, a.Fingerprints[sw], b.Fingerprints[sw])
+		}
+	}
+	return ""
+}
+
+// Check classifies one case: compile it for every dialect at two
+// parallelism levels, cross-check the compiles against each other, then
+// execute the deployment against the reference semantics on the case's
+// packet trace.
+func (o *Oracle) Check(c *Case) Outcome {
+	type keyed struct {
+		name string
+		res  *lyra.Result
+	}
+	var compiled []keyed
+	firstInfeasible := -1 // index into o.opts.Dialects, -1 = none seen
+	for di, d := range o.opts.Dialects {
+		name := dialectName(d)
+		r1, bad, inf1 := o.compile(c, d, 1)
+		if bad != nil {
+			return *bad
+		}
+		rN, bad, infN := o.compile(c, d, o.opts.Parallelism)
+		if bad != nil {
+			return *bad
+		}
+		if inf1 != infN {
+			return Outcome{Class: SolverDisagreement, Detail: fmt.Sprintf(
+				"%s: sequential compile infeasible=%v but parallelism=%d infeasible=%v",
+				name, inf1, o.opts.Parallelism, infN)}
+		}
+		if inf1 {
+			if len(compiled) > 0 {
+				return Outcome{Class: SolverDisagreement, Detail: fmt.Sprintf(
+					"%s infeasible but %s compiled", name, compiled[0].name)}
+			}
+			firstInfeasible = di
+			continue
+		}
+		if firstInfeasible >= 0 {
+			return Outcome{Class: SolverDisagreement, Detail: fmt.Sprintf(
+				"%s compiled but %s infeasible", name, dialectName(o.opts.Dialects[firstInfeasible]))}
+		}
+		if d := diffResults(r1, rN); d != "" {
+			return Outcome{Class: SolverDisagreement,
+				Detail: fmt.Sprintf("%s: parallel compile differs from sequential: %s", name, d)}
+		}
+		if len(compiled) > 0 {
+			if d := diffPlans(compiled[0].res, r1); d != "" {
+				return Outcome{Class: SolverDisagreement,
+					Detail: fmt.Sprintf("%s vs %s: %s", compiled[0].name, name, d)}
+			}
+		}
+		compiled = append(compiled, keyed{name, r1})
+	}
+	if len(compiled) == 0 {
+		return Outcome{Class: Infeasible}
+	}
+	for _, k := range compiled {
+		for _, rep := range k.res.Reports {
+			if !rep.OK {
+				return Outcome{Class: AdmissionRejection, Detail: fmt.Sprintf(
+					"%s %s: %s", k.name, rep.Switch, strings.Join(rep.Problems, "; "))}
+			}
+		}
+	}
+	return o.equivalent(c, compiled[0].res)
+}
+
+// equivalent executes the deployed programs against the one-big-pipeline
+// reference, per algorithm, on that algorithm's flow paths, comparing only
+// the fields the algorithm owns (other algorithms' instructions are not
+// fully present along these paths, so their outputs are out of scope).
+func (o *Oracle) equivalent(c *Case, res *lyra.Result) Outcome {
+	if o.mut != nil {
+		// Corrupt the deployment only: compiles and verification above ran
+		// clean, so a divergence below is attributable to the seeded bug.
+		backend.TestMutation = o.mut
+		defer func() { backend.TestMutation = nil }()
+	}
+	tables := lyra.NewTables()
+	for name, entries := range c.Entries {
+		for _, e := range entries {
+			tables.Set(name, e.Key, e.Value)
+		}
+	}
+	multi := map[string]bool{}
+	for _, sc := range c.Scopes {
+		multi[sc.Alg] = sc.MultiSw
+	}
+	for _, alg := range c.AlgNames() {
+		var paths [][]string
+		if multi[alg] {
+			paths = res.FlowPaths(alg)
+		} else {
+			for _, sw := range res.PlacedSwitches(alg) {
+				paths = append(paths, []string{sw})
+			}
+		}
+		if len(paths) == 0 {
+			return Outcome{Class: SolverDisagreement,
+				Detail: fmt.Sprintf("%s: admitted plan places the algorithm on no switch", alg)}
+		}
+		owned := c.OutputsOf(alg)
+		ownsOps := c.OwnsPacketOps(alg)
+		for pi, path := range paths {
+			for ti, tp := range c.Trace {
+				// Fresh deployment per comparison: deployed register state
+				// persists across runs while the reference starts clean, so
+				// reusing a deployment would skew stateful cases.
+				sim, err := res.Simulate(tables)
+				if err != nil {
+					return Outcome{Class: Crash, Detail: fmt.Sprintf("deploy: %v", err)}
+				}
+				ctx := &lyra.SimContext{SwitchID: 1}
+				ref, err := sim.RunReference(ctx, mkPacket(tp))
+				if err != nil {
+					return Outcome{Class: Crash, Detail: fmt.Sprintf("reference: %v", err)}
+				}
+				dist, err := sim.RunPath(path, ctx, mkPacket(tp))
+				if err != nil {
+					return Outcome{Class: Crash,
+						Detail: fmt.Sprintf("%s path#%d %v: %v", alg, pi, path, err)}
+				}
+				got := dist.Clone()
+				if !ownsOps {
+					// Packet-level flags belong to the algorithm that issues
+					// packet operations; on other algorithms' paths they are
+					// out of scope.
+					got.Dropped = ref.Dropped
+					got.EgressPort = ref.EgressPort
+					got.Mirrored = ref.Mirrored
+					got.ToCPU = ref.ToCPU
+				}
+				if diffs := dataplane.DiffPackets(ref, got, owned); len(diffs) > 0 {
+					return Outcome{Class: OutputDivergence,
+						Detail: o.divergenceDetail(res, tables, alg, path, pi, ti, tp, diffs)}
+				}
+			}
+		}
+	}
+	return Outcome{Class: Equivalent}
+}
+
+// divergenceDetail renders a failure report with a per-hop trace showing
+// where along the path the deployed execution departs from the reference.
+func (o *Oracle) divergenceDetail(res *lyra.Result, tables *lyra.Tables,
+	alg string, path []string, pi, ti int, tp TracePacket, diffs []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s path#%d %v packet#%d: %s", alg, pi, path, ti, strings.Join(diffs, "; "))
+	sim, err := res.Simulate(tables)
+	if err != nil {
+		return b.String()
+	}
+	_, hops, err := sim.RunPathTraced(path, &lyra.SimContext{SwitchID: 1}, mkPacket(tp))
+	if err == nil {
+		for _, h := range hops {
+			fmt.Fprintf(&b, "\n  after %s: %s", h.Switch, h.Summary)
+		}
+	}
+	return b.String()
+}
+
+func mkPacket(tp TracePacket) *lyra.Packet {
+	p := lyra.NewPacket()
+	for k, v := range tp.Fields {
+		p.Fields[k] = v
+	}
+	for _, h := range tp.Valid {
+		p.Valid[h] = true
+	}
+	return p
+}

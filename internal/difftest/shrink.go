@@ -1,0 +1,418 @@
+package difftest
+
+import (
+	"sort"
+
+	"lyra/internal/lang/ast"
+	"lyra/internal/lang/parser"
+)
+
+// Shrink minimizes a failing case by structured deletion — dropping whole
+// algorithms, deleting statements, inlining conditional branches, removing
+// switches, narrowing scope regions, and trimming the packet trace and
+// table entries — accepting a candidate only when the oracle still reports
+// the same failure class. Greedy passes repeat to a fixpoint under a
+// repro-call budget. Returns the minimized case and its outcome (the
+// original case and an outcome of bare class when nothing shrank).
+func Shrink(c *Case, class Class, check func(*Case) Outcome) (*Case, Outcome) {
+	s := &shrinker{cur: c, curOut: Outcome{Class: class}, class: class, check: check, budget: 150}
+	for changed := true; changed && s.budget > 0; {
+		changed = false
+		for _, pass := range []func() bool{
+			s.dropAlgorithms, s.dropStmts, s.dropSwitches,
+			s.narrowScopes, s.trimTrace, s.trimEntries,
+		} {
+			if pass() {
+				changed = true
+			}
+		}
+	}
+	return s.cur, s.curOut
+}
+
+type shrinker struct {
+	cur    *Case
+	curOut Outcome
+	class  Class
+	check  func(*Case) Outcome
+	budget int
+}
+
+// try accepts cand if the oracle still reports the original failure class.
+func (s *shrinker) try(cand *Case) bool {
+	if cand == nil || s.budget <= 0 {
+		return false
+	}
+	s.budget--
+	out := s.check(cand)
+	if out.Class != s.class {
+		return false
+	}
+	s.cur, s.curOut = cand, out
+	return true
+}
+
+// cloneCase deep-copies a case. The program round-trips through
+// Format+Parse — cheap, and guarantees the clone is exactly what a bundle
+// reload would produce.
+func cloneCase(c *Case) *Case {
+	prog, err := parser.Parse("shrink.lyra", []byte(ast.Format(c.Prog)))
+	if err != nil {
+		return nil // unprintable program: nothing to shrink safely
+	}
+	nc := &Case{
+		Seed:    c.Seed,
+		Prog:    prog,
+		Topo:    c.Topo.Clone(),
+		Entries: map[string][]Entry{},
+	}
+	for _, sc := range c.Scopes {
+		nc.Scopes = append(nc.Scopes, ScopeSpec{
+			Alg:     sc.Alg,
+			Region:  append([]string(nil), sc.Region...),
+			MultiSw: sc.MultiSw,
+			From:    append([]string(nil), sc.From...),
+			To:      append([]string(nil), sc.To...),
+		})
+	}
+	for _, tp := range c.Trace {
+		ntp := TracePacket{Fields: map[string]uint64{}, Valid: append([]string(nil), tp.Valid...)}
+		for k, v := range tp.Fields {
+			ntp.Fields[k] = v
+		}
+		nc.Trace = append(nc.Trace, ntp)
+	}
+	for name, es := range c.Entries {
+		nc.Entries[name] = append([]Entry(nil), es...)
+	}
+	return nc
+}
+
+// dropAlgorithms removes whole algorithms (with their pipeline slots and
+// scope lines) while more than one remains.
+func (s *shrinker) dropAlgorithms() bool {
+	changed := false
+	for i := 0; i < len(s.cur.Prog.Algorithms) && len(s.cur.Prog.Algorithms) > 1; {
+		cand := cloneCase(s.cur)
+		if cand == nil {
+			return changed
+		}
+		removeAlg(cand, s.cur.Prog.Algorithms[i].Name)
+		if s.try(cand) {
+			changed = true // same index now names the next algorithm
+		} else {
+			i++
+		}
+	}
+	return changed
+}
+
+func removeAlg(c *Case, name string) {
+	var algs []*ast.Algorithm
+	for _, a := range c.Prog.Algorithms {
+		if a.Name != name {
+			algs = append(algs, a)
+		}
+	}
+	c.Prog.Algorithms = algs
+	var pipes []*ast.Pipeline
+	for _, p := range c.Prog.Pipelines {
+		var keep []string
+		for _, a := range p.Algorithms {
+			if a != name {
+				keep = append(keep, a)
+			}
+		}
+		p.Algorithms = keep
+		if len(keep) > 0 {
+			pipes = append(pipes, p)
+		}
+	}
+	c.Prog.Pipelines = pipes
+	var scopes []ScopeSpec
+	for _, sc := range c.Scopes {
+		if sc.Alg != name {
+			scopes = append(scopes, sc)
+		}
+	}
+	c.Scopes = scopes
+	pruneEntries(c)
+}
+
+// pruneEntries drops table entries for externs the program no longer
+// declares.
+func pruneEntries(c *Case) {
+	declared := map[string]bool{}
+	for _, d := range c.ExternDecls() {
+		declared[d.Name] = true
+	}
+	for name := range c.Entries {
+		if !declared[name] {
+			delete(c.Entries, name)
+		}
+	}
+}
+
+// dropStmts deletes statements and inlines conditional branches, one
+// pre-order position at a time, per algorithm.
+func (s *shrinker) dropStmts() bool {
+	changed := false
+	for ai := 0; ai < len(s.cur.Prog.Algorithms); ai++ {
+		for k := 0; k < countStmts(s.cur.Prog.Algorithms[ai].Body); {
+			accepted := false
+			for op := 0; op < 3 && !accepted; op++ {
+				cand := cloneCase(s.cur)
+				if cand == nil {
+					return changed
+				}
+				kk := k
+				var body []ast.Stmt
+				var ok bool
+				switch op {
+				case 0:
+					body, ok = deleteNth(cand.Prog.Algorithms[ai].Body, &kk)
+				case 1:
+					body, ok = inlineNth(cand.Prog.Algorithms[ai].Body, &kk, false)
+				default:
+					body, ok = inlineNth(cand.Prog.Algorithms[ai].Body, &kk, true)
+				}
+				if !ok {
+					continue
+				}
+				cand.Prog.Algorithms[ai].Body = body
+				pruneEntries(cand)
+				if s.try(cand) {
+					changed, accepted = true, true
+				}
+			}
+			if !accepted {
+				k++
+			}
+		}
+	}
+	return changed
+}
+
+func countStmts(stmts []ast.Stmt) int {
+	n := 0
+	walkStmts(stmts, func(ast.Stmt) { n++ })
+	return n
+}
+
+// deleteNth removes the k-th statement in pre-order. *k is decremented as
+// statements are passed; it reaches -1 exactly when the deletion applied.
+func deleteNth(stmts []ast.Stmt, k *int) ([]ast.Stmt, bool) {
+	var out []ast.Stmt
+	done := false
+	for _, st := range stmts {
+		if done {
+			out = append(out, st)
+			continue
+		}
+		if *k == 0 {
+			*k = -1
+			done = true
+			continue
+		}
+		*k--
+		if ifs, ok := st.(*ast.If); ok {
+			var dt, de bool
+			ifs.Then, dt = deleteNth(ifs.Then, k)
+			if !dt {
+				ifs.Else, de = deleteNth(ifs.Else, k)
+			}
+			done = dt || de
+		}
+		out = append(out, st)
+	}
+	return out, done
+}
+
+// inlineNth replaces the k-th statement, when it is an If, with one of its
+// branches. Returns false when the position is not a conditional.
+func inlineNth(stmts []ast.Stmt, k *int, keepElse bool) ([]ast.Stmt, bool) {
+	var out []ast.Stmt
+	done := false
+	for _, st := range stmts {
+		if done {
+			out = append(out, st)
+			continue
+		}
+		if *k == 0 {
+			*k = -1
+			if ifs, ok := st.(*ast.If); ok {
+				if keepElse {
+					out = append(out, ifs.Else...)
+				} else {
+					out = append(out, ifs.Then...)
+				}
+				done = true
+				continue
+			}
+			out = append(out, st)
+			continue
+		}
+		*k--
+		if ifs, ok := st.(*ast.If); ok {
+			var dt, de bool
+			ifs.Then, dt = inlineNth(ifs.Then, k, keepElse)
+			if !dt {
+				ifs.Else, de = inlineNth(ifs.Else, k, keepElse)
+			}
+			done = dt || de
+		}
+		out = append(out, st)
+	}
+	return out, done
+}
+
+// dropSwitches removes switches (and their links and scope mentions) while
+// more than one remains.
+func (s *shrinker) dropSwitches() bool {
+	changed := false
+	for i := 0; i < len(s.cur.Topo.Switches) && len(s.cur.Topo.Switches) > 1; {
+		cand := removeSwitch(s.cur, s.cur.Topo.Switches[i].Name)
+		if s.try(cand) {
+			changed = true
+		} else {
+			i++
+		}
+	}
+	return changed
+}
+
+// removeSwitch builds a candidate without the named switch, or nil when a
+// scope would lose its last region/endpoint switch.
+func removeSwitch(c *Case, name string) *Case {
+	cand := cloneCase(c)
+	if cand == nil {
+		return nil
+	}
+	var sws []SwitchSpec
+	for _, sw := range cand.Topo.Switches {
+		if sw.Name != name {
+			sws = append(sws, sw)
+		}
+	}
+	cand.Topo.Switches = sws
+	var links [][2]string
+	for _, l := range cand.Topo.Links {
+		if l[0] != name && l[1] != name {
+			links = append(links, l)
+		}
+	}
+	cand.Topo.Links = links
+	drop := func(list []string) []string {
+		var out []string
+		for _, s := range list {
+			if s != name {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	for i := range cand.Scopes {
+		sc := &cand.Scopes[i]
+		sc.Region, sc.From, sc.To = drop(sc.Region), drop(sc.From), drop(sc.To)
+		if len(sc.Region) == 0 || (sc.MultiSw && (len(sc.From) == 0 || len(sc.To) == 0)) {
+			return nil
+		}
+	}
+	return cand
+}
+
+// narrowScopes drops elements from multi-switch regions and endpoint sets.
+func (s *shrinker) narrowScopes() bool {
+	changed := false
+	for si := 0; si < len(s.cur.Scopes); si++ {
+		for _, field := range []int{0, 1, 2} { // region, from, to
+			for e := 0; ; {
+				list := scopeField(&s.cur.Scopes[si], field)
+				if e >= len(list) || len(list) <= 1 {
+					break
+				}
+				cand := cloneCase(s.cur)
+				if cand == nil {
+					return changed
+				}
+				cl := scopeField(&cand.Scopes[si], field)
+				setScopeField(&cand.Scopes[si], field, append(append([]string(nil), cl[:e]...), cl[e+1:]...))
+				if s.try(cand) {
+					changed = true
+				} else {
+					e++
+				}
+			}
+		}
+	}
+	return changed
+}
+
+func scopeField(sc *ScopeSpec, field int) []string {
+	switch field {
+	case 0:
+		return sc.Region
+	case 1:
+		return sc.From
+	default:
+		return sc.To
+	}
+}
+
+func setScopeField(sc *ScopeSpec, field int, v []string) {
+	switch field {
+	case 0:
+		sc.Region = v
+	case 1:
+		sc.From = v
+	default:
+		sc.To = v
+	}
+}
+
+// trimTrace drops trace packets while more than one remains.
+func (s *shrinker) trimTrace() bool {
+	changed := false
+	for i := 0; i < len(s.cur.Trace) && len(s.cur.Trace) > 1; {
+		cand := cloneCase(s.cur)
+		if cand == nil {
+			return changed
+		}
+		cand.Trace = append(cand.Trace[:i], cand.Trace[i+1:]...)
+		if s.try(cand) {
+			changed = true
+		} else {
+			i++
+		}
+	}
+	return changed
+}
+
+// trimEntries drops control-plane table entries one at a time.
+func (s *shrinker) trimEntries() bool {
+	changed := false
+	var names []string
+	for name := range s.cur.Entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for i := 0; i < len(s.cur.Entries[name]); {
+			cand := cloneCase(s.cur)
+			if cand == nil {
+				return changed
+			}
+			es := cand.Entries[name]
+			cand.Entries[name] = append(es[:i], es[i+1:]...)
+			if len(cand.Entries[name]) == 0 {
+				delete(cand.Entries, name)
+			}
+			if s.try(cand) {
+				changed = true
+			} else {
+				i++
+			}
+		}
+	}
+	return changed
+}

@@ -1,7 +1,9 @@
 package encode
 
 import (
+	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"lyra/internal/topo"
@@ -173,5 +175,117 @@ func TestSolveTimeSplit(t *testing.T) {
 	}
 	if plan.EncodeTime+plan.SolveTime <= 0 {
 		t.Errorf("EncodeTime+SolveTime = 0, want > 0")
+	}
+}
+
+// hugeDictSrc parameterizes twoAlgSrc so either algorithm's dictionary can
+// be inflated past any chip's table budget (A/B sizes substituted in).
+const hugeDictSrc = `
+header_type ipv4_t { bit[32] srcAddr; bit[32] dstAddr; bit[8] protocol; }
+header ipv4_t ipv4;
+pipeline[A]{lb_a};
+pipeline[B]{lb_b};
+algorithm lb_a {
+  extern dict<bit[32] vip, bit[32] dip>[ASIZE] vip_a;
+  if (ipv4.dstAddr in vip_a) {
+    ipv4.dstAddr = vip_a[ipv4.dstAddr];
+  }
+}
+algorithm lb_b {
+  extern dict<bit[32] vip, bit[32] dip>[BSIZE] vip_b;
+  if (ipv4.srcAddr in vip_b) {
+    ipv4.srcAddr = vip_b[ipv4.srcAddr];
+  }
+}
+`
+
+func hugeDictInput(t *testing.T, aSize, bSize string) *Input {
+	t.Helper()
+	src := replaceAll(replaceAll(hugeDictSrc, "ASIZE", aSize), "BSIZE", bSize)
+	return buildInput(t, src, disjointScopes, topo.Testbed())
+}
+
+// TestSolveComponentFailureNamed: when one of several components fails, the
+// error must name that component so the user knows which algorithm group to
+// look at, and must still unwrap to the underlying cause.
+func TestSolveComponentFailureNamed(t *testing.T) {
+	in := hugeDictInput(t, "1024", "40000000")
+	_, err := Solve(in, nil)
+	if err == nil {
+		t.Fatal("want component failure")
+	}
+	if !strings.Contains(err.Error(), "component lb_b:") {
+		t.Errorf("error %q does not name the failing component lb_b", err)
+	}
+	if strings.Contains(err.Error(), "component lb_a") {
+		t.Errorf("error %q blames the healthy component lb_a", err)
+	}
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible through the component wrapper", err)
+	}
+}
+
+// TestSolveComponentFailureDeterministic: when several components fail, the
+// lowest-index one is reported no matter which goroutine finished first.
+func TestSolveComponentFailureDeterministic(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		in := hugeDictInput(t, "40000000", "40000000")
+		opts := DefaultOptions()
+		opts.Parallelism = 8
+		_, err := Solve(in, opts)
+		if err == nil {
+			t.Fatal("want component failure")
+		}
+		if !strings.Contains(err.Error(), "component lb_a:") {
+			t.Fatalf("trial %d: error %q, want the first failing component lb_a", trial, err)
+		}
+	}
+}
+
+// TestMergePlansDeterministic: the merged plan must be identical across
+// repeated parallel solves — component results are merged in component
+// order, not completion order.
+func TestMergePlansDeterministic(t *testing.T) {
+	solve := func() *Plan {
+		in := buildInput(t, twoAlgSrc, disjointScopes, topo.Testbed())
+		opts := DefaultOptions()
+		opts.Parallelism = 8
+		plan, err := Solve(in, opts)
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		return plan
+	}
+	ref := solve()
+	var refComps []string
+	for _, a := range ref.Diagnostics.Attempts {
+		refComps = append(refComps, a.Component)
+	}
+	for trial := 0; trial < 5; trial++ {
+		plan := solve()
+		if !reflect.DeepEqual(plan.Placement, ref.Placement) {
+			t.Fatalf("trial %d: Placement differs:\n got %v\nwant %v", trial, plan.Placement, ref.Placement)
+		}
+		if !reflect.DeepEqual(plan.Shards, ref.Shards) {
+			t.Fatalf("trial %d: Shards differ", trial)
+		}
+		var comps []string
+		for _, a := range plan.Diagnostics.Attempts {
+			comps = append(comps, a.Component)
+		}
+		if !reflect.DeepEqual(comps, refComps) {
+			t.Fatalf("trial %d: attempt order %v, want %v", trial, comps, refComps)
+		}
+		for sw, ts := range ref.Tables {
+			got := plan.Tables[sw]
+			if len(got) != len(ts) {
+				t.Fatalf("trial %d: %s has %d tables, want %d", trial, sw, len(got), len(ts))
+			}
+			for i := range ts {
+				if got[i].Name != ts[i].Name {
+					t.Fatalf("trial %d: %s table %d = %s, want %s", trial, sw, i, got[i].Name, ts[i].Name)
+				}
+			}
+		}
 	}
 }

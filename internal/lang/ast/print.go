@@ -1,0 +1,120 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a program back to Lyra source text that the parser
+// accepts. It is the inverse of parsing up to whitespace and positions:
+// parse(Format(p)) yields a structurally identical program. The
+// differential-testing generator uses it to turn machine-built ASTs into
+// compilable cases; the shrinker re-renders after every structural
+// deletion.
+func Format(p *Program) string {
+	var b strings.Builder
+	instOf := map[string][]*HeaderInstance{}
+	for _, hi := range p.Instances {
+		instOf[hi.TypeName] = append(instOf[hi.TypeName], hi)
+	}
+	printed := map[string]bool{}
+	for _, h := range p.Headers {
+		fmt.Fprintf(&b, "header_type %s {", h.Name)
+		for _, f := range h.Fields {
+			fmt.Fprintf(&b, " %s %s;", f.Type, f.Name)
+		}
+		b.WriteString(" }\n")
+		for _, hi := range instOf[h.Name] {
+			fmt.Fprintf(&b, "header %s %s;\n", hi.TypeName, hi.Name)
+			printed[hi.Name] = true
+		}
+	}
+	// Instances whose type was not declared in this program (defensive).
+	for _, hi := range p.Instances {
+		if !printed[hi.Name] {
+			fmt.Fprintf(&b, "header %s %s;\n", hi.TypeName, hi.Name)
+		}
+	}
+	for _, pk := range p.Packets {
+		fmt.Fprintf(&b, "packet %s {", pk.Name)
+		for _, f := range pk.Fields {
+			fmt.Fprintf(&b, " %s %s;", f.Type, f.Name)
+		}
+		b.WriteString(" }\n")
+	}
+	for _, pn := range p.Parsers {
+		fmt.Fprintf(&b, "parser_node %s {\n", pn.Name)
+		for _, ex := range pn.Extracts {
+			fmt.Fprintf(&b, "  extract(%s);\n", ex)
+		}
+		if s := pn.Select; s != nil {
+			fmt.Fprintf(&b, "  select(%s) {\n", ExprString(s.Key))
+			for _, c := range s.Cases {
+				fmt.Fprintf(&b, "    0x%x: %s;\n", c.Value, c.Next)
+			}
+			next := s.Default
+			if next == "" {
+				next = "accept"
+			}
+			fmt.Fprintf(&b, "    default: %s;\n", next)
+			b.WriteString("  }\n")
+		}
+		b.WriteString("}\n")
+	}
+	for _, pl := range p.Pipelines {
+		fmt.Fprintf(&b, "pipeline[%s]{%s};\n", pl.Name, strings.Join(pl.Algorithms, " -> "))
+	}
+	for _, a := range p.Algorithms {
+		fmt.Fprintf(&b, "algorithm %s {\n", a.Name)
+		formatStmts(&b, a.Body, 1)
+		b.WriteString("}\n")
+	}
+	for _, f := range p.Funcs {
+		params := make([]string, len(f.Params))
+		for i, pf := range f.Params {
+			params[i] = fmt.Sprintf("%s %s", pf.Type, pf.Name)
+		}
+		fmt.Fprintf(&b, "func %s(%s) {\n", f.Name, strings.Join(params, ", "))
+		formatStmts(&b, f.Body, 1)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func formatStmts(b *strings.Builder, stmts []Stmt, indent int) {
+	pad := strings.Repeat("  ", indent)
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *VarDecl:
+			kw := ""
+			if x.Global {
+				kw = "global "
+			}
+			if x.Init != nil {
+				fmt.Fprintf(b, "%s%s%s %s = %s;\n", pad, kw, x.Type, x.Name, ExprString(x.Init))
+			} else {
+				fmt.Fprintf(b, "%s%s%s %s;\n", pad, kw, x.Type, x.Name)
+			}
+		case *ExternDecl:
+			var parts []string
+			for _, f := range append(append([]Field(nil), x.Keys...), x.Values...) {
+				parts = append(parts, fmt.Sprintf("%s %s", f.Type, f.Name))
+			}
+			fmt.Fprintf(b, "%sextern %s<%s>[%d] %s;\n", pad, x.Kind, strings.Join(parts, ", "), x.Size, x.Name)
+		case *Assign:
+			fmt.Fprintf(b, "%s%s = %s;\n", pad, ExprString(x.LHS), ExprString(x.RHS))
+		case *If:
+			fmt.Fprintf(b, "%sif (%s) {\n", pad, ExprString(x.Cond))
+			formatStmts(b, x.Then, indent+1)
+			if len(x.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", pad)
+				formatStmts(b, x.Else, indent+1)
+			}
+			fmt.Fprintf(b, "%s}\n", pad)
+		case *ExprStmt:
+			fmt.Fprintf(b, "%s%s;\n", pad, ExprString(x.X))
+		default:
+			fmt.Fprintf(b, "%s/* unknown stmt %T */;\n", pad, s)
+		}
+	}
+}

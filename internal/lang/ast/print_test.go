@@ -1,0 +1,82 @@
+package ast_test
+
+import (
+	"testing"
+
+	"lyra/internal/lang/ast"
+	"lyra/internal/lang/parser"
+)
+
+// buildSample assembles a program exercising every printable construct:
+// two headers with a parser select between them, a pipeline, an algorithm
+// with externs, globals, nested if/else, lookups, and library calls.
+func buildSample() *ast.Program {
+	return &ast.Program{
+		Headers: []*ast.HeaderType{
+			ast.NewHeaderType("base_t", ast.F(16, "kind"), ast.F(32, "a"), ast.F(32, "out")),
+			ast.NewHeaderType("opt_t", ast.F(32, "x")),
+		},
+		Instances: []*ast.HeaderInstance{
+			ast.NewInstance("base_t", "base"),
+			ast.NewInstance("opt_t", "opt"),
+		},
+		Parsers: []*ast.ParserNode{
+			ast.NewParserNode("start", []string{"base"},
+				ast.NewSelect(ast.Fld("base", "kind"), "", ast.SelectCase{Value: 0x10, Next: "parse_opt"})),
+			ast.NewParserNode("parse_opt", []string{"opt"}, nil),
+		},
+		Pipelines: []*ast.Pipeline{ast.NewPipeline("MAIN", "alg0")},
+		Algorithms: []*ast.Algorithm{
+			ast.NewAlgorithm("alg0",
+				ast.Dict(ast.F(32, "k"), ast.F(32, "v"), 64, "tbl"),
+				ast.Global(ast.BitsArray(32, 16), "reg"),
+				ast.Set(ast.ID("t0"), ast.Bin(ast.OpAdd, ast.Fld("base", "a"), ast.Num(7))),
+				ast.IfElse(
+					ast.Bin(ast.OpEq, ast.Fld("base", "kind"), ast.Hex(0x10)),
+					[]ast.Stmt{ast.Set(ast.Fld("base", "out"), ast.Fld("opt", "x"))},
+					[]ast.Stmt{ast.Set(ast.Fld("base", "out"), ast.ID("t0"))},
+				),
+				ast.IfThen(ast.In(ast.Fld("base", "a"), "tbl"),
+					ast.Set(ast.Fld("base", "out"), ast.Idx(ast.ID("tbl"), ast.Fld("base", "a")))),
+				ast.Set(ast.Idx(ast.ID("reg"), ast.Bin(ast.OpAnd, ast.Fld("base", "a"), ast.Num(15))),
+					ast.Bin(ast.OpAdd, ast.Idx(ast.ID("reg"), ast.Bin(ast.OpAnd, ast.Fld("base", "a"), ast.Num(15))), ast.Num(1))),
+				ast.Do("forward", ast.Num(3)),
+			),
+		},
+	}
+}
+
+// TestFormatParseRoundTrip: Format output must parse, and re-formatting the
+// parse result must be a fixpoint (print -> parse -> print is identity).
+func TestFormatParseRoundTrip(t *testing.T) {
+	src := ast.Format(buildSample())
+	prog, err := parser.Parse("roundtrip", []byte(src))
+	if err != nil {
+		t.Fatalf("Format output does not parse: %v\n%s", err, src)
+	}
+	again := ast.Format(prog)
+	if again != src {
+		t.Errorf("print->parse->print not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", src, again)
+	}
+	if len(prog.Algorithms) != 1 || prog.Algorithms[0].Name != "alg0" {
+		t.Errorf("parsed program lost the algorithm: %+v", prog.Algorithms)
+	}
+	if len(prog.Parsers) != 2 || prog.Parsers[0].Select == nil {
+		t.Errorf("parsed program lost the parse graph")
+	}
+}
+
+// TestFormatSelectDefault: terminal selects print "default: accept".
+func TestFormatSelectDefault(t *testing.T) {
+	p := &ast.Program{
+		Headers:   []*ast.HeaderType{ast.NewHeaderType("h_t", ast.F(8, "v"))},
+		Instances: []*ast.HeaderInstance{ast.NewInstance("h_t", "h")},
+		Parsers: []*ast.ParserNode{
+			ast.NewParserNode("start", []string{"h"}, ast.NewSelect(ast.Fld("h", "v"), "")),
+		},
+	}
+	src := ast.Format(p)
+	if _, err := parser.Parse("sel", []byte(src)); err != nil {
+		t.Fatalf("select default accept does not parse: %v\n%s", err, src)
+	}
+}

@@ -272,6 +272,45 @@ func FatTreePod(k int, model *asic.Model) *Network {
 	return n
 }
 
+// MultiPodFatTree builds a pods-pod slice of a k-ary fat tree: each pod
+// has k/2 ToR and k/2 Agg switches (full bipartite links inside the pod),
+// and every Agg uplinks to each of the k/2 core switches. Switch names
+// carry the pod number (ToR2_1 is pod 2's first ToR); cores are Core1..n.
+// modelAt picks the ASIC per switch from its layer ("ToR", "Agg", "Core")
+// and a global index, letting callers mix chip families — the
+// heterogeneous-network shape of §2.1 and the random topologies of the
+// differential tester.
+func MultiPodFatTree(pods, k int, modelAt func(layer string, idx int) *asic.Model) *Network {
+	n := New()
+	half := k / 2
+	idx := 0
+	for p := 1; p <= pods; p++ {
+		for i := 1; i <= half; i++ {
+			n.AddSwitch(fmt.Sprintf("ToR%d_%d", p, i), "ToR", modelAt("ToR", idx))
+			idx++
+		}
+		for i := 1; i <= half; i++ {
+			n.AddSwitch(fmt.Sprintf("Agg%d_%d", p, i), "Agg", modelAt("Agg", idx))
+			idx++
+		}
+		for i := 1; i <= half; i++ {
+			for j := 1; j <= half; j++ {
+				n.AddLink(fmt.Sprintf("ToR%d_%d", p, i), fmt.Sprintf("Agg%d_%d", p, j))
+			}
+		}
+	}
+	for c := 1; c <= half; c++ {
+		n.AddSwitch(fmt.Sprintf("Core%d", c), "Core", modelAt("Core", idx))
+		idx++
+		for p := 1; p <= pods; p++ {
+			for i := 1; i <= half; i++ {
+				n.AddLink(fmt.Sprintf("Agg%d_%d", p, i), fmt.Sprintf("Core%d", c))
+			}
+		}
+	}
+	return n
+}
+
 // Names returns all switch names, sorted.
 func (n *Network) Names() []string {
 	out := make([]string, 0, len(n.Switches))

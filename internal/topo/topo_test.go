@@ -244,3 +244,44 @@ func TestScaleClampsToOne(t *testing.T) {
 		t.Errorf("degraded model has zeroed resources: %+v", m)
 	}
 }
+
+func TestMultiPodFatTreeShape(t *testing.T) {
+	n := MultiPodFatTree(2, 4, func(layer string, idx int) *asic.Model {
+		if layer == "Agg" {
+			return asic.Trident4
+		}
+		return asic.Tofino32Q
+	})
+	// 2 pods x (2 ToR + 2 Agg) + 2 cores.
+	if len(n.Switches) != 10 {
+		t.Fatalf("switches = %d, want 10", len(n.Switches))
+	}
+	if n.Switch("Agg2_1").ASIC != asic.Trident4 {
+		t.Error("Agg2_1 should use the Agg model")
+	}
+	// Intra-pod bipartite links, no cross-pod ToR-Agg links.
+	if !n.HasLink("ToR1_1", "Agg1_2") {
+		t.Error("missing intra-pod link ToR1_1-Agg1_2")
+	}
+	if n.HasLink("ToR1_1", "Agg2_1") {
+		t.Error("unexpected cross-pod link")
+	}
+	// Every Agg uplinks to every core.
+	for _, agg := range []string{"Agg1_1", "Agg1_2", "Agg2_1", "Agg2_2"} {
+		for _, core := range []string{"Core1", "Core2"} {
+			if !n.HasLink(agg, core) {
+				t.Errorf("missing uplink %s-%s", agg, core)
+			}
+		}
+	}
+	// Paths from a pod-1 ToR to a pod-2 ToR cross an Agg, a core, an Agg.
+	paths := n.Paths([]string{"ToR1_1"}, []string{"ToR2_1"}, nil)
+	if len(paths) == 0 {
+		t.Fatal("no cross-pod paths")
+	}
+	for _, p := range paths {
+		if len(p) < 5 {
+			t.Errorf("cross-pod path too short: %v", p)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/debug"
+	"sort"
 	"time"
 
 	"lyra/internal/asic"
@@ -65,6 +66,9 @@ type (
 	Packet = dataplane.Packet
 	// SimContext supplies switch-environment values during simulation.
 	SimContext = dataplane.Context
+	// HopSnapshot is the packet state after one switch of a traced path
+	// execution (divergence localization in differential testing).
+	HopSnapshot = dataplane.HopSnapshot
 )
 
 // Chip models available for topologies (§5.4, Appendix A).
@@ -523,6 +527,25 @@ func (r *Result) PhaseDuration(p Phase) time.Duration {
 	return 0
 }
 
+// PlacedSwitches returns the switches hosting at least one instruction of
+// the named algorithm, sorted (empty when the algorithm placed nothing).
+// PER-SW deployments yield one entry per copy; MULTI-SW deployments yield
+// the hosts the solver chose.
+func (r *Result) PlacedSwitches(alg string) []string {
+	hosts := map[string]bool{}
+	for _, sws := range r.plan.Placement[alg] {
+		for _, sw := range sws {
+			hosts[sw] = true
+		}
+	}
+	out := make([]string, 0, len(hosts))
+	for sw := range hosts {
+		out = append(out, sw)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Shards reports how an extern variable was split: switch -> entries.
 func (r *Result) Shards(extern string) map[string]int64 { return r.plan.Shards[extern] }
 
@@ -587,6 +610,13 @@ func (s *Simulation) RunReference(ctx *SimContext, pkt *Packet) (*Packet, error)
 // RunPath pushes a packet through the deployed network along a flow path.
 func (s *Simulation) RunPath(path []string, ctx *SimContext, pkt *Packet) (*Packet, error) {
 	return s.dep.RunPath(path, ctx, pkt)
+}
+
+// RunPathTraced is RunPath with a per-hop packet snapshot after every
+// switch, used by failure reports to localize where along a path the
+// distributed execution departs from the reference.
+func (s *Simulation) RunPathTraced(path []string, ctx *SimContext, pkt *Packet) (*Packet, []HopSnapshot, error) {
+	return s.dep.RunPathTraced(path, ctx, pkt)
 }
 
 // Serialize packs a packet's valid headers into wire bytes per the
