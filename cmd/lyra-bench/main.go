@@ -3,10 +3,16 @@
 //
 //	lyra-bench -experiment fig9     # Figure 9: portability comparison table
 //	lyra-bench -experiment fig10    # Figure 10: compile-time scalability
-//	lyra-bench -experiment phases   # per-phase timing breakdown (+ JSON via -out)
+//	lyra-bench -experiment phases   # per-phase timing breakdown
+//	lyra-bench -experiment ladder   # incremental fallback ladder vs re-encode baseline
 //	lyra-bench -experiment ext      # §7.2 extensibility case study
 //	lyra-bench -experiment comp     # §7.3 composition case study
+//	lyra-bench -experiment phases,ladder -out BENCH_compile.json
 //	lyra-bench -experiment all
+//
+// -experiment accepts a comma-separated list. With -out, the phases and
+// ladder results that ran are written together as one JSON artifact (the
+// BENCH_compile.json the CI smoke job publishes).
 package main
 
 import (
@@ -22,21 +28,33 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig9 | fig10 | phases | ext | comp | ablation | all")
+		experiment = flag.String("experiment", "all", "comma-separated list of: fig9 | fig10 | phases | ladder | ext | comp | ablation | all")
 		ks         = flag.String("k", "4,8,16,24,32", "fat-tree sizes for fig10 and phases")
 		parallel   = flag.Int("parallel", 0, "worker pool size for phases (0 = all CPUs)")
-		outPath    = flag.String("out", "", "write the phases breakdown as JSON to this file")
+		ladderK    = flag.Int("ladder-k", 16, "fat-tree size for the ladder comparison")
+		ladderIt   = flag.Int("ladder-iters", 11, "measurement repetitions per ladder mode")
+		outPath    = flag.String("out", "", "write the phases/ladder results as one JSON artifact")
 	)
 	flag.Parse()
 
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*experiment, ",") {
+		selected[strings.TrimSpace(name)] = true
+	}
 	run := func(name string, fn func() error) {
-		if *experiment != "all" && *experiment != name {
+		if !selected["all"] && !selected[name] {
 			return
 		}
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "lyra-bench %s: %v\n", name, err)
 			os.Exit(1)
 		}
+	}
+
+	// artifact collects the JSON-able results of whichever experiments ran.
+	var artifact struct {
+		Phases []eval.PhasePoint `json:"phases,omitempty"`
+		Ladder *eval.LadderPoint `json:"ladder,omitempty"`
 	}
 
 	run("fig9", func() error {
@@ -74,19 +92,22 @@ func main() {
 		if err != nil {
 			return err
 		}
+		artifact.Phases = points
 		fmt.Println("== Per-phase compile-time breakdown ==")
 		fmt.Print(eval.FormatPhases(points))
 		fmt.Println()
-		if *outPath != "" {
-			data, err := json.MarshalIndent(points, "", "  ")
-			if err != nil {
-				return err
-			}
-			if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
-				return err
-			}
-			fmt.Printf("wrote %s\n", *outPath)
+		return nil
+	})
+
+	run("ladder", func() error {
+		pt, err := eval.LadderComparison(*ladderK, *ladderIt)
+		if err != nil {
+			return err
 		}
+		artifact.Ladder = pt
+		fmt.Println("== Fallback ladder: incremental solver vs re-encode baseline ==")
+		fmt.Print(eval.FormatLadder(pt))
+		fmt.Println()
 		return nil
 	})
 
@@ -122,6 +143,19 @@ func main() {
 		fmt.Println()
 		return nil
 	})
+
+	if *outPath != "" && (artifact.Phases != nil || artifact.Ladder != nil) {
+		data, err := json.MarshalIndent(artifact, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lyra-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "lyra-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
 }
 
 // parseKs parses the comma-separated -k list.

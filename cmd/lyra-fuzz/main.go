@@ -36,6 +36,7 @@ func main() {
 		outDir   = flag.String("out", "difftest-failures", "directory for failure bundles")
 		shrink   = flag.Bool("shrink", true, "minimize failing cases before writing bundles")
 		parallel = flag.Int("parallel", 0, "compiler worker pool size for the parallel compile (0 = all CPUs)")
+		incr     = flag.Bool("incremental", false, "cross-check each compiling case against an incremental identity recompile (cached solver reuse must reproduce the plan)")
 		quiet    = flag.Bool("q", false, "suppress per-case progress dots")
 	)
 	flag.Parse()
@@ -52,6 +53,7 @@ func main() {
 		Mutation:    *mutation,
 		SkipShrink:  !*shrink,
 		Parallelism: *parallel,
+		Incremental: *incr,
 	}
 
 	progress := func(i int, out difftest.Outcome) {

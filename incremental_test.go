@@ -1,0 +1,49 @@
+package lyra
+
+import "testing"
+
+// TestRecompileReusesSolverIncrementally: a fault outside the deployment
+// region leaves the component's encoding unchanged, so Recompile must
+// re-solve the cached persistent solver (no re-encode) and a fault inside
+// the region must rebuild it.
+func TestRecompileReusesSolverIncrementally(t *testing.T) {
+	base := compileQuickLB(t)
+	if base.SolverStats.Encodes != 1 || base.SolverStats.SolveCalls != 1 {
+		t.Fatalf("base stats = %+v, want one encode and one solve", base.SolverStats)
+	}
+
+	// Core1 carries no loadbalancer scope: same component key, cache hit.
+	res, _, err := base.Recompile(Scenario{Name: "core1", Events: []FaultEvent{SwitchDown("Core1")}})
+	if err != nil {
+		t.Fatalf("recompile: %v", err)
+	}
+	if res.SolverStats.Encodes != 1 {
+		t.Errorf("Encodes = %d after irrelevant fault, want 1 (cached encoding reused)", res.SolverStats.Encodes)
+	}
+	if res.SolverStats.SolveCalls != 2 {
+		t.Errorf("SolveCalls = %d, want 2 (incremental re-solve on the same solver)", res.SolverStats.SolveCalls)
+	}
+
+	// Agg3 is inside the region: the scope resolution changes, the key
+	// misses, and the component encodes fresh.
+	res2, _, err := base.Recompile(Scenario{Name: "agg3", Events: []FaultEvent{SwitchDown("Agg3")}})
+	if err != nil {
+		t.Fatalf("recompile: %v", err)
+	}
+	if res2.SolverStats.Encodes != 1 || res2.SolverStats.SolveCalls != 1 {
+		t.Errorf("stats after in-region fault = %+v, want a fresh encode+solve", res2.SolverStats)
+	}
+
+	// Chained irrelevant faults keep riding the same solver.
+	res3, _, err := res.Recompile(Scenario{Name: "core2", Events: []FaultEvent{SwitchDown("Core2")}})
+	if err != nil {
+		t.Fatalf("chained recompile: %v", err)
+	}
+	if res3.SolverStats.Encodes != 1 {
+		t.Errorf("Encodes = %d after chained irrelevant fault, want 1", res3.SolverStats.Encodes)
+	}
+	if res3.SolverStats.SolveCalls != 3 {
+		t.Errorf("SolveCalls = %d, want 3", res3.SolverStats.SolveCalls)
+	}
+	checkForwarding(t, res3, "chained-incremental")
+}

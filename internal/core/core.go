@@ -61,6 +61,11 @@ type Result struct {
 	// Diagnostics is the solver's fallback-ladder trail (what, if
 	// anything, was given up to reach the plan).
 	Diagnostics *encode.Diagnostics
+	// SolverCache retains each solved component's persistent SMT solver.
+	// Recompile threads it forward: a component whose encoding the topology
+	// delta left unchanged re-solves incrementally (learnt clauses, VSIDS
+	// activity, and saved phases intact) instead of re-encoding.
+	SolverCache *encode.Cache
 
 	// Phases is the per-phase timing breakdown, in pipeline order. The
 	// legacy CompileTime/SolveTime pair is derived from the same clock:
@@ -148,7 +153,7 @@ func CompileContext(ctx context.Context, req Request) (*Result, error) {
 		return nil, err
 	}
 
-	return solveAndTranslate(ctx, req, irp, req.Network, scopes, start, tr, nil, nil)
+	return solveAndTranslate(ctx, req, irp, req.Network, scopes, start, tr, nil, nil, nil)
 }
 
 // Recompile re-solves placement after a network change (the §6.3 loop):
@@ -179,7 +184,7 @@ func Recompile(ctx context.Context, prev *Result, req Request, net *topo.Network
 	}); err != nil {
 		return nil, nil, err
 	}
-	res, err := solveAndTranslate(ctx, req, prev.IR, net, scopes, start, tr, prev.Fingerprints, prev.Artifacts)
+	res, err := solveAndTranslate(ctx, req, prev.IR, net, scopes, start, tr, prev.Fingerprints, prev.Artifacts, prev.SolverCache)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -190,7 +195,7 @@ func Recompile(ctx context.Context, prev *Result, req Request, net *topo.Network
 // solve, translate (incrementally when prev fingerprints are supplied),
 // and verify. Every stage is timed into tr; CompileTime is stamped last so
 // it spans the whole pipeline, verification included.
-func solveAndTranslate(ctx context.Context, req Request, irp *ir.Program, net *topo.Network, scopes map[string]*scope.Resolved, start time.Time, tr *phaseTracker, prevFPs map[string]string, prevArts map[string]*backend.Artifact) (*Result, error) {
+func solveAndTranslate(ctx context.Context, req Request, irp *ir.Program, net *topo.Network, scopes map[string]*scope.Resolved, start time.Time, tr *phaseTracker, prevFPs map[string]string, prevArts map[string]*backend.Artifact, prevCache *encode.Cache) (*Result, error) {
 	// Back-end: synthesis + constraint encoding + SMT solve (§5).
 	opts := encode.DefaultOptions()
 	opts.Objective = req.Objective
@@ -200,6 +205,14 @@ func solveAndTranslate(ctx context.Context, req Request, irp *ir.Program, net *t
 	if req.SolveBudget > 0 {
 		opts.TimeBudget = req.SolveBudget
 	}
+	// Component solvers persist across recompiles: Recompile reuses the
+	// previous Result's IR verbatim, so a component untouched by the
+	// topology delta hits the cache and re-solves incrementally.
+	cache := prevCache
+	if cache == nil {
+		cache = encode.NewCache()
+	}
+	opts.Cache = cache
 	plan, err := encode.Solve(&encode.Input{IR: irp, Net: net, Scopes: scopes}, opts)
 	if err != nil {
 		return nil, err
@@ -239,6 +252,7 @@ func solveAndTranslate(ctx context.Context, req Request, irp *ir.Program, net *t
 		Artifacts:      arts,
 		Fingerprints:   fps,
 		Diagnostics:    plan.Diagnostics,
+		SolverCache:    cache,
 		SolverStats:    plan.Stats,
 		SolveInstances: plan.Instances,
 		SolveTime:      plan.SolveTime,

@@ -72,6 +72,23 @@ func TestCampaignAllExplained(t *testing.T) {
 	}
 }
 
+// TestCampaignIncrementalOracle runs the incremental-vs-oneshot solver
+// check: every compiling case is recompiled through the identity scenario
+// on its cached persistent solver, and the incremental result must be
+// byte-identical to the one-shot compile.
+func TestCampaignIncrementalOracle(t *testing.T) {
+	sum := Run(25, 1, Options{SkipShrink: true, Incremental: true}, nil)
+	if n := sum.Unexplained(); n != 0 {
+		for _, f := range sum.Failures {
+			t.Errorf("case %d (seed %d): %s", f.Index, f.Seed, f.Outcome)
+		}
+		t.Fatalf("%d unexplained cases under the incremental oracle", n)
+	}
+	if sum.Counts[Equivalent] == 0 {
+		t.Fatal("campaign produced no equivalent cases — incremental coverage is vacuous")
+	}
+}
+
 // TestSeededBugCaughtAndShrunk: injecting a deliberate backend bug must
 // surface as unexplained failures, and the shrinker must minimize at least
 // one of them while preserving its failure class.

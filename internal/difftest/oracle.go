@@ -28,6 +28,13 @@ type Options struct {
 	Mutation string
 	// SkipShrink disables minimization of failing cases in Run.
 	SkipShrink bool
+	// Incremental adds an incremental-vs-oneshot solver check: every
+	// compiling case is recompiled through the identity scenario (no
+	// network change), which re-solves each component on its cached
+	// persistent solver. The incremental result must be byte-identical to
+	// the one-shot compile — same switch set, same artifacts, same plan
+	// fingerprints — and must actually have reused the solver.
+	Incremental bool
 }
 
 func (o Options) withDefaults() Options {
@@ -213,6 +220,11 @@ func (o *Oracle) Check(c *Case) Outcome {
 	if len(compiled) == 0 {
 		return Outcome{Class: Infeasible}
 	}
+	if o.opts.Incremental {
+		if out := o.checkIncremental(compiled[0].res); out != nil {
+			return *out
+		}
+	}
 	for _, k := range compiled {
 		for _, rep := range k.res.Reports {
 			if !rep.OK {
@@ -222,6 +234,35 @@ func (o *Oracle) Check(c *Case) Outcome {
 		}
 	}
 	return o.equivalent(c, compiled[0].res)
+}
+
+// checkIncremental recompiles base through the identity scenario (no
+// topology change) and demands that the incremental re-solve — each
+// component resuming its cached persistent solver, learnt clauses and saved
+// phases intact — lands on exactly the one-shot result. A nil return means
+// the check passed.
+func (o *Oracle) checkIncremental(base *lyra.Result) *Outcome {
+	inc, delta, err := base.Recompile(lyra.Scenario{Name: "identity"})
+	if err != nil {
+		return &Outcome{Class: SolverDisagreement,
+			Detail: fmt.Sprintf("incremental: identity recompile failed where one-shot compiled: %v", err)}
+	}
+	if d := diffResults(base, inc); d != "" {
+		return &Outcome{Class: SolverDisagreement,
+			Detail: "incremental: identity recompile diverges from one-shot compile: " + d}
+	}
+	if len(delta.Reprogram) != 0 || len(delta.Removed) != 0 {
+		return &Outcome{Class: SolverDisagreement,
+			Detail: fmt.Sprintf("incremental: identity recompile produced a device delta: %v", delta)}
+	}
+	// Each component's cached solver carries its Encodes=1 from the one-shot
+	// compile plus at least two Solve calls (one per compile); a component
+	// that re-encoded shows a fresh solver with a single call.
+	if st := inc.SolverStats; st.SolveCalls < 2*st.Encodes {
+		return &Outcome{Class: SolverDisagreement,
+			Detail: fmt.Sprintf("incremental: identity recompile re-encoded instead of reusing the solver (SolveCalls=%d Encodes=%d)", st.SolveCalls, st.Encodes)}
+	}
+	return nil
 }
 
 // equivalent executes the deployed programs against the one-big-pipeline

@@ -1,0 +1,110 @@
+package encode
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"lyra/internal/ir"
+)
+
+// Cache retains solved components' encoders — persistent SMT solvers with
+// their learnt clauses, VSIDS activity, and saved phases — so a later Solve
+// over an unchanged component (typically a Recompile whose topology delta
+// left the component untouched) resumes incrementally instead of re-encoding
+// from scratch.
+//
+// An entry is keyed by the identity of the root IR program (Recompile reuses
+// the previous Result's IR verbatim, so pointer equality is exact) plus a
+// content key over everything else the encoding depends on: the component's
+// algorithms, their resolved scopes, and the ASIC specifications of every
+// scope switch. Any delta that touches one of those produces a different key
+// and the component encodes fresh.
+//
+// Take/put transfers ownership: take removes the entry, so two concurrent
+// solves can never share one solver, and the encoder is only put back after
+// a successful solve leaves it in a reusable state.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*encoder
+}
+
+type cacheKey struct {
+	root *ir.Program
+	key  string
+}
+
+// NewCache returns an empty solver cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[cacheKey]*encoder{}}
+}
+
+// Len reports the number of cached component encoders.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *Cache) take(root *ir.Program, key string) *encoder {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := cacheKey{root, key}
+	e := c.entries[k]
+	delete(c.entries, k)
+	return e
+}
+
+func (c *Cache) put(root *ir.Program, key string, e *encoder) {
+	if c == nil || e == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[cacheKey{root, key}] = e
+}
+
+// componentKey renders the encoding-relevant content of a component input:
+// algorithm names (IR content is covered by the root pointer), each scope's
+// deployment mode, switch list and flow paths, and the ASIC model of every
+// scope switch (capacity facts learned by the resource theory are permanent
+// clauses, so a changed chip spec must miss).
+func componentKey(in *Input) string {
+	var b strings.Builder
+	algs := make([]string, 0, len(in.IR.Algorithms))
+	for _, a := range in.IR.Algorithms {
+		algs = append(algs, a.Name)
+	}
+	sort.Strings(algs)
+	seenSw := map[string]bool{}
+	var sws []string
+	for _, name := range algs {
+		fmt.Fprintf(&b, "alg %s", name)
+		if rs := in.Scopes[name]; rs != nil {
+			fmt.Fprintf(&b, " deploy=%d switches=%v paths=%v", rs.Deploy, rs.Switches, rs.Paths)
+			for _, sw := range rs.Switches {
+				if !seenSw[sw] {
+					seenSw[sw] = true
+					sws = append(sws, sw)
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	sort.Strings(sws)
+	for _, sw := range sws {
+		if s := in.Net.Switch(sw); s != nil {
+			fmt.Fprintf(&b, "sw %s asic=%+v\n", sw, s.ASIC)
+		} else {
+			fmt.Fprintf(&b, "sw %s missing\n", sw)
+		}
+	}
+	return b.String()
+}

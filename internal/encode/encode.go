@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"lyra/internal/asic"
@@ -34,6 +35,31 @@ import (
 // program cannot be placed on the target network at all (as opposed to the
 // solver running out of budget before a verdict).
 var ErrInfeasible = errors.New("encode: no feasible placement")
+
+// InfeasibleError is the concrete error behind ErrInfeasible when the solver
+// could name the violated constraint families: the minimized failed-
+// assumption core of the unsatisfiable solve, rendered as group labels like
+// "exactly-one:acl" or "coverage:loadbalancer". It unwraps to ErrInfeasible,
+// so errors.Is checks continue to work unchanged.
+type InfeasibleError struct {
+	// Groups are the sorted constraint-family labels of the unsat core. An
+	// empty list means the contradiction is rooted in permanent clauses
+	// (typically resource-capacity facts learned from the chip models), in
+	// which case Hint carries the last theory conflict.
+	Groups []string
+	// Hint is the last resource-theory conflict reason, when any.
+	Hint string
+}
+
+func (e *InfeasibleError) Error() string {
+	msg := ErrInfeasible.Error() + ": the program does not fit the target network"
+	if len(e.Groups) > 0 {
+		msg += " (unsat core: " + strings.Join(e.Groups, ", ") + ")"
+	}
+	return msg + e.Hint
+}
+
+func (e *InfeasibleError) Unwrap() error { return ErrInfeasible }
 
 // Input bundles everything the encoder needs.
 type Input struct {
@@ -87,6 +113,16 @@ type Options struct {
 	// depends on this value — only wall-clock time does — so any setting
 	// yields an identical Plan.
 	Parallelism int
+	// Cache, when non-nil, retains each successfully solved component's
+	// persistent solver so a later Solve over an unchanged component (same
+	// root IR, same scopes, same chip specs) resumes incrementally — learnt
+	// clauses, activity, and phases intact — instead of re-encoding.
+	Cache *Cache
+	// ReencodeEachAttempt discards the persistent solver between fallback-
+	// ladder attempts, restoring the historical rebuild-per-rung behavior.
+	// It exists as the baseline for benchmarking the incremental path and
+	// disables Cache reuse.
+	ReencodeEachAttempt bool
 }
 
 // DefaultOptions returns the standard solver configuration.
@@ -191,7 +227,7 @@ func Solve(in *Input, opts *Options) (*Plan, error) {
 			label = comps[i].Label()
 		}
 		r := &results[i]
-		r.plan, r.enc, r.slv, r.err = solveComponent(ctx, comps[i].In, opts, deadline, label)
+		r.plan, r.enc, r.slv, r.err = solveComponent(ctx, comps[i].In, in.IR, opts, deadline, label)
 	})
 	// Deterministic error selection: the lowest-index failing component
 	// wins, regardless of which goroutine finished first.
@@ -226,10 +262,15 @@ func Solve(in *Input, opts *Options) (*Plan, error) {
 	return plan, nil
 }
 
-// solveComponent runs the fallback-ladder loop for one component,
-// accumulating how long was spent constructing constraints (enc) versus
-// searching (slv) across all attempts.
-func solveComponent(ctx context.Context, in *Input, opts *Options, deadline time.Time, label string) (plan *Plan, enc, slv time.Duration, err error) {
+// solveComponent runs the fallback-ladder loop for one component on a single
+// persistent encoder: the component is encoded once (or taken from the
+// solver cache), every ladder rung is expressed as a different assumption
+// set on the same solver, and learnt clauses, VSIDS activity, and saved
+// phases carry across attempts. The accumulated durations split constraint
+// construction (enc) from search (slv). With opts.ReencodeEachAttempt the
+// encoder is discarded between attempts, reproducing the historical
+// rebuild-per-rung behavior as a benchmark baseline.
+func solveComponent(ctx context.Context, in *Input, rootIR *ir.Program, opts *Options, deadline time.Time, label string) (plan *Plan, enc, slv time.Duration, err error) {
 	cfg := attemptCfg{
 		objective:      opts.Objective,
 		prefer:         opts.PreferSwitch,
@@ -239,16 +280,56 @@ func solveComponent(ctx context.Context, in *Input, opts *Options, deadline time
 	diags := &Diagnostics{}
 	ladder := append([]Relaxation(nil), opts.Ladder...)
 	step := "initial"
+
+	var e *encoder
+	cacheKey := ""
+	if opts.Cache != nil && !opts.ReencodeEachAttempt {
+		cacheKey = componentKey(in)
+		if e = opts.Cache.take(rootIR, cacheKey); e != nil {
+			// The key guarantees content equality, so only the Input identity
+			// needs refreshing: the cached encoder was built against the
+			// previous compile's (equal) component input.
+			e.in = in
+		}
+	}
 	for {
 		aStart := time.Now()
-		p, encDur, aerr := solveOnce(ctx, in, cfg, deadline)
+		var encDur time.Duration
+		if e == nil {
+			encStart := time.Now()
+			var berr error
+			e, berr = newEncoder(in)
+			if berr == nil {
+				berr = e.encode()
+			}
+			encDur = time.Since(encStart)
+			if berr != nil {
+				enc += encDur
+				diags.record(label, step, cfg, berr, time.Since(aStart), nil)
+				return nil, enc, slv, berr
+			}
+			e.solver.NoteEncode()
+		}
+		p, aerr := solveAttempt(ctx, e, cfg, deadline)
 		aDur := time.Since(aStart)
 		enc += encDur
 		slv += aDur - encDur
-		diags.record(label, step, cfg, aerr, aDur)
+		var core []string
+		var ie *InfeasibleError
+		if errors.As(aerr, &ie) {
+			core = ie.Groups
+		}
+		diags.record(label, step, cfg, aerr, aDur, core)
 		if aerr == nil {
 			p.Diagnostics = diags
+			if opts.Cache != nil && !opts.ReencodeEachAttempt {
+				e.solver.Ctx = nil
+				opts.Cache.put(rootIR, cacheKey, e)
+			}
 			return p, enc, slv, nil
+		}
+		if opts.ReencodeEachAttempt {
+			e = nil
 		}
 		rung, rest, ok := nextRung(ladder, cfg, aerr, in)
 		if !ok {
@@ -335,41 +416,46 @@ type attemptCfg struct {
 	replicate      bool
 }
 
-// solveOnce runs a single encode+solve attempt under the given config. The
-// returned duration is the time spent constructing the constraint problem
-// (synthesis + clause generation), separated out so callers can report
-// encode vs. search time distinctly.
-func solveOnce(ctx context.Context, in *Input, cfg attemptCfg, deadline time.Time) (*Plan, time.Duration, error) {
-	encStart := time.Now()
-	enc, err := newEncoder(in, cfg.replicate)
-	if err != nil {
-		return nil, time.Since(encStart), err
-	}
-	if err := enc.encode(); err != nil {
-		return nil, time.Since(encStart), err
-	}
-	encDur := time.Since(encStart)
-	enc.solver.ConflictBudget = cfg.conflictBudget
-	enc.solver.Ctx = ctx
+// coreProbeBudget bounds each deletion probe of the unsat-core minimization:
+// diagnostics should never cost a meaningful fraction of the solve itself.
+const coreProbeBudget = 20_000
+
+// solveAttempt runs one fallback-ladder attempt on the persistent encoder:
+// the rung's configuration is translated into an assumption set over the
+// named constraint-family selectors, and the solve (or the incremental
+// Minimize descent) runs on the live solver, reusing everything learned by
+// earlier attempts. On unsatisfiability the failed-assumption core is
+// minimized and returned inside an *InfeasibleError naming the violated
+// constraint groups.
+func solveAttempt(ctx context.Context, enc *encoder, cfg attemptCfg, deadline time.Time) (*Plan, error) {
+	s := enc.solver
+	s.ConflictBudget = cfg.conflictBudget
+	s.Ctx = ctx
+	s.TimeBudget = 0
 	if !deadline.IsZero() {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			return nil, encDur, fmt.Errorf("encode: solver gave up: %w", smt.ErrTimeout)
+			return nil, fmt.Errorf("encode: solver gave up: %w", smt.ErrTimeout)
 		}
-		enc.solver.TimeBudget = remaining
+		s.TimeBudget = remaining
 	}
+	assumps := enc.assumptionsFor(cfg)
 
 	var st smt.Status
 	var serr error
 	switch cfg.objective {
-	case ObjMinPlacements:
+	case ObjMinPlacements, ObjPreferSwitch:
 		var lits []smt.Lit
 		var w []int64
 		for _, pv := range enc.placeVars {
 			lits = append(lits, pv.lit)
-			w = append(w, 1)
+			if cfg.objective == ObjPreferSwitch && pv.sw == cfg.prefer {
+				w = append(w, 0) // free on the preferred switch
+			} else {
+				w = append(w, 1)
+			}
 		}
-		_, ok, merr := enc.solver.Minimize(lits, w)
+		_, ok, merr := s.MinimizeWith(assumps, lits, w)
 		serr = merr
 		if ok {
 			st = smt.StatusSat
@@ -378,25 +464,7 @@ func solveOnce(ctx context.Context, in *Input, cfg attemptCfg, deadline time.Tim
 		}
 	case ObjMinSwitches:
 		lits, w := enc.switchUseLits()
-		_, ok, merr := enc.solver.Minimize(lits, w)
-		serr = merr
-		if ok {
-			st = smt.StatusSat
-		} else if merr == nil {
-			st = smt.StatusUnsat
-		}
-	case ObjPreferSwitch:
-		var lits []smt.Lit
-		var w []int64
-		for _, pv := range enc.placeVars {
-			lits = append(lits, pv.lit)
-			if pv.sw == cfg.prefer {
-				w = append(w, 0) // free on the preferred switch
-			} else {
-				w = append(w, 1)
-			}
-		}
-		_, ok, merr := enc.solver.Minimize(lits, w)
+		_, ok, merr := s.MinimizeWith(assumps, lits, w)
 		serr = merr
 		if ok {
 			st = smt.StatusSat
@@ -404,23 +472,48 @@ func solveOnce(ctx context.Context, in *Input, cfg attemptCfg, deadline time.Tim
 			st = smt.StatusUnsat
 		}
 	default:
-		st, serr = enc.solver.Solve()
+		st, serr = s.Solve(assumps...)
 	}
 	if st != smt.StatusSat {
 		if serr != nil {
-			return nil, encDur, fmt.Errorf("encode: solver gave up: %w", serr)
+			return nil, fmt.Errorf("encode: solver gave up: %w", serr)
 		}
-		return nil, encDur, fmt.Errorf("%w: the program does not fit the target network%s", ErrInfeasible, enc.lastTheoryHint())
+		return nil, &InfeasibleError{Groups: enc.unsatCore(deadline), Hint: enc.lastTheoryHint()}
 	}
-	model := enc.solver.Model()
+	model := s.Model()
 	// Re-run the theory on the final model to materialize allocations and
 	// shard sizes deterministically.
 	if conflict := enc.theory.Check(model); conflict != nil {
-		return nil, encDur, fmt.Errorf("encode: internal error: accepted model rejected by theory")
+		return nil, fmt.Errorf("encode: internal error: accepted model rejected by theory")
 	}
 	plan := enc.extractPlan(model)
-	plan.Stats = enc.solver.Statistics()
-	return plan, encDur, nil
+	plan.Stats = s.Statistics()
+	return plan, nil
+}
+
+// unsatCore minimizes and labels the failed-assumption core of the solve
+// that just returned UNSAT. Minimization probes re-solve on the live solver
+// under a small conflict budget (and whatever wall clock remains), so a
+// pathological probe cannot blow the compile's time budget; a nil result
+// means the contradiction is rooted in permanent clauses.
+func (e *encoder) unsatCore(deadline time.Time) []string {
+	s := e.solver
+	core := s.Core()
+	if len(core) == 0 {
+		return nil
+	}
+	remaining := time.Duration(0)
+	if !deadline.IsZero() {
+		remaining = time.Until(deadline)
+	}
+	if deadline.IsZero() || remaining > 0 {
+		savedConf, savedTime := s.ConflictBudget, s.TimeBudget
+		s.ConflictBudget = coreProbeBudget
+		s.TimeBudget = remaining
+		core = s.MinimizeCore(core)
+		s.ConflictBudget, s.TimeBudget = savedConf, savedTime
+	}
+	return s.CoreNames(core)
 }
 
 // placeVar identifies one f_s(i) literal.
@@ -447,12 +540,28 @@ type encoder struct {
 
 	// sharedExternInstrs marks instructions reading split-capable externs.
 	sharedInstr map[string]map[int]bool
-	// relaxed marks algorithms whose exactly-one-per-path constraint was
-	// relaxed to coverage (the RelaxReplication ladder rung).
-	relaxed map[string]bool
+	// replicable marks the algorithms eligible for the RelaxReplication
+	// rung; their exactly-one family is simply not assumed when the rung is
+	// active — the encoding itself never changes.
+	replicable map[string]bool
+
+	// Named constraint families: every structural constraint is guarded by a
+	// selector literal (smt.NewAssumption) so ladder rungs toggle families by
+	// assumption instead of re-encoding, and unsat cores name what was
+	// violated. groupOrder preserves creation order for deterministic
+	// assumption vectors.
+	groups     map[string]smt.Lit
+	groupOrder []string
+
+	// useLits memoizes the ObjMinSwitches indicator literals: OrEquals
+	// introduces fresh variables, so on a persistent solver they must be
+	// created once and reused across attempts.
+	useLits []smt.Lit
+	useW    []int64
+	useOnce bool
 }
 
-func newEncoder(in *Input, replicate bool) (*encoder, error) {
+func newEncoder(in *Input) (*encoder, error) {
 	e := &encoder{
 		in:          in,
 		solver:      smt.NewSolver(),
@@ -460,10 +569,8 @@ func newEncoder(in *Input, replicate bool) (*encoder, error) {
 		p4:          map[string]*synth.Result{},
 		npl:         map[string]*synth.Result{},
 		sharedInstr: map[string]map[int]bool{},
-		relaxed:     map[string]bool{},
-	}
-	if replicate {
-		e.relaxed = replicableAlgs(in)
+		replicable:  replicableAlgs(in),
+		groups:      map[string]smt.Lit{},
 	}
 	for _, a := range in.IR.Algorithms {
 		if _, ok := in.Scopes[a.Name]; !ok {
@@ -473,6 +580,69 @@ func newEncoder(in *Input, replicate bool) (*encoder, error) {
 		e.npl[a.Name] = synth.SynthesizeNPL(in.IR, a)
 	}
 	return e, nil
+}
+
+// sel returns (creating on first use) the selector literal of a named
+// constraint family.
+func (e *encoder) sel(family string) smt.Lit {
+	if l, ok := e.groups[family]; ok {
+		return l
+	}
+	l := e.solver.NewAssumption(family)
+	e.groups[family] = l
+	e.groupOrder = append(e.groupOrder, family)
+	return l
+}
+
+// guarded adds a clause active only while the family's selector is assumed.
+func (e *encoder) guarded(family string, lits ...smt.Lit) {
+	cl := make([]smt.Lit, 0, len(lits)+1)
+	cl = append(cl, e.sel(family).Not())
+	cl = append(cl, lits...)
+	e.solver.AddClause(cl...)
+}
+
+// guardedAtMostOne adds an at-most-one constraint active only while the
+// family's selector is assumed: pairwise for small sets, and as a guarded
+// cardinality constraint above that (the selector joins with weight n−1, so
+// an unassumed selector relaxes the bound to the trivial n).
+func (e *encoder) guardedAtMostOne(family string, lits ...smt.Lit) {
+	g := e.sel(family)
+	if len(lits) <= 6 {
+		for i := 0; i < len(lits); i++ {
+			for j := i + 1; j < len(lits); j++ {
+				e.solver.AddClause(g.Not(), lits[i].Not(), lits[j].Not())
+			}
+		}
+		return
+	}
+	n := int64(len(lits))
+	gl := make([]smt.Lit, 0, len(lits)+1)
+	gl = append(gl, lits...)
+	gl = append(gl, g)
+	w := make([]int64, len(gl))
+	for i := range w {
+		w[i] = 1
+	}
+	w[len(w)-1] = n - 1
+	e.solver.AddAtMost(gl, w, n)
+}
+
+// assumptionsFor renders a ladder configuration as the assumption vector
+// activating its constraint families: all of them, minus the exactly-one
+// families of replication-safe algorithms when the RelaxReplication rung is
+// active.
+func (e *encoder) assumptionsFor(cfg attemptCfg) []smt.Lit {
+	out := make([]smt.Lit, 0, len(e.groupOrder))
+	for _, fam := range e.groupOrder {
+		if cfg.replicate {
+			if alg, ok := strings.CutPrefix(fam, "exactly-one:"); ok && e.replicable[alg] {
+				continue
+			}
+		}
+		out = append(out, e.groups[fam])
+	}
+	return out
 }
 
 func (e *encoder) lit(alg string, instr int, sw string) (smt.Lit, bool) {
@@ -533,7 +703,7 @@ func (e *encoder) encode() error {
 			// Every instruction on every candidate switch (copies).
 			for _, inst := range a.Instrs {
 				for _, sw := range candidates {
-					e.solver.AddClause(e.vars[a.Name][inst.ID][sw])
+					e.guarded("coverage:"+a.Name, e.vars[a.Name][inst.ID][sw])
 				}
 			}
 		case scope.MultiSwitch:
@@ -569,7 +739,7 @@ func (e *encoder) encodeMultiSwitch(a *ir.Algorithm, rs *scope.Resolved, candida
 	for _, inst := range a.Instrs {
 		for _, sw := range candidates {
 			if !onPath[sw] {
-				e.solver.AddClause(e.vars[a.Name][inst.ID][sw].Not())
+				e.guarded("scope:"+a.Name, e.vars[a.Name][inst.ID][sw].Not())
 			}
 		}
 	}
@@ -593,17 +763,18 @@ func (e *encoder) encodeMultiSwitch(a *ir.Algorithm, rs *scope.Resolved, candida
 			for _, sw := range hops {
 				lits = append(lits, e.vars[a.Name][inst.ID][sw])
 			}
-			if e.sharedInstr[a.Name][inst.ID] || e.relaxed[a.Name] {
-				// Split-capable (Eq. 16's coverage condition) — or the
-				// replication relaxation is active for this algorithm, in
-				// which case idempotent re-execution at extra hops is
-				// accepted to regain feasibility: at least one placement
-				// per path.
-				e.solver.AddClause(lits...)
-			} else {
-				// Exactly one placement per path (§5.5 flow path
-				// constraint).
-				e.solver.ExactlyOne(lits...)
+			// Coverage (Eq. 16 / §5.5): at least one placement per path,
+			// always required.
+			e.guarded("coverage:"+a.Name, lits...)
+			if !e.sharedInstr[a.Name][inst.ID] {
+				// The at-most-one half of the exactly-one flow-path
+				// constraint lives in its own family: the RelaxReplication
+				// rung drops this assumption for replication-safe
+				// algorithms, accepting idempotent re-execution at extra
+				// hops to regain feasibility — no re-encode needed.
+				// Split-capable instructions (shared extern readers) never
+				// get it: their copies are shards of one table.
+				e.guardedAtMostOne("exactly-one:"+a.Name, lits...)
 			}
 		}
 		// Instruction dependency ordering (Eq. 3): if i' depends on i, no
@@ -624,7 +795,7 @@ func (e *encoder) encodeMultiSwitch(a *ir.Algorithm, rs *scope.Resolved, candida
 				for ai := range hops {
 					for bi := 0; bi < ai; bi++ {
 						// dep at position ai (late), inst at bi (early).
-						e.solver.AddClause(
+						e.guarded("order:"+a.Name,
 							e.vars[a.Name][dep][hops[ai]].Not(),
 							e.vars[a.Name][inst.ID][hops[bi]].Not(),
 						)
@@ -655,7 +826,8 @@ func (e *encoder) encodeGlobalGroups(a *ir.Algorithm, candidates []string) {
 				a1, ok1 := e.lit(a.Name, first, sw)
 				a2, ok2 := e.lit(a.Name, other, sw)
 				if ok1 && ok2 {
-					e.solver.Equal(a1, a2)
+					e.guarded("colocate:"+a.Name, a1.Not(), a2)
+					e.guarded("colocate:"+a.Name, a1, a2.Not())
 				}
 			}
 		}
@@ -681,7 +853,8 @@ func (e *encoder) encodeExternGroups(a *ir.Algorithm, candidates []string) {
 				a1, ok1 := e.lit(a.Name, first, sw)
 				a2, ok2 := e.lit(a.Name, other, sw)
 				if ok1 && ok2 {
-					e.solver.Equal(a1, a2)
+					e.guarded("colocate:"+a.Name, a1.Not(), a2)
+					e.guarded("colocate:"+a.Name, a1, a2.Not())
 				}
 			}
 		}
@@ -689,8 +862,15 @@ func (e *encoder) encodeExternGroups(a *ir.Algorithm, candidates []string) {
 }
 
 // switchUseLits builds per-switch "used" indicator literals for the
-// minimize-switches objective.
+// minimize-switches objective. The indicators (and their defining clauses)
+// are created once per encoder and memoized: OrEquals introduces fresh
+// variables, which on a persistent solver must not be duplicated per
+// attempt.
 func (e *encoder) switchUseLits() ([]smt.Lit, []int64) {
+	if e.useOnce {
+		return e.useLits, e.useW
+	}
+	e.useOnce = true
 	bySwitch := map[string][]smt.Lit{}
 	for _, pv := range e.placeVars {
 		bySwitch[pv.sw] = append(bySwitch[pv.sw], pv.lit)
@@ -700,14 +880,12 @@ func (e *encoder) switchUseLits() ([]smt.Lit, []int64) {
 		names = append(names, sw)
 	}
 	sort.Strings(names)
-	var lits []smt.Lit
-	var w []int64
 	for _, sw := range names {
 		used, _ := e.solver.OrEquals(bySwitch[sw], "used["+sw+"]")
-		lits = append(lits, used)
-		w = append(w, 1)
+		e.useLits = append(e.useLits, used)
+		e.useW = append(e.useW, 1)
 	}
-	return lits, w
+	return e.useLits, e.useW
 }
 
 func (e *encoder) lastTheoryHint() string {

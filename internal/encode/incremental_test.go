@@ -1,0 +1,197 @@
+package encode
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lyra/internal/scope"
+	"lyra/internal/topo"
+)
+
+// TestLadderReusesEncodingAcrossRungs is the incremental-solving regression
+// test: when the ladder escalates, rung 2 must re-solve the SAME persistent
+// solver — one encoding build, learnt clauses carried over, and exactly one
+// Solve call per recorded attempt.
+func TestLadderReusesEncodingAcrossRungs(t *testing.T) {
+	in := buildInput(t, subst(lbSrc, "4000000", "1000000"), lbScope, topo.Testbed())
+	opts := DefaultOptions()
+	opts.ConflictBudget = 1
+	plan, err := Solve(in, opts)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	d := plan.Diagnostics
+	if len(d.Attempts) != 2 {
+		t.Fatalf("attempts = %+v, want 2", d.Attempts)
+	}
+	if plan.Stats.Encodes != 1 {
+		t.Errorf("Encodes = %d, want 1: rung 2 must not rebuild the encoding", plan.Stats.Encodes)
+	}
+	if got, want := plan.Stats.SolveCalls, int64(len(d.Attempts)); got != want {
+		t.Errorf("SolveCalls = %d, want %d (one per recorded attempt)", got, want)
+	}
+	if plan.Stats.ClausesReused == 0 {
+		t.Error("ClausesReused = 0: clauses learnt by the failed attempt were not carried to rung 2")
+	}
+	if plan.Stats.Assumptions == 0 {
+		t.Error("Assumptions = 0: ladder rungs should be expressed as assumption sets")
+	}
+}
+
+// TestReencodeBaselineDiscardsSolverState pins the benchmark baseline: with
+// ReencodeEachAttempt the second rung runs on a fresh solver, so its stats
+// show a single first-call solve with nothing reused.
+func TestReencodeBaselineDiscardsSolverState(t *testing.T) {
+	in := buildInput(t, subst(lbSrc, "4000000", "1000000"), lbScope, topo.Testbed())
+	opts := DefaultOptions()
+	opts.ConflictBudget = 1
+	opts.ReencodeEachAttempt = true
+	plan, err := Solve(in, opts)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if len(plan.Diagnostics.Attempts) != 2 {
+		t.Fatalf("attempts = %+v, want 2", plan.Diagnostics.Attempts)
+	}
+	// plan.Stats comes from the solver that produced the plan: a fresh one.
+	if plan.Stats.Encodes != 1 || plan.Stats.SolveCalls != 1 {
+		t.Errorf("Encodes = %d, SolveCalls = %d: baseline should rebuild per attempt",
+			plan.Stats.Encodes, plan.Stats.SolveCalls)
+	}
+	if plan.Stats.ClausesReused != 0 {
+		t.Errorf("ClausesReused = %d on a fresh solver", plan.Stats.ClausesReused)
+	}
+}
+
+// TestInfeasibleNamesUnsatCore: a program that fits nowhere must fail with
+// an *InfeasibleError naming the violated constraint families.
+func TestInfeasibleNamesUnsatCore(t *testing.T) {
+	in := buildInput(t, subst(lbSrc, "40000000", "1000000"), lbScope, topo.Testbed())
+	_, err := Solve(in, DefaultOptions())
+	if err == nil {
+		t.Fatal("want infeasibility")
+	}
+	var ie *InfeasibleError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v (%T), want *InfeasibleError", err, err)
+	}
+	if len(ie.Groups) == 0 {
+		t.Fatalf("unsat core has no named groups: %v", err)
+	}
+	foundLB := false
+	for _, g := range ie.Groups {
+		if !strings.Contains(g, ":") {
+			t.Errorf("group %q is not a family:algorithm label", g)
+		}
+		if strings.HasSuffix(g, ":loadbalancer") {
+			foundLB = true
+		}
+	}
+	if !foundLB {
+		t.Errorf("core %v does not name the loadbalancer", ie.Groups)
+	}
+	if !strings.Contains(err.Error(), "unsat core:") {
+		t.Errorf("error text %q should render the core", err.Error())
+	}
+	if !errors.Is(err, ErrInfeasible) {
+		t.Error("InfeasibleError must still unwrap to ErrInfeasible")
+	}
+}
+
+// TestDiagnosticsUnsatCoreSurface: the trail exposes the most recent
+// attempt's core and renders it.
+func TestDiagnosticsUnsatCoreSurface(t *testing.T) {
+	d := &Diagnostics{}
+	d.record("", "initial", attemptCfg{}, &InfeasibleError{Groups: []string{"exactly-one:acl"}}, 0,
+		[]string{"exactly-one:acl"})
+	d.record("", "relax-replication", attemptCfg{replicate: true}, nil, 0, nil)
+	if got := d.UnsatCore(); len(got) != 1 || got[0] != "exactly-one:acl" {
+		t.Errorf("UnsatCore = %v", got)
+	}
+	if d.Attempts[0].Outcome != "infeasible" {
+		t.Errorf("outcome = %q", d.Attempts[0].Outcome)
+	}
+	if s := d.String(); !strings.Contains(s, "unsat core: exactly-one:acl") {
+		t.Errorf("String() = %q should render the core", s)
+	}
+	if (&Diagnostics{}).UnsatCore() != nil {
+		t.Error("empty trail must have no core")
+	}
+}
+
+// TestSolverCacheReusesComponentSolver: two Solves over the same input and
+// cache must encode once; the second call re-solves the cached solver
+// incrementally and reproduces the identical plan.
+func TestSolverCacheReusesComponentSolver(t *testing.T) {
+	in := buildInput(t, subst(lbSrc, "1024", "1024"), lbScope, topo.Testbed())
+	opts := DefaultOptions()
+	opts.Cache = NewCache()
+	p1, err := Solve(in, opts)
+	if err != nil {
+		t.Fatalf("first solve: %v", err)
+	}
+	if opts.Cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", opts.Cache.Len())
+	}
+	p2, err := Solve(in, opts)
+	if err != nil {
+		t.Fatalf("second solve: %v", err)
+	}
+	if p2.Stats.Encodes != 1 {
+		t.Errorf("Encodes = %d after cache hit, want 1 (no re-encode)", p2.Stats.Encodes)
+	}
+	if p2.Stats.SolveCalls != p1.Stats.SolveCalls+1 {
+		t.Errorf("SolveCalls = %d, want %d: second solve must reuse the same solver",
+			p2.Stats.SolveCalls, p1.Stats.SolveCalls+1)
+	}
+	if p2.Stats.ClausesReused < p1.Stats.ClausesReused {
+		t.Errorf("ClausesReused went backwards: %d -> %d", p1.Stats.ClausesReused, p2.Stats.ClausesReused)
+	}
+	f1, f2 := p1.Fingerprints(), p2.Fingerprints()
+	if len(f1) == 0 {
+		t.Fatal("no fingerprints")
+	}
+	for sw, fp := range f1 {
+		if f2[sw] != fp {
+			t.Errorf("incremental re-solve changed the plan on %s", sw)
+		}
+	}
+	if opts.Cache.Len() != 1 {
+		t.Errorf("cache holds %d entries after reuse, want 1", opts.Cache.Len())
+	}
+}
+
+// TestSolverCacheMissesOnChangedScope: a different scope resolution must not
+// hit the cache entry of the original component.
+func TestSolverCacheMissesOnChangedScope(t *testing.T) {
+	cache := NewCache()
+	opts := DefaultOptions()
+	opts.Cache = cache
+	in := buildInput(t, subst(lbSrc, "1024", "1024"), lbScope, topo.Testbed())
+	if _, err := Solve(in, opts); err != nil {
+		t.Fatalf("first solve: %v", err)
+	}
+	// Same IR (same root pointer), narrower deployment region: the content
+	// key must differ, so the cached solver is not reused.
+	spec, err := scope.Parse("loadbalancer: [ ToR3,Agg3 | MULTI-SW | (Agg3->ToR3) ]")
+	if err != nil {
+		t.Fatalf("scope: %v", err)
+	}
+	scopes, err := spec.Resolve(in.Net)
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	in2 := &Input{IR: in.IR, Net: in.Net, Scopes: scopes}
+	p2, err := Solve(in2, opts)
+	if err != nil {
+		t.Fatalf("second solve: %v", err)
+	}
+	if p2.Stats.Encodes != 1 || p2.Stats.SolveCalls != 1 {
+		t.Errorf("Encodes = %d SolveCalls = %d: changed scope must encode fresh",
+			p2.Stats.Encodes, p2.Stats.SolveCalls)
+	}
+	if cache.Len() != 2 {
+		t.Errorf("cache holds %d entries, want 2 distinct components", cache.Len())
+	}
+}

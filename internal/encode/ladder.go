@@ -167,6 +167,9 @@ type Attempt struct {
 	Outcome  string
 	Err      string
 	Duration time.Duration
+	// Core names the violated constraint families (the minimized failed-
+	// assumption unsat core) when the attempt was infeasible.
+	Core []string
 }
 
 // Diagnostics is the structured degradation trail of a solve: every
@@ -179,7 +182,7 @@ type Diagnostics struct {
 	Degraded []string
 }
 
-func (d *Diagnostics) record(component, step string, cfg attemptCfg, err error, dur time.Duration) {
+func (d *Diagnostics) record(component, step string, cfg attemptCfg, err error, dur time.Duration, core []string) {
 	a := Attempt{
 		Component:      component,
 		Step:           step,
@@ -188,6 +191,7 @@ func (d *Diagnostics) record(component, step string, cfg attemptCfg, err error, 
 		Replication:    cfg.replicate,
 		Outcome:        outcomeOf(err),
 		Duration:       dur,
+		Core:           core,
 	}
 	if err != nil {
 		a.Err = err.Error()
@@ -197,6 +201,22 @@ func (d *Diagnostics) record(component, step string, cfg attemptCfg, err error, 
 
 // FellBack reports whether the plan required any concession.
 func (d *Diagnostics) FellBack() bool { return d != nil && len(d.Degraded) > 0 }
+
+// UnsatCore returns the named unsat core of the most recent infeasible
+// attempt, or nil if every attempt had a verdict other than infeasible (or
+// the contradiction was rooted in permanent clauses and has no named
+// groups).
+func (d *Diagnostics) UnsatCore() []string {
+	if d == nil {
+		return nil
+	}
+	for i := len(d.Attempts) - 1; i >= 0; i-- {
+		if len(d.Attempts[i].Core) > 0 {
+			return d.Attempts[i].Core
+		}
+	}
+	return nil
+}
 
 // Summary renders the trail compactly: "initial:timeout -> relax-objective:sat".
 // Attempts from a split solve are prefixed with their component label.
@@ -226,6 +246,10 @@ func (d *Diagnostics) String() string {
 	for _, deg := range d.Degraded {
 		b.WriteString("\n  concession: ")
 		b.WriteString(deg)
+	}
+	if core := d.UnsatCore(); len(core) > 0 {
+		b.WriteString("\n  unsat core: ")
+		b.WriteString(strings.Join(core, ", "))
 	}
 	return b.String()
 }

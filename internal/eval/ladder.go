@@ -1,0 +1,141 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lyra/internal/asic"
+	"lyra/internal/encode"
+	"lyra/internal/frontend"
+	"lyra/internal/lang/checker"
+	"lyra/internal/lang/parser"
+	"lyra/internal/scope"
+	"lyra/internal/topo"
+)
+
+// LadderPoint is one fallback-ladder benchmark measurement: the same
+// over-constrained compile (first attempt exhausts its conflict budget, the
+// escalated retry succeeds) solved incrementally — one encoding, ladder
+// rungs as assumption sets on a persistent solver — versus the historical
+// re-encode-per-attempt baseline.
+type LadderPoint struct {
+	Workload string `json:"workload"`
+	K        int    `json:"k"`
+	// Conflicts is the calibrated conflict count of an unconstrained solve;
+	// the benchmark sets the first attempt's budget to Conflicts-1 so it
+	// fails after doing nearly all the search work.
+	Conflicts int64 `json:"conflicts"`
+	Attempts  int   `json:"attempts"`
+	// IncrementalMs and ReencodeMs are best-of-Iters wall times for the
+	// two-attempt ladder in each mode.
+	IncrementalMs float64 `json:"incremental_ms"`
+	ReencodeMs    float64 `json:"reencode_ms"`
+	Speedup       float64 `json:"speedup"`
+	// ClausesReused counts learnt clauses the escalated attempt inherited
+	// from the failed one (always 0 in the re-encode baseline).
+	ClausesReused int64 `json:"clauses_reused"`
+	Iters         int   `json:"iters"`
+}
+
+// ladderInput front-ends the load-balancer workload onto a Tofino fat-tree
+// pod and returns the encoder input.
+func ladderInput(k int, conn, vip int) (*encode.Input, error) {
+	net := topo.FatTreePod(k, asic.Tofino32Q)
+	src := lbSource(conn, vip)
+	prog, err := parser.Parse("lb.lyra", []byte(src))
+	if err != nil {
+		return nil, err
+	}
+	if err := checker.Check(prog); err != nil {
+		return nil, err
+	}
+	irp, err := frontend.Preprocess(prog)
+	if err != nil {
+		return nil, err
+	}
+	frontend.Analyze(irp)
+	spec, err := scope.Parse("loadbalancer: [ ToR*,Agg* | MULTI-SW | (Agg*->ToR*) ]")
+	if err != nil {
+		return nil, err
+	}
+	scopes, err := spec.Resolve(net)
+	if err != nil {
+		return nil, err
+	}
+	return &encode.Input{IR: irp, Net: net, Scopes: scopes}, nil
+}
+
+// LadderComparison measures the incremental fallback ladder against the
+// re-encode baseline on a fat-tree pod of size k. The conn_table size is
+// chosen so the placement needs theory conflicts to shard the extern; the
+// first attempt's conflict budget is calibrated to Conflicts-1, forcing the
+// "first attempt fails, escalated attempt succeeds" pattern. iters <= 0
+// defaults to 11 measurement repetitions per mode.
+func LadderComparison(k, iters int) (*LadderPoint, error) {
+	if k <= 0 {
+		k = 16
+	}
+	if iters <= 0 {
+		iters = 11
+	}
+	in, err := ladderInput(k, 5_500_000, 1_000_000)
+	if err != nil {
+		return nil, err
+	}
+	// Calibrate: how many conflicts does an unconstrained solve need?
+	cal, err := encode.Solve(in, encode.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("calibration solve: %w", err)
+	}
+	conflicts := cal.Stats.Conflicts
+	if conflicts < 2 {
+		return nil, fmt.Errorf("workload needs %d conflicts; too easy to exercise the ladder", conflicts)
+	}
+
+	pt := &LadderPoint{Workload: "lb-multi", K: k, Conflicts: conflicts, Iters: iters}
+	for _, reencode := range []bool{false, true} {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < iters; i++ {
+			opts := encode.DefaultOptions()
+			opts.ConflictBudget = conflicts - 1
+			opts.ReencodeEachAttempt = reencode
+			start := time.Now()
+			plan, err := encode.Solve(in, opts)
+			if err != nil {
+				return nil, fmt.Errorf("reencode=%v: %w", reencode, err)
+			}
+			wall := time.Since(start)
+			if n := len(plan.Diagnostics.Attempts); n != 2 {
+				return nil, fmt.Errorf("reencode=%v: %d attempts, want the 2-rung ladder (%s)",
+					reencode, n, plan.Diagnostics.Summary())
+			}
+			if wall < best {
+				best = wall
+			}
+			if !reencode {
+				pt.Attempts = len(plan.Diagnostics.Attempts)
+				pt.ClausesReused = plan.Stats.ClausesReused
+			}
+		}
+		if reencode {
+			pt.ReencodeMs = ms(best)
+		} else {
+			pt.IncrementalMs = ms(best)
+		}
+	}
+	pt.Speedup = pt.ReencodeMs / pt.IncrementalMs
+	return pt, nil
+}
+
+// FormatLadder renders the comparison.
+func FormatLadder(pt *LadderPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %4s %9s %8s %12s %12s %8s %7s\n",
+		"Workload", "k", "conflicts", "attempts", "incremental", "re-encode", "speedup", "reused")
+	fmt.Fprintln(&b, strings.Repeat("-", 78))
+	fmt.Fprintf(&b, "%-10s %4d %9d %8d %10.2fms %10.2fms %7.2fx %7d\n",
+		pt.Workload, pt.K, pt.Conflicts, pt.Attempts,
+		pt.IncrementalMs, pt.ReencodeMs, pt.Speedup, pt.ClausesReused)
+	return b.String()
+}

@@ -1,0 +1,32 @@
+package eval
+
+import "testing"
+
+// TestLadderComparisonShape runs the fallback-ladder benchmark at a small
+// size and few repetitions (the CI-grade smoke of the ≥1.5× claim recorded
+// in BENCH_compile.json; full numbers come from lyra-bench -experiment
+// ladder). Wall-clock ratios are too noisy for a hard threshold under the
+// race detector, so the test pins the structure: the two-rung pattern in
+// both modes, learnt-clause carry-over, and a speedup that at minimum is
+// not pathological.
+func TestLadderComparisonShape(t *testing.T) {
+	pt, err := LadderComparison(16, 3)
+	if err != nil {
+		t.Fatalf("ladder comparison: %v", err)
+	}
+	if pt.Attempts != 2 {
+		t.Errorf("attempts = %d, want the 2-rung ladder", pt.Attempts)
+	}
+	if pt.Conflicts < 2 {
+		t.Errorf("calibrated conflicts = %d, workload too easy", pt.Conflicts)
+	}
+	if pt.ClausesReused == 0 {
+		t.Error("incremental mode carried no learnt clauses to the escalated attempt")
+	}
+	if pt.IncrementalMs <= 0 || pt.ReencodeMs <= 0 {
+		t.Errorf("non-positive timings: %+v", pt)
+	}
+	if pt.Speedup < 0.5 {
+		t.Errorf("speedup = %.2f: incremental path is pathologically slower than re-encoding", pt.Speedup)
+	}
+}

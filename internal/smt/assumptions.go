@@ -1,0 +1,137 @@
+package smt
+
+import "sort"
+
+// This file implements the assumption side of the incremental interface:
+// failed-assumption analysis (the unsat core of an UNSAT-under-assumptions
+// solve), deletion-based core minimization, and named assumption groups
+// that let callers label whole constraint families for diagnostics.
+
+// NewAssumption creates a fresh selector literal labelling a named
+// constraint family (for example "stage-capacity:sw3" or
+// "exactly-one:acl@pod1"). Callers guard each clause of the family with the
+// selector's negation and pass the selector as an assumption to activate
+// the family; a failed-assumption core then names the violated families
+// through CoreNames. The selector is an ordinary variable in every other
+// respect.
+func (s *Solver) NewAssumption(name string) Lit {
+	l := s.NewBool(name)
+	if s.assumeNames == nil {
+		s.assumeNames = map[Var]string{}
+	}
+	s.assumeNames[l.Var()] = name
+	return l
+}
+
+// GroupName returns the label given to an assumption selector by
+// NewAssumption, or "" for ordinary literals.
+func (s *Solver) GroupName(l Lit) string { return s.assumeNames[l.Var()] }
+
+// Core returns the failed-assumption core of the most recent Solve that was
+// unsatisfiable under its assumptions: a subset of those assumptions that
+// is already contradictory with the clause database. It returns nil when
+// the last solve succeeded, ran out of budget, or was unsatisfiable without
+// any assumptions (a root-level contradiction has an empty core).
+func (s *Solver) Core() []Lit {
+	if s.core == nil {
+		return nil
+	}
+	return append([]Lit(nil), s.core...)
+}
+
+// CoreNames renders a core as sorted, de-duplicated group labels. Literals
+// that are not named selectors fall back to their diagnostic Name, so a
+// mixed core still reads sensibly.
+func (s *Solver) CoreNames(core []Lit) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, l := range core {
+		n := s.GroupName(l)
+		if n == "" {
+			n = s.Name(l)
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// analyzeFinal computes the failed-assumption core: the subset of the
+// current assumptions that together force assumption p false. It is called
+// at assumption-push time, when every decision on the trail is itself an
+// assumption, so walking the trail top-down and expanding reasons collects
+// exactly the contributing assumptions (MiniSat's analyzeFinal). The seen
+// flags are restored before returning.
+func (s *Solver) analyzeFinal(p Lit) []Lit {
+	core := []Lit{p}
+	if s.decisionLevel() == 0 || s.levels[p.Var()] == 0 {
+		// p is refuted by the formula alone; assuming it is unsatisfiable
+		// all by itself.
+		return core
+	}
+	s.seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		if !s.seen[v] {
+			continue
+		}
+		s.seen[v] = false
+		r := s.reasons[v]
+		var reasonLits []Lit
+		switch {
+		case r.c != nil:
+			reasonLits = r.c.lits
+		case r.expl != nil:
+			reasonLits = r.expl
+		default:
+			// A decision below the assumption boundary is an assumption,
+			// enqueued exactly as the caller passed it.
+			core = append(core, l)
+			continue
+		}
+		for _, q := range reasonLits {
+			if q.Var() != v && s.levels[q.Var()] > 0 {
+				s.seen[q.Var()] = true
+			}
+		}
+	}
+	s.seen[p.Var()] = false
+	return core
+}
+
+// MinimizeCore shrinks an unsat core by deletion: each member is dropped in
+// turn and the remainder re-solved under the solver's current budgets;
+// members whose removal keeps the remainder unsatisfiable are discarded. On
+// return every surviving member is necessary — dropping any single one
+// makes the probe satisfiable — except where a probe was cut short by the
+// budget, in which case its member is conservatively kept. The minimized
+// core becomes the solver's current Core.
+//
+// Probe solves share the solver's clause database (and enrich it), and a
+// satisfiable probe overwrites Model, so callers needing the incumbent
+// model must capture it before minimizing.
+func (s *Solver) MinimizeCore(core []Lit) []Lit {
+	cur := append([]Lit(nil), core...)
+	for i := 0; i < len(cur) && len(cur) > 1; {
+		cand := make([]Lit, 0, len(cur)-1)
+		cand = append(cand, cur[:i]...)
+		cand = append(cand, cur[i+1:]...)
+		st, err := s.Solve(cand...)
+		if err == nil && st == StatusUnsat && s.ok {
+			// cur[i] is redundant; keep probing the same index, which now
+			// holds the next member.
+			cur = cand
+		} else {
+			i++
+		}
+		if !s.ok {
+			break
+		}
+	}
+	s.core = append([]Lit(nil), cur...)
+	return cur
+}

@@ -3,6 +3,7 @@ package smt
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // pbCon is a weighted at-most-k constraint: sum of weights of true literals
@@ -37,8 +38,17 @@ func (s *Solver) AddAtMost(lits []Lit, weights []int64, bound int64) bool {
 	if s.decisionLevel() != 0 {
 		panic("smt: AddAtMost called during search")
 	}
-	con := &pbCon{bound: bound}
-	var fixed int64
+	// Normalize first: merge duplicate literals and cancel opposing
+	// polarities of one variable (w·x + u·¬x contributes min(w,u)
+	// unconditionally plus |w−u| on the heavier side). Without this the
+	// forcing pass below can fix one polarity and silently miss the
+	// contribution of the other, which was already scanned past.
+	type pbTerm struct {
+		l Lit
+		w int64
+	}
+	var terms []pbTerm
+	pos := map[Lit]int{}
 	for i, l := range lits {
 		w := weights[i]
 		switch {
@@ -47,14 +57,41 @@ func (s *Solver) AddAtMost(lits []Lit, weights []int64, bound int64) bool {
 		case w == 0:
 			continue
 		}
-		switch s.value(l) {
+		if j, ok := pos[l]; ok {
+			terms[j].w += w
+			continue
+		}
+		pos[l] = len(terms)
+		terms = append(terms, pbTerm{l, w})
+	}
+	var guaranteed int64
+	for i := range terms {
+		j, ok := pos[terms[i].l.Not()]
+		if !ok || terms[i].w == 0 || terms[j].w == 0 {
+			continue
+		}
+		m := terms[i].w
+		if terms[j].w < m {
+			m = terms[j].w
+		}
+		guaranteed += m
+		terms[i].w -= m
+		terms[j].w -= m
+	}
+	con := &pbCon{bound: bound - guaranteed}
+	var fixed int64
+	for _, t := range terms {
+		if t.w == 0 {
+			continue
+		}
+		switch s.value(t.l) {
 		case lTrue:
-			fixed += w
+			fixed += t.w
 		case lFalse:
 			// contributes nothing
 		default:
-			con.lits = append(con.lits, l)
-			con.weights = append(con.weights, w)
+			con.lits = append(con.lits, t.l)
+			con.weights = append(con.weights, t.w)
 		}
 	}
 	con.bound -= fixed
@@ -222,13 +259,40 @@ func (s *Solver) pbPropagate(con *pbCon) []Lit {
 // the budget runs out, the best incumbent (if any) is returned along with
 // ErrBudget.
 func (s *Solver) Minimize(lits []Lit, weights []int64) (best int64, ok bool, err error) {
-	st, serr := s.Solve()
+	return s.MinimizeWith(nil, lits, weights)
+}
+
+// MinimizeWith is Minimize under assumptions. The descent runs on the live
+// solver: each tightened bound is guarded by a fresh selector literal that
+// is assumed during this call and permanently retired afterwards, so the
+// bounds evaporate on return and the solver stays reusable for later,
+// differently-constrained incremental solves.
+//
+// TimeBudget is one wall-clock allowance for the whole descent: the
+// deadline is fixed on entry, re-checked between candidate bounds, and each
+// re-solve receives only the remaining allowance, so a descent step started
+// near the deadline cannot overshoot the caller's budget. When the deadline
+// expires between bounds, the incumbent is returned with ErrTimeout.
+func (s *Solver) MinimizeWith(assumptions []Lit, lits []Lit, weights []int64) (best int64, ok bool, err error) {
+	budget := s.TimeBudget
+	var deadline time.Time
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
+	defer func() { s.TimeBudget = budget }()
+
+	st, serr := s.Solve(assumptions...)
 	if st == StatusUnsat {
 		return 0, false, nil
 	}
 	if st != StatusSat {
 		return 0, false, serr
 	}
+	guard := s.NewAssumption("minimize-bound")
+	// Retire this descent's bounds once the call returns: with the guard
+	// forced false they relax to the trivial Σw and never constrain a later
+	// solve.
+	defer s.AddClause(guard.Not())
 	for {
 		m := s.Model()
 		best = 0
@@ -240,19 +304,60 @@ func (s *Solver) Minimize(lits []Lit, weights []int64) (best int64, ok bool, err
 		if best == 0 {
 			return 0, true, nil
 		}
-		if !s.AddAtMost(lits, weights, best-1) {
+		if !deadline.IsZero() {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				// Deadline expired between candidate bounds: report the
+				// incumbent instead of starting a descent step that would
+				// overshoot the caller's TimeBudget.
+				return best, true, ErrTimeout
+			}
+			s.TimeBudget = remaining
+		}
+		s.addGuardedAtMost(guard, lits, weights, best-1)
+		if !s.ok {
 			return best, true, nil
 		}
-		st, serr = s.Solve()
+		probe := make([]Lit, 0, len(assumptions)+1)
+		probe = append(probe, assumptions...)
+		probe = append(probe, guard)
+		st, serr = s.Solve(probe...)
 		switch st {
 		case StatusUnsat:
-			// Re-capture: the incumbent model was overwritten? No: Solve only
-			// overwrites the model on success, so the best model is intact.
+			// Optimum proven. The incumbent model is intact: Solve only
+			// overwrites the model on success. The failed-assumption core of
+			// this probe names the bound guard, not a real infeasibility, so
+			// drop it rather than leak it to a later Core() read.
+			s.core = nil
 			return best, true, nil
 		case StatusUnknown:
 			return best, true, serr
 		}
 	}
+}
+
+// addGuardedAtMost adds Σ weights[i]·lits[i] ≤ bound, active only while
+// guard is assumed: the guard joins the constraint carrying weight
+// Σw − bound, so with the guard false or unassigned the bound relaxes to
+// the trivial Σw. If the formula already fixes cost ≥ bound at the root,
+// unit propagation forces the guard false and the next guarded solve fails
+// on it cleanly.
+func (s *Solver) addGuardedAtMost(guard Lit, lits []Lit, weights []int64, bound int64) {
+	var total int64
+	for _, w := range weights {
+		total += w
+	}
+	slackW := total - bound
+	if slackW <= 0 {
+		return // bound at or above Σw: trivially satisfied
+	}
+	gl := make([]Lit, 0, len(lits)+1)
+	gl = append(gl, lits...)
+	gl = append(gl, guard)
+	gw := make([]int64, 0, len(weights)+1)
+	gw = append(gw, weights...)
+	gw = append(gw, slackW)
+	s.AddAtMost(gl, gw, bound+slackW)
 }
 
 // sortedCopy returns lits sorted by variable for stable diagnostics.

@@ -58,6 +58,18 @@ type Stats struct {
 	Learned      int64
 	TheoryChecks int64
 	TheoryFails  int64
+
+	// Incremental-interface counters.
+	SolveCalls    int64 // Solve invocations on this solver
+	Assumptions   int64 // assumption literals passed across all Solve calls
+	Cores         int64 // failed-assumption analyses (solves UNSAT under assumptions)
+	CoreLits      int64 // total literals across all extracted cores
+	ClausesReused int64 // learnt clauses already present when an incremental re-solve started
+	// Encodes counts constraint encodings built on top of this solver. The
+	// solver itself never increments it; callers that construct encodings
+	// (internal/encode) bump it so an aggregated Stats shows how often the
+	// encoding was rebuilt versus reused across incremental solves.
+	Encodes int64
 }
 
 // Add accumulates another solver's counters into s, so callers running
@@ -70,6 +82,12 @@ func (s *Stats) Add(o Stats) {
 	s.Learned += o.Learned
 	s.TheoryChecks += o.TheoryChecks
 	s.TheoryFails += o.TheoryFails
+	s.SolveCalls += o.SolveCalls
+	s.Assumptions += o.Assumptions
+	s.Cores += o.Cores
+	s.CoreLits += o.CoreLits
+	s.ClausesReused += o.ClausesReused
+	s.Encodes += o.Encodes
 }
 
 type clause struct {
@@ -117,6 +135,14 @@ type Solver struct {
 	model    []lbool // last satisfying assignment
 	maxLearn int
 
+	// Incremental interface state: the assumptions of the Solve call in
+	// progress, the failed-assumption core of the last UNSAT-under-
+	// assumptions solve, and the labels given to selector literals by
+	// NewAssumption (see assumptions.go).
+	assumptions []Lit
+	core        []Lit
+	assumeNames map[Var]string
+
 	// Budget limits, applied per Solve call.
 	ConflictBudget int64
 	TimeBudget     time.Duration
@@ -155,6 +181,10 @@ func (s *Solver) NumVars() int { return len(s.assigns) }
 
 // Stats returns a copy of the accumulated search statistics.
 func (s *Solver) Statistics() Stats { return s.stats }
+
+// NoteEncode records that a constraint encoding was (re)built on top of this
+// solver. The solver itself never calls it; see Stats.Encodes.
+func (s *Solver) NoteEncode() { s.stats.Encodes++ }
 
 // NewBool creates a fresh boolean variable and returns its positive literal.
 // The name is retained for diagnostics only and need not be unique.
@@ -544,11 +574,28 @@ func luby(i int64) int64 {
 	}
 }
 
-// Solve searches for a satisfying assignment.
-func (s *Solver) Solve() (Status, error) {
+// Solve searches for a satisfying assignment under the given assumptions
+// (the MiniSat-style incremental interface). Assumptions are enqueued as
+// pseudo-decisions at levels 1..k before the real search begins, so learnt
+// clauses, VSIDS activity, and saved phases all carry over to later Solve
+// calls on the same solver. When the problem is unsatisfiable only because
+// of the assumptions, the solver stays usable and Core reports the subset
+// of assumptions responsible (the failed-assumption core); a StatusUnsat
+// with an empty Core means the clause database itself is contradictory.
+func (s *Solver) Solve(assumptions ...Lit) (Status, error) {
+	s.core = nil
 	if !s.ok {
 		return StatusUnsat, nil
 	}
+	if s.stats.SolveCalls > 0 {
+		// Everything learnt by earlier calls is still attached: that reuse
+		// is the point of the incremental interface, so account for it.
+		s.stats.ClausesReused += int64(len(s.learnts))
+	}
+	s.stats.SolveCalls++
+	s.stats.Assumptions += int64(len(assumptions))
+	s.assumptions = assumptions
+	defer func() { s.assumptions = nil }()
 	deadline := time.Time{}
 	if s.TimeBudget > 0 {
 		deadline = time.Now().Add(s.TimeBudget)
@@ -611,7 +658,31 @@ func (s *Solver) search(conflictLimit int64, deadline time.Time, confStart int64
 			return StatusUnknown, err
 		}
 		s.reduceLearnts()
-		next := s.pickBranch()
+		// Pending assumptions become pseudo-decisions at levels 1..k before
+		// any activity-ordered branching. A conflict during ordinary search
+		// may backjump below the assumption levels; the loop here re-pushes
+		// them, and an assumption found false at push time is the UNSAT-
+		// under-assumptions verdict (analyzed into a core, solver intact).
+		next := LitUndef
+		for s.decisionLevel() < len(s.assumptions) {
+			p := s.assumptions[s.decisionLevel()]
+			if v := s.value(p); v == lTrue {
+				// Already entailed: open an empty level so decision level i
+				// keeps corresponding to assumption i.
+				s.trailLim = append(s.trailLim, len(s.trail))
+			} else if v == lFalse {
+				s.core = s.analyzeFinal(p)
+				s.stats.Cores++
+				s.stats.CoreLits += int64(len(s.core))
+				return StatusUnsat, nil
+			} else {
+				next = p
+				break
+			}
+		}
+		if next == LitUndef {
+			next = s.pickBranch()
+		}
 		if next == LitUndef {
 			// Full assignment: consult theories.
 			if conflict := s.theoryCheck(); conflict != nil {
@@ -638,6 +709,16 @@ func (s *Solver) search(conflictLimit int64, deadline time.Time, confStart int64
 				}
 				if !s.ok {
 					return StatusUnsat, nil
+				}
+				// Theory conflicts count toward the same budget as boolean
+				// conflicts: both are recorded in stats.Conflicts, so letting
+				// one kind bypass the bail-out made ConflictBudget porous on
+				// theory-heavy problems.
+				if s.ConflictBudget > 0 && s.stats.Conflicts-confStart > s.ConflictBudget {
+					return StatusUnknown, fmt.Errorf("%w (%d conflicts)", ErrConflictBudget, s.stats.Conflicts-confStart)
+				}
+				if err := s.pollAbort(deadline); err != nil {
+					return StatusUnknown, err
 				}
 				continue
 			}

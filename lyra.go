@@ -140,8 +140,13 @@ type (
 	FaultEvent = faults.Event
 	// Delta reports which switches a recompilation must reprogram.
 	Delta = core.Delta
-	// Diagnostics is the solver's fallback-ladder trail.
+	// Diagnostics is the solver's fallback-ladder trail. When a compile is
+	// infeasible, Diagnostics.UnsatCore names the violated constraint
+	// families (the solver's minimized failed-assumption core).
 	Diagnostics = encode.Diagnostics
+	// InfeasibleError is the concrete error behind ErrInfeasible when the
+	// solver could name the violated constraint groups.
+	InfeasibleError = encode.InfeasibleError
 )
 
 // Phase observability surface (re-exported from internal/core): every
@@ -157,7 +162,12 @@ type (
 	// ObserverFunc adapts a plain function to the Observer interface.
 	ObserverFunc = core.ObserverFunc
 	// SolverStats aggregates SAT-solver counters (decisions, propagations,
-	// conflicts, restarts, ...) across every SMT instance of a compile.
+	// conflicts, restarts, ...) across every SMT instance of a compile,
+	// including the incremental-interface counters: Solve calls, assumption
+	// literals passed, failed-assumption cores extracted (and their total
+	// size), learnt clauses carried across re-solves, and how many times a
+	// constraint encoding was built (Encodes stays at the component count
+	// when the fallback ladder and Recompile reuse encodings incrementally).
 	SolverStats = smt.Stats
 )
 
