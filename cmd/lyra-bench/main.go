@@ -7,12 +7,18 @@
 //	lyra-bench -experiment ladder   # incremental fallback ladder vs re-encode baseline
 //	lyra-bench -experiment ext      # §7.2 extensibility case study
 //	lyra-bench -experiment comp     # §7.3 composition case study
+//	lyra-bench -experiment traffic  # packet replay: interpreter vs bytecode engine
 //	lyra-bench -experiment phases,ladder -out BENCH_compile.json
 //	lyra-bench -experiment all
 //
 // -experiment accepts a comma-separated list. With -out, the phases and
 // ladder results that ran are written together as one JSON artifact (the
-// BENCH_compile.json the CI smoke job publishes).
+// BENCH_compile.json the CI smoke job publishes); the traffic experiment
+// writes its own artifact to -dataplane-out (BENCH_dataplane.json).
+//
+// -cpuprofile and -memprofile write pprof profiles covering whichever
+// experiments ran — the intended workflow for hunting hot spots in the
+// replay engine (see EXPERIMENTS.md).
 package main
 
 import (
@@ -20,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -28,14 +36,51 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "comma-separated list of: fig9 | fig10 | phases | ladder | ext | comp | ablation | all")
+		experiment = flag.String("experiment", "all", "comma-separated list of: fig9 | fig10 | phases | ladder | ext | comp | ablation | traffic | all")
 		ks         = flag.String("k", "4,8,16,24,32", "fat-tree sizes for fig10 and phases")
 		parallel   = flag.Int("parallel", 0, "worker pool size for phases (0 = all CPUs)")
 		ladderK    = flag.Int("ladder-k", 16, "fat-tree size for the ladder comparison")
 		ladderIt   = flag.Int("ladder-iters", 11, "measurement repetitions per ladder mode")
 		outPath    = flag.String("out", "", "write the phases/ladder results as one JSON artifact")
+
+		trafficK       = flag.Int("traffic-k", 8, "fat-tree size for the traffic replay")
+		trafficPackets = flag.Int("traffic-packets", 200_000, "packets per traffic measurement")
+		trafficWorkers = flag.Int("traffic-workers", 0, "max replay workers (0 = all CPUs)")
+		dataplaneOut   = flag.String("dataplane-out", "", "write the traffic results as a JSON artifact (BENCH_dataplane.json)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
+		memProfile = flag.String("memprofile", "", "write a heap profile after the selected experiments")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lyra-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "lyra-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lyra-bench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "lyra-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*experiment, ",") {
@@ -130,6 +175,30 @@ func main() {
 		fmt.Println("== Ablations: synthesized P4 tables per optimization ==")
 		fmt.Print(eval.FormatAblations(rows))
 		fmt.Println()
+		return nil
+	})
+
+	run("traffic", func() error {
+		points, err := eval.TrafficReplay(*trafficK, *trafficPackets, *trafficWorkers)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Traffic replay: interpreter vs bytecode engine ==")
+		fmt.Print(eval.FormatTraffic(points))
+		fmt.Println()
+		if *dataplaneOut != "" {
+			artifact := struct {
+				Traffic []eval.TrafficPoint `json:"traffic"`
+			}{points}
+			data, err := json.MarshalIndent(artifact, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*dataplaneOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *dataplaneOut)
+		}
 		return nil
 	})
 

@@ -46,6 +46,12 @@ func checkForwarding(t *testing.T, res *Result, label string) {
 		t.Fatalf("%s: no surviving flow paths", label)
 	}
 	for _, path := range paths {
+		// Engine before interpreter: engine inserts are copy-on-write and
+		// lane-local, interpreter inserts land in the shared shard tables.
+		eng, err := sim.RunPathEngine(path, ctx, pkt)
+		if err != nil {
+			t.Fatalf("%s: path %v: engine: %v", label, path, err)
+		}
 		got, err := sim.RunPath(path, ctx, pkt)
 		if err != nil {
 			t.Fatalf("%s: path %v: %v", label, path, err)
@@ -53,6 +59,10 @@ func checkForwarding(t *testing.T, res *Result, label string) {
 		if got.Summary() != ref.Summary() {
 			t.Errorf("%s: path %v diverges:\n  ref:  %s\n  dist: %s",
 				label, path, ref.Summary(), got.Summary())
+		}
+		if eng.Summary() != got.Summary() {
+			t.Errorf("%s: path %v: engine diverges from interpreter on the recompiled plan:\n  interp: %s\n  engine: %s",
+				label, path, got.Summary(), eng.Summary())
 		}
 	}
 }

@@ -1,0 +1,443 @@
+package dataplane
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// lbDeployment compiles the load balancer, populates tables, and builds a
+// deployment, shared across the engine tests.
+func lbDeployment(t testing.TB) (*Deployment, *Tables, [][]string) {
+	t.Helper()
+	plan, _ := compile(t, lbSrc, lbScope)
+	tables := NewTables()
+	for vip := uint64(0); vip < 16; vip++ {
+		tables.Set("vip_table", vip, 0xC0A80000+vip)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 48; i++ {
+		tables.Set("conn_table", uint64(rng.Uint32()), 0x0A000000+uint64(i))
+	}
+	dep, err := NewDeployment(plan, tables)
+	if err != nil {
+		t.Fatalf("deployment: %v", err)
+	}
+	return dep, tables, plan.Input.Scopes["loadbalancer"].Paths
+}
+
+// TestEngineMatchesInterpreterLB checks byte-identical output (full map
+// reconstruction, not just the summary) between RunPath and RunPathEngine
+// on the LB workload across every flow path.
+func TestEngineMatchesInterpreterLB(t *testing.T) {
+	dep, _, paths := lbDeployment(t)
+	rng := rand.New(rand.NewSource(2))
+	ctx := &Context{SwitchID: 7, IngressTS: 1000, EgressTS: 1500, QueueLen: 3}
+	for i := 0; i < 50; i++ {
+		pkt := randomLBPacket(rng)
+		for _, path := range paths {
+			want, err := dep.RunPath(path, ctx, pkt)
+			if err != nil {
+				t.Fatalf("interpreter: %v", err)
+			}
+			got, err := dep.RunPathEngine(path, ctx, pkt)
+			if err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			if got.Summary() != want.Summary() {
+				t.Fatalf("packet %d path %v:\n  interp: %s\n  engine: %s",
+					i, path, want.Summary(), got.Summary())
+			}
+			if diffs := DiffPackets(want, got, nil); len(diffs) > 0 {
+				t.Fatalf("packet %d path %v diffs: %v", i, path, diffs)
+			}
+		}
+	}
+}
+
+// TestEngineReferenceMatchesInterpreter checks the engine's reference unit
+// against RunReference.
+func TestEngineReferenceMatchesInterpreter(t *testing.T) {
+	dep, tables, _ := lbDeployment(t)
+	eng, err := dep.Engine()
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	irp := dep.Plan.Input.IR
+	rng := rand.New(rand.NewSource(3))
+	ctx := &Context{SwitchID: 1}
+	for i := 0; i < 50; i++ {
+		pkt := randomLBPacket(rng)
+		want, err := RunReference(irp, tables, ctx, pkt)
+		if err != nil {
+			t.Fatalf("reference: %v", err)
+		}
+		lane := eng.NewLane()
+		f := eng.Flatten(pkt)
+		eng.RunReference(lane, ctx, f)
+		got := f.Packet()
+		if got.Summary() != want.Summary() {
+			t.Fatalf("packet %d:\n  interp: %s\n  engine: %s", i, want.Summary(), got.Summary())
+		}
+	}
+}
+
+// TestEngineTracedMatchesInterpreter compares per-hop snapshots.
+func TestEngineTracedMatchesInterpreter(t *testing.T) {
+	plan, _ := compile(t, lbSrc, lbScope)
+	tables := NewTables()
+	for vip := uint64(0); vip < 16; vip++ {
+		tables.Set("vip_table", vip, 0xC0A80000+vip)
+	}
+	rng := rand.New(rand.NewSource(4))
+	ctx := &Context{SwitchID: 9}
+	for i := 0; i < 10; i++ {
+		pkt := randomLBPacket(rng)
+		for _, path := range plan.Input.Scopes["loadbalancer"].Paths {
+			depA, err := NewDeployment(plan, tables)
+			if err != nil {
+				t.Fatal(err)
+			}
+			depB, err := NewDeployment(plan, tables)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantHops, err := depA.RunPathTraced(path, ctx, pkt)
+			if err != nil {
+				t.Fatalf("interpreter traced: %v", err)
+			}
+			got, gotHops, err := depB.RunPathEngineTraced(path, ctx, pkt)
+			if err != nil {
+				t.Fatalf("engine traced: %v", err)
+			}
+			if got.Summary() != want.Summary() {
+				t.Fatalf("final state:\n  interp: %s\n  engine: %s", want.Summary(), got.Summary())
+			}
+			if len(gotHops) != len(wantHops) {
+				t.Fatalf("hop counts differ: %d vs %d", len(wantHops), len(gotHops))
+			}
+			for h := range wantHops {
+				if gotHops[h].Switch != wantHops[h].Switch || gotHops[h].Summary != wantHops[h].Summary {
+					t.Fatalf("hop %d diverges:\n  interp: %s %s\n  engine: %s %s", h,
+						wantHops[h].Switch, wantHops[h].Summary, gotHops[h].Switch, gotHops[h].Summary)
+				}
+			}
+		}
+	}
+}
+
+// statefulSrc exercises globals (register arrays), header add/remove,
+// hashing, packet ops, and table inserts — every stateful op the engine
+// lowers.
+const statefulSrc = `
+header_type h_t { bit[32] a; bit[32] b; bit[32] out; }
+header h_t h;
+header_type probe_t { bit[32] stamp; }
+header probe_t probe;
+pipeline[ST]{statealg};
+algorithm statealg {
+  extern dict<bit[32] k, bit[32] v>[32] seen_table;
+  global bit[32][16] counters;
+  bit[32] idx;
+  bit[32] c;
+  idx = h.a & 15;
+  c = counters[idx] + 1;
+  counters[idx] = c;
+  if (c > 2) {
+    add_header(probe);
+    probe.stamp = crc16_hash(h.a, c);
+    insert(seen_table, h.a, c);
+  }
+  if (h.a in seen_table) {
+    h.out = seen_table[h.a] + counters[idx];
+  } else {
+    h.out = c;
+  }
+  if (h.b == 1) { drop(); }
+  if (h.b == 2) { forward(h.a & 7); }
+}
+`
+
+const statefulScope = `statealg: [ ToR3 | PER-SW | - ]`
+
+// TestEngineStatefulSequence runs a packet sequence through one lane and
+// through the interpreter on a fresh deployment each, asserting identical
+// evolution of register state, inserted entries, and packet outputs.
+func TestEngineStatefulSequence(t *testing.T) {
+	plan, _ := compile(t, statefulSrc, statefulScope)
+	tables := NewTables()
+	tables.Set("seen_table", 999, 5)
+
+	depInterp, err := NewDeployment(plan, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depEngine, err := NewDeployment(plan, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := depEngine.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := eng.NewLane()
+
+	ctx := &Context{SwitchID: 3, QueueLen: 2}
+	rng := rand.New(rand.NewSource(11))
+	path := []string{"ToR3"}
+	for i := 0; i < 64; i++ {
+		pkt := NewPacket()
+		pkt.Valid["h"] = true
+		pkt.Fields["h.a"] = uint64(rng.Intn(8)) // collide often: counters advance
+		pkt.Fields["h.b"] = uint64(rng.Intn(4))
+		want, err := depInterp.RunPath(path, ctx, pkt)
+		if err != nil {
+			t.Fatalf("interpreter: %v", err)
+		}
+		f := eng.Flatten(pkt)
+		eng.RunPacket(lane, path, ctx, f)
+		got := f.Packet()
+		if got.Summary() != want.Summary() {
+			t.Fatalf("packet %d diverges:\n  interp: %s\n  engine: %s", i, want.Summary(), got.Summary())
+		}
+	}
+}
+
+// TestEngineInsertIsLaneLocal: a lane's data-plane inserts must not leak
+// into the deployment's shared control-plane maps (copy-on-write), so
+// parallel lanes never race and the interpreter's view stays pristine.
+func TestEngineInsertIsLaneLocal(t *testing.T) {
+	plan, _ := compile(t, statefulSrc, statefulScope)
+	tables := NewTables()
+	dep, err := NewDeployment(plan, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := dep.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := eng.NewLane()
+	ctx := &Context{}
+	for i := 0; i < 4; i++ { // same key four times: crosses the c>2 insert threshold
+		pkt := NewPacket()
+		pkt.Valid["h"] = true
+		pkt.Fields["h.a"] = 5
+		f := eng.Flatten(pkt)
+		eng.RunPacket(lane, []string{"ToR3"}, ctx, f)
+	}
+	if st := dep.shardTables["ToR3"]; st != nil {
+		if _, hit := st.Lookup("seen_table", 5); hit {
+			t.Fatal("engine insert leaked into the deployment's shard tables")
+		}
+	}
+	// And a second, fresh lane must not see the first lane's inserts.
+	lane2 := eng.NewLane()
+	pkt := NewPacket()
+	pkt.Valid["h"] = true
+	pkt.Fields["h.a"] = 5
+	f := eng.Flatten(pkt)
+	eng.RunPacket(lane2, []string{"ToR3"}, ctx, f)
+	got := f.Packet()
+	if got.Fields["h.out"] != 1 { // fresh counters, no seen_table hit
+		t.Fatalf("fresh lane saw another lane's state: h.out=%d, want 1", got.Fields["h.out"])
+	}
+}
+
+// TestEngineInvalidatedOnTableMutation: SetSwitchEntry must drop the cached
+// engine (and extern metadata) so the next engine run sees the new entry.
+func TestEngineInvalidatedOnTableMutation(t *testing.T) {
+	dep, _, paths := lbDeployment(t)
+	if _, err := dep.Engine(); err != nil {
+		t.Fatal(err)
+	}
+	if dep.engine == nil || dep.externKeys == nil {
+		t.Fatal("expected caches to be populated")
+	}
+	dep.SetSwitchEntry(paths[0][len(paths[0])-1], "vip_table", 99, 0xdead)
+	if dep.engine != nil || dep.externKeys != nil {
+		t.Fatal("SetSwitchEntry did not invalidate derived caches")
+	}
+	pkt := NewPacket()
+	pkt.Valid["ipv4"] = true
+	pkt.Valid["tcp"] = true
+	pkt.Fields["ipv4.dstAddr"] = 99
+	pkt.Fields["ipv4.protocol"] = 6
+	ctx := &Context{SwitchID: 1}
+	want, err := dep.RunPath(paths[0], ctx, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dep.RunPathEngine(paths[0], ctx, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Summary() != want.Summary() {
+		t.Fatalf("post-mutation divergence:\n  interp: %s\n  engine: %s", want.Summary(), got.Summary())
+	}
+	dep.ClearSwitchTable(paths[0][0], "conn_table")
+	if dep.engine != nil {
+		t.Fatal("ClearSwitchTable did not invalidate the cached engine")
+	}
+}
+
+// TestEngineRunBatchMatchesSequential: batched, sharded replay must produce
+// the same per-packet outputs as one-at-a-time engine execution for a
+// stateless workload, at every worker count.
+func TestEngineRunBatchMatchesSequential(t *testing.T) {
+	dep, _, paths := lbDeployment(t)
+	eng, err := dep.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{SwitchID: 2}
+	const n = 256
+	mk := func() []*FlatPacket {
+		r := rand.New(rand.NewSource(5))
+		out := make([]*FlatPacket, n)
+		for i := range out {
+			out[i] = eng.Flatten(randomLBPacket(r))
+		}
+		return out
+	}
+	base := mk()
+	eng.RunBatch(paths[0], ctx, base, 1)
+	for _, workers := range []int{2, 4, 7} {
+		got := mk()
+		eng.RunBatch(paths[0], ctx, got, workers)
+		for i := range got {
+			if got[i].Packet().Summary() != base[i].Packet().Summary() {
+				t.Fatalf("workers=%d packet %d diverges from sequential", workers, i)
+			}
+		}
+	}
+}
+
+// TestEngineSteadyStateZeroAlloc is the acceptance gate: the execute loop
+// must not allocate once lanes and packets exist.
+func TestEngineSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	dep, _, paths := lbDeployment(t)
+	eng, err := dep.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := eng.NewLane()
+	ctx := &Context{SwitchID: 2, IngressTS: 5}
+	rng := rand.New(rand.NewSource(6))
+	tmpl := eng.Flatten(randomLBPacket(rng))
+	f := eng.NewFlatPacket()
+	path := paths[0]
+	// Warm up (first runs may grow runtime stacks).
+	for i := 0; i < 10; i++ {
+		f.CopyFrom(tmpl)
+		eng.RunPacket(lane, path, ctx, f)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		f.CopyFrom(tmpl)
+		eng.RunPacket(lane, path, ctx, f)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state execute loop allocates %.1f times per packet, want 0", allocs)
+	}
+	// Single-worker batches run inline on lane 0 and stay allocation-free
+	// too.
+	batch := []*FlatPacket{f}
+	eng.RunBatch(path, ctx, batch, 1)
+	allocs = testing.AllocsPerRun(200, func() {
+		f.CopyFrom(tmpl)
+		eng.RunBatch(path, ctx, batch, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("single-worker RunBatch allocates %.1f times per packet, want 0", allocs)
+	}
+}
+
+// BenchmarkInterpreterPath measures the tree-walking interpreter on the LB
+// flow path — the baseline the engine is judged against.
+func BenchmarkInterpreterPath(b *testing.B) {
+	dep, _, paths := lbDeployment(b)
+	rng := rand.New(rand.NewSource(8))
+	pkts := make([]*Packet, 1024)
+	for i := range pkts {
+		pkts[i] = randomLBPacket(rng)
+	}
+	ctx := &Context{SwitchID: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dep.RunPath(paths[0], ctx, pkts[i%len(pkts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPPS(b)
+}
+
+// BenchmarkEnginePath measures single-packet engine execution.
+func BenchmarkEnginePath(b *testing.B) {
+	dep, _, paths := lbDeployment(b)
+	eng, err := dep.Engine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	lane := eng.NewLane()
+	rng := rand.New(rand.NewSource(8))
+	tmpls := make([]*FlatPacket, 1024)
+	for i := range tmpls {
+		tmpls[i] = eng.Flatten(randomLBPacket(rng))
+	}
+	f := eng.NewFlatPacket()
+	ctx := &Context{SwitchID: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.CopyFrom(tmpls[i%len(tmpls)])
+		eng.RunPacket(lane, paths[0], ctx, f)
+	}
+	reportPPS(b)
+}
+
+// BenchmarkEngineBatch measures sharded batch replay at several batch
+// sizes and the machine's parallelism.
+func BenchmarkEngineBatch(b *testing.B) {
+	for _, bench := range []struct {
+		batch   int
+		workers int
+	}{{64, 1}, {1024, 1}, {1024, 0}} {
+		name := fmt.Sprintf("batch=%d/workers=%d", bench.batch, bench.workers)
+		b.Run(name, func(b *testing.B) {
+			dep, _, paths := lbDeployment(b)
+			eng, err := dep.Engine()
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(8))
+			tmpls := make([]*FlatPacket, bench.batch)
+			work := make([]*FlatPacket, bench.batch)
+			for i := range tmpls {
+				tmpls[i] = eng.Flatten(randomLBPacket(rng))
+				work[i] = eng.NewFlatPacket()
+			}
+			ctx := &Context{SwitchID: 2}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range work {
+					work[j].CopyFrom(tmpls[j])
+				}
+				eng.RunBatch(paths[0], ctx, work, bench.workers)
+			}
+			b.StopTimer()
+			pkts := float64(b.N) * float64(bench.batch)
+			b.ReportMetric(pkts/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
+}
+
+func reportPPS(b *testing.B) {
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+	}
+}

@@ -2,6 +2,7 @@ package dataplane
 
 import (
 	"fmt"
+	"sort"
 
 	"lyra/internal/backend"
 	"lyra/internal/encode"
@@ -219,6 +220,90 @@ type Deployment struct {
 	shardTables map[string]*Tables
 	globals     map[string]globalStore
 	tables      *Tables
+
+	// Derived state cached at construction and dropped whenever the
+	// control-plane contents change (SetSwitchEntry/ClearSwitchTable):
+	// the compiled bytecode engine, each extern's sorted entry keys, and
+	// each extern's hosting switches in shard-index order. Before this
+	// cache, hostOrder re-scanned the whole placement per extern and entry
+	// keys were re-sorted on every use.
+	engine      *Engine
+	externKeys  map[string][]uint64
+	externHosts map[string][]string
+}
+
+// invalidateDerived drops every cache computed from the control-plane
+// contents. Called on any table mutation.
+func (d *Deployment) invalidateDerived() {
+	d.engine = nil
+	d.externKeys = nil
+	d.externHosts = nil
+}
+
+// buildExternMeta computes the per-extern caches in one pass: sorted entry
+// keys for every extern present in the control-plane tables, and hosting
+// switches ordered by shard index for every placed extern.
+func (d *Deployment) buildExternMeta() {
+	d.externKeys = map[string][]uint64{}
+	for name, es := range d.tables.Externs {
+		keys := make([]uint64, 0, len(es.Entries))
+		for k := range es.Entries {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		d.externKeys[name] = keys
+	}
+	type hs struct {
+		sw  string
+		idx int
+	}
+	byExtern := map[string][]hs{}
+	seen := map[[2]string]bool{}
+	for sw, tabs := range d.Plan.Tables {
+		for _, pt := range tabs {
+			if pt.Extern == nil {
+				continue
+			}
+			key := [2]string{pt.Extern.Name, sw}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			byExtern[pt.Extern.Name] = append(byExtern[pt.Extern.Name], hs{sw, pt.ShardIndex})
+		}
+	}
+	d.externHosts = map[string][]string{}
+	for name, hosts := range byExtern {
+		sort.Slice(hosts, func(i, j int) bool {
+			if hosts[i].idx != hosts[j].idx {
+				return hosts[i].idx < hosts[j].idx
+			}
+			return hosts[i].sw < hosts[j].sw
+		})
+		out := make([]string, len(hosts))
+		for i, h := range hosts {
+			out[i] = h.sw
+		}
+		d.externHosts[name] = out
+	}
+}
+
+// entryKeysOf returns an extern's control-plane keys in ascending order,
+// cached on the deployment.
+func (d *Deployment) entryKeysOf(extern string) []uint64 {
+	if d.externKeys == nil {
+		d.buildExternMeta()
+	}
+	return d.externKeys[extern]
+}
+
+// hostOrderOf returns an extern's hosting switches ordered by shard index,
+// cached on the deployment.
+func (d *Deployment) hostOrderOf(extern string) []string {
+	if d.externHosts == nil {
+		d.buildExternMeta()
+	}
+	return d.externHosts[extern]
 }
 
 // NewDeployment builds a deployment from a solved plan, distributing the
@@ -241,6 +326,7 @@ func NewDeployment(plan *encode.Plan, tables *Tables) (*Deployment, error) {
 		d.shardTables[sw] = NewTables()
 		d.globals[sw] = globalStore{}
 	}
+	d.buildExternMeta()
 	// Distribute entries across shards path by path (Appendix B.1): hosts
 	// along one flow path partition the table; hosts on parallel paths
 	// replicate entries, so every path sees the complete table.
@@ -253,7 +339,7 @@ func NewDeployment(plan *encode.Plan, tables *Tables) (*Deployment, error) {
 		if decl == nil {
 			continue
 		}
-		keys := sortedEntryKeys(es)
+		keys := d.entryKeysOf(extern)
 		remaining := map[string]int64{}
 		for h, c := range byHost {
 			remaining[h] = c
@@ -266,7 +352,7 @@ func NewDeployment(plan *encode.Plan, tables *Tables) (*Deployment, error) {
 			paths = rs.Paths
 		} else {
 			// PER-SW or single host: each host is its own "path".
-			for _, h := range hostOrder(plan, extern) {
+			for _, h := range d.hostOrderOf(extern) {
 				paths = append(paths, []string{h})
 			}
 		}
@@ -309,47 +395,6 @@ func NewDeployment(plan *encode.Plan, tables *Tables) (*Deployment, error) {
 		}
 	}
 	return d, nil
-}
-
-func sortedEntryKeys(es *ExternState) []uint64 {
-	out := make([]uint64, 0, len(es.Entries))
-	for k := range es.Entries {
-		out = append(out, k)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
-}
-
-// hostOrder returns an extern's hosting switches ordered by shard index.
-func hostOrder(plan *encode.Plan, extern string) []string {
-	type hs struct {
-		sw  string
-		idx int
-	}
-	var hosts []hs
-	seen := map[string]bool{}
-	for sw, tabs := range plan.Tables {
-		for _, pt := range tabs {
-			if pt.Extern != nil && pt.Extern.Name == extern && !seen[sw] {
-				seen[sw] = true
-				hosts = append(hosts, hs{sw, pt.ShardIndex})
-			}
-		}
-	}
-	for i := 1; i < len(hosts); i++ {
-		for j := i; j > 0 && hosts[j].idx < hosts[j-1].idx; j-- {
-			hosts[j], hosts[j-1] = hosts[j-1], hosts[j]
-		}
-	}
-	out := make([]string, len(hosts))
-	for i, h := range hosts {
-		out[i] = h.sw
-	}
-	return out
 }
 
 // RunPath pushes a packet along a flow path through the deployed network,
@@ -430,6 +475,7 @@ func (d *Deployment) SetSwitchEntry(sw, extern string, key, value uint64) {
 		d.shardTables[sw] = NewTables()
 	}
 	d.shardTables[sw].Set(extern, key, value)
+	d.invalidateDerived()
 }
 
 // ClearSwitchTable removes an extern's entries from one switch.
@@ -437,4 +483,75 @@ func (d *Deployment) ClearSwitchTable(sw, extern string) {
 	if t := d.shardTables[sw]; t != nil {
 		delete(t.Externs, extern)
 	}
+	d.invalidateDerived()
+}
+
+// Engine returns the deployment's compiled bytecode engine, lowering the
+// placed programs on first use. The cache is dropped whenever the
+// control-plane contents change.
+func (d *Deployment) Engine() (*Engine, error) {
+	if d.engine == nil {
+		e, err := NewEngine(d)
+		if err != nil {
+			return nil, err
+		}
+		d.engine = e
+	}
+	return d.engine, nil
+}
+
+// RunPathEngine is RunPath executed on the compiled bytecode engine: a
+// fresh lane (zeroed per-switch globals, copy-on-write table views bound
+// to the deployment's current shard contents) pushes the packet along the
+// path. Given identical starting state it is byte-identical to RunPath;
+// the reference interpreter remains the oracle it is checked against.
+func (d *Deployment) RunPathEngine(path []string, ctx *Context, in *Packet) (*Packet, error) {
+	return d.RunPathEngineWithContexts(path, func(string) *Context { return ctx }, in)
+}
+
+// RunPathEngineWithContexts is RunPathEngine with a per-switch environment.
+func (d *Deployment) RunPathEngineWithContexts(path []string, ctxOf func(sw string) *Context, in *Packet) (*Packet, error) {
+	e, err := d.Engine()
+	if err != nil {
+		return nil, err
+	}
+	l := e.NewLane()
+	f := e.Flatten(in)
+	e.RunPacketContexts(l, path, ctxOf, f)
+	return f.Packet(), nil
+}
+
+// RunPathEngineTraced is RunPathEngine with a per-hop packet snapshot,
+// mirroring RunPathTraced: one lane persists across the hops so stateful
+// switches behave as in a single path run.
+func (d *Deployment) RunPathEngineTraced(path []string, ctx *Context, in *Packet) (*Packet, []HopSnapshot, error) {
+	e, err := d.Engine()
+	if err != nil {
+		return nil, nil, err
+	}
+	l := e.NewLane()
+	f := e.Flatten(in)
+	trace := make([]HopSnapshot, 0, len(path))
+	for _, sw := range path {
+		e.RunPacket(l, []string{sw}, ctx, f)
+		trace = append(trace, HopSnapshot{Switch: sw, Summary: f.Packet().Summary()})
+	}
+	return f.Packet(), trace, nil
+}
+
+// ReplayTraffic replays a batch of engine packets along a path, sharded
+// across workers (see Engine.RunBatch). Packets are mutated in place and
+// must come from this deployment's engine.
+func (d *Deployment) ReplayTraffic(path []string, ctx *Context, pkts []*FlatPacket, workers int) error {
+	e, err := d.Engine()
+	if err != nil {
+		return err
+	}
+	if len(pkts) > 0 {
+		if err := e.owns(pkts[0]); err != nil {
+			return err
+		}
+	}
+	e.RunBatch(path, ctx, pkts, workers)
+	return nil
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package dataplane
+
+// raceEnabled reports whether the race detector instruments this build;
+// the zero-allocation assertions are skipped under it.
+const raceEnabled = true

@@ -13,7 +13,7 @@ import (
 	"lyra/internal/topo"
 )
 
-func compile(t *testing.T, src, scopeText string) (*encode.Plan, *ir.Program) {
+func compile(t testing.TB, src, scopeText string) (*encode.Plan, *ir.Program) {
 	t.Helper()
 	prog, err := parser.Parse("test.lyra", []byte(src))
 	if err != nil {

@@ -89,6 +89,31 @@ func TestCampaignIncrementalOracle(t *testing.T) {
 	}
 }
 
+// TestEngineCampaign200 is the bytecode-engine acceptance campaign: 200
+// generated cases executed through the oracle, which now runs every
+// deployed path on the engine and cross-checks the interpreter packet by
+// packet (any engine/interpreter mismatch classifies as Crash, which is
+// never explained). Zero unexplained cases therefore certifies the engine
+// byte-identical to the interpreter across the campaign.
+func TestEngineCampaign200(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-case campaign skipped in -short mode")
+	}
+	sum := Run(200, 7, Options{SkipShrink: true}, nil)
+	if sum.Cases != 200 {
+		t.Fatalf("ran %d cases, want 200", sum.Cases)
+	}
+	if n := sum.Unexplained(); n != 0 {
+		for _, f := range sum.Failures {
+			t.Errorf("case %d (seed %d): %s", f.Index, f.Seed, f.Outcome)
+		}
+		t.Fatalf("%d unexplained cases in the engine campaign", n)
+	}
+	if sum.Counts[Equivalent] == 0 {
+		t.Fatal("campaign produced no equivalent cases — engine coverage is vacuous")
+	}
+}
+
 // TestSeededBugCaughtAndShrunk: injecting a deliberate backend bug must
 // surface as unexplained failures, and the shrinker must minimize at least
 // one of them while preserving its failure class.

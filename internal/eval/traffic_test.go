@@ -1,0 +1,49 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTrafficReplayShape runs the replay comparison at reduced scale and
+// checks the structural invariants the paper table depends on: a single
+// interpreter baseline row, engine rows at every batch size, a ≥10x engine
+// speedup at batch ≥64, and an allocation-free engine execute loop.
+func TestTrafficReplayShape(t *testing.T) {
+	points, err := TrafficReplay(4, 20_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 4 {
+		t.Fatalf("got %d points, want interpreter baseline + 3 engine batch sizes", len(points))
+	}
+	if points[0].Engine != "interpreter" || points[0].Speedup != 1 {
+		t.Fatalf("first point is not the interpreter baseline: %+v", points[0])
+	}
+	batches := map[int]bool{}
+	for _, p := range points[1:] {
+		if p.Engine != "engine" {
+			t.Fatalf("unexpected engine name %q", p.Engine)
+		}
+		batches[p.Batch] = true
+		if p.Batch >= 64 {
+			if p.Speedup < 10 {
+				t.Errorf("batch=%d workers=%d: speedup %.1fx, want >= 10x", p.Batch, p.Workers, p.Speedup)
+			}
+			if p.Workers == 1 && p.AllocsPerPkt != 0 {
+				t.Errorf("batch=%d: %.2f allocs/pkt in the engine execute loop, want 0", p.Batch, p.AllocsPerPkt)
+			}
+		}
+	}
+	for _, b := range []int{1, 64, 1024} {
+		if !batches[b] {
+			t.Errorf("no engine measurement at batch=%d", b)
+		}
+	}
+	out := FormatTraffic(points)
+	for _, want := range []string{"interpreter", "engine", "pkts/s", "allocs/pkt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package ir
+
+import (
+	"testing"
+
+	"lyra/internal/lang/ast"
+)
+
+func TestSlotMapFirstUseOrder(t *testing.T) {
+	a := &Var{Name: "a", Ver: 1}
+	b := &Var{Name: "b", Ver: 1}
+	p := &Var{Name: "p", Ver: 1, Bool: true}
+	instrs := []*Instr{
+		{Op: IAssign, Dest: Dest{Kind: DestVar, Var: a}, Args: []Operand{ConstOp(1)}},
+		{Op: IBin, BinOp: ast.OpAdd, Dest: Dest{Kind: DestVar, Var: b},
+			Args: []Operand{VarOp(a), ConstOp(2)}, Guard: Guard{{Var: p}}},
+	}
+	m := NewSlotMap()
+	m.AddInstrs(instrs)
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	// First use order: a (dest of instr 0), then p (guard), then b (dest).
+	wantOrder := []*Var{a, p, b}
+	for i, v := range wantOrder {
+		if s, ok := m.Of(v); !ok || s != i {
+			t.Fatalf("slot of %s = (%d,%v), want (%d,true)", v, s, ok, i)
+		}
+		if m.Vars()[i] != v {
+			t.Fatalf("Vars()[%d] = %s, want %s", i, m.Vars()[i], v)
+		}
+	}
+	if s, ok := m.Of(&Var{Name: "a", Ver: 1}); ok {
+		t.Fatalf("distinct *Var with same name resolved to slot %d; identity must be pointer-based", s)
+	}
+	// Add is idempotent.
+	if s := m.Add(a); s != 0 {
+		t.Fatalf("re-Add(a) = %d, want 0", s)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len after re-Add = %d, want 3", m.Len())
+	}
+}

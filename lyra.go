@@ -629,6 +629,18 @@ func (s *Simulation) RunPathTraced(path []string, ctx *SimContext, pkt *Packet) 
 	return s.dep.RunPathTraced(path, ctx, pkt)
 }
 
+// RunPathEngine is RunPath executed by the compiled bytecode engine
+// instead of the tree-walking interpreter. The two are byte-identical by
+// construction (the difftest oracle cross-checks them); the engine is the
+// fast path for traffic replay.
+func (s *Simulation) RunPathEngine(path []string, ctx *SimContext, pkt *Packet) (*Packet, error) {
+	return s.dep.RunPathEngine(path, ctx, pkt)
+}
+
+// Deployment exposes the underlying deployment for batched traffic replay
+// through the bytecode engine (Engine, ReplayTraffic).
+func (s *Simulation) Deployment() *dataplane.Deployment { return s.dep }
+
 // Serialize packs a packet's valid headers into wire bytes per the
 // program's parse graph, appending the payload.
 func (s *Simulation) Serialize(pkt *Packet, payload []byte) ([]byte, error) {
