@@ -8,13 +8,17 @@
 //	lyra-bench -experiment ext      # §7.2 extensibility case study
 //	lyra-bench -experiment comp     # §7.3 composition case study
 //	lyra-bench -experiment traffic  # packet replay: interpreter vs bytecode engine
+//	lyra-bench -experiment serve    # daemon churn storm (robustness under load)
 //	lyra-bench -experiment phases,ladder -out BENCH_compile.json
 //	lyra-bench -experiment all
 //
 // -experiment accepts a comma-separated list. With -out, the phases and
 // ladder results that ran are written together as one JSON artifact (the
 // BENCH_compile.json the CI smoke job publishes); the traffic experiment
-// writes its own artifact to -dataplane-out (BENCH_dataplane.json).
+// writes its own artifact to -dataplane-out (BENCH_dataplane.json); the
+// serve experiment appends a provenance-stamped run to -serve-out
+// (BENCH_serve.json) and exits nonzero if the storm violated the
+// robustness contract.
 //
 // -cpuprofile and -memprofile write pprof profiles covering whichever
 // experiments ran — the intended workflow for hunting hot spots in the
@@ -30,13 +34,15 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"lyra/internal/eval"
+	"lyra/internal/serve/churn"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "comma-separated list of: fig9 | fig10 | phases | ladder | ext | comp | ablation | traffic | all")
+		experiment = flag.String("experiment", "all", "comma-separated list of: fig9 | fig10 | phases | ladder | ext | comp | ablation | traffic | serve | all")
 		ks         = flag.String("k", "4,8,16,24,32", "fat-tree sizes for fig10 and phases")
 		parallel   = flag.Int("parallel", 0, "worker pool size for phases (0 = all CPUs)")
 		ladderK    = flag.Int("ladder-k", 16, "fat-tree size for the ladder comparison")
@@ -47,6 +53,18 @@ func main() {
 		trafficPackets = flag.Int("traffic-packets", 200_000, "packets per traffic measurement")
 		trafficWorkers = flag.Int("traffic-workers", 0, "max replay workers (0 = all CPUs)")
 		dataplaneOut   = flag.String("dataplane-out", "", "write the traffic results as a JSON artifact (BENCH_dataplane.json)")
+
+		serveSeed       = flag.Int64("serve-seed", 1, "churn storm seed")
+		serveEvents     = flag.Int("serve-events", 500, "fault/recovery events in the churn storm")
+		serveClients    = flag.Int("serve-clients", 8, "concurrent storm clients")
+		serveSessions   = flag.Int("serve-sessions", 4, "tenant sessions in the storm")
+		serveDuration   = flag.Duration("serve-duration", 30*time.Second, "churn storm wall-clock cap")
+		servePanicEvery = flag.Int("serve-panic-every", 25, "inject a panicking request every N events (0 = off)")
+		serveBurstEvery = flag.Int("serve-burst-every", 50, "fire an identical-request burst every N events (0 = off)")
+		serveBurstSize  = flag.Int("serve-burst-size", 8, "requests per burst (oversized vs daemon capacity)")
+		serveInflight   = flag.Int("serve-inflight", 4, "daemon MaxInflight during the storm")
+		serveQueue      = flag.Int("serve-queue", 8, "daemon QueueDepth during the storm")
+		serveOut        = flag.String("serve-out", "", "append the storm scores to a JSON artifact (BENCH_serve.json)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
 		memProfile = flag.String("memprofile", "", "write a heap profile after the selected experiments")
@@ -198,6 +216,55 @@ func main() {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *dataplaneOut)
+		}
+		return nil
+	})
+
+	run("serve", func() error {
+		cfg := churn.Config{
+			Seed:        *serveSeed,
+			Events:      *serveEvents,
+			Clients:     *serveClients,
+			Sessions:    *serveSessions,
+			Duration:    *serveDuration,
+			PanicEvery:  *servePanicEvery,
+			BurstEvery:  *serveBurstEvery,
+			BurstSize:   *serveBurstSize,
+			MaxInflight: *serveInflight,
+			QueueDepth:  *serveQueue,
+		}
+		res, err := churn.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Serve daemon churn storm ==")
+		fmt.Print(res.Format())
+		fmt.Println()
+		if *serveOut != "" {
+			run := eval.ServeRun{
+				Params: eval.ServeParams{
+					Seed:        cfg.Seed,
+					Events:      cfg.Events,
+					Clients:     cfg.Clients,
+					Sessions:    cfg.Sessions,
+					Duration:    cfg.Duration.String(),
+					PanicEvery:  cfg.PanicEvery,
+					BurstEvery:  cfg.BurstEvery,
+					BurstSize:   cfg.BurstSize,
+					MaxInflight: cfg.MaxInflight,
+					QueueDepth:  cfg.QueueDepth,
+				},
+				Result: res,
+			}
+			run.Stamp()
+			if err := eval.AppendServeRun(*serveOut, run); err != nil {
+				return err
+			}
+			fmt.Printf("appended run to %s\n", *serveOut)
+		}
+		if len(res.Violations) > 0 {
+			return fmt.Errorf("churn storm violated the robustness contract: %s",
+				strings.Join(res.Violations, "; "))
 		}
 		return nil
 	})

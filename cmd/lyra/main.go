@@ -1,0 +1,113 @@
+// Command lyra is the umbrella CLI for operating the compiler as a
+// service. Its one subcommand today:
+//
+//	lyra serve -addr :8080          # run the control-plane daemon
+//
+// The daemon exposes the HTTP+JSON API in internal/serve (compile,
+// sessions, fault events, table updates, health, metrics) and drains
+// cleanly on SIGINT/SIGTERM: new work is refused with 429/"draining",
+// in-flight work finishes, then the process exits. See DESIGN.md
+// "The serve daemon" and the README quick-start.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lyra/internal/serve"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "serve":
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "lyra serve: %v\n", err)
+			os.Exit(1)
+		}
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "lyra: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: lyra <command> [flags]
+
+commands:
+  serve    run the control-plane compile daemon
+
+Run "lyra serve -h" for the daemon's flags.
+`)
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8080", "listen address")
+		inflight   = fs.Int("inflight", 0, "max concurrently executing compiles (0 = all CPUs)")
+		queue      = fs.Int("queue", 0, "admitted-but-waiting work beyond -inflight (0 = 4x inflight)")
+		deadline   = fs.Duration("deadline", 15*time.Second, "default per-request deadline")
+		maxDl      = fs.Duration("max-deadline", 60*time.Second, "cap on client-requested deadlines")
+		parallel   = fs.Int("parallel", 1, "per-compile worker fan-out")
+		cacheN     = fs.Int("cache", 256, "artifact cache entries")
+		drainWait  = fs.Duration("drain", 30*time.Second, "graceful-drain budget on shutdown")
+		testFaults = fs.Bool("test-faults", false, "honor X-Lyra-Test-* fault-injection headers (testing only)")
+	)
+	fs.Parse(args)
+
+	srv := serve.NewServer(serve.Config{
+		MaxInflight:      *inflight,
+		QueueDepth:       *queue,
+		DefaultDeadline:  *deadline,
+		MaxDeadline:      *maxDl,
+		Parallelism:      *parallel,
+		CacheEntries:     *cacheN,
+		EnableTestFaults: *testFaults,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("lyra serve: listening on %s\n", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("lyra serve: draining")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && drainErr == nil {
+		drainErr = serveErr
+	}
+	if drainErr == nil {
+		fmt.Println("lyra serve: drained cleanly")
+	}
+	return drainErr
+}

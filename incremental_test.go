@@ -1,6 +1,10 @@
 package lyra
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+)
 
 // TestRecompileReusesSolverIncrementally: a fault outside the deployment
 // region leaves the component's encoding unchanged, so Recompile must
@@ -46,4 +50,52 @@ func TestRecompileReusesSolverIncrementally(t *testing.T) {
 		t.Errorf("SolveCalls = %d, want 3", res3.SolverStats.SolveCalls)
 	}
 	checkForwarding(t, res3, "chained-incremental")
+}
+
+// TestRecompileCancelledMidSolveIsTyped cancels the context between the
+// scope and solve phases of a Recompile and demands two things: the error
+// is the typed cancellation error (errors.Is ErrTimeout and ErrBudget, not
+// a generic failure), and the previous Result stays fully usable — a
+// daemon that timed one recompile out must be able to keep serving the old
+// artifacts and retry later.
+func TestRecompileCancelledMidSolveIsTyped(t *testing.T) {
+	base := compileQuickLB(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The observer runs inline as each phase completes; cancelling right
+	// after scope resolution guarantees the solver starts with a dead
+	// context and trips its first cancellation poll — deterministically
+	// "mid-solve" without any timing dependence.
+	obs := ObserverFunc(func(pt PhaseTiming) {
+		if pt.Phase == PhaseScope {
+			cancel()
+		}
+	})
+	sc := Scenario{Name: "agg3", Events: []FaultEvent{SwitchDown("Agg3")}}
+	_, _, err := New(WithObserver(obs)).Recompile(ctx, base, sc)
+	if err == nil {
+		t.Fatal("cancelled recompile succeeded")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("cancelled recompile error = %v, want errors.Is(err, ErrTimeout)", err)
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("cancelled recompile error = %v, want errors.Is(err, ErrBudget)", err)
+	}
+	var internal *InternalError
+	if errors.As(err, &internal) {
+		t.Errorf("cancellation surfaced as an internal error: %v", err)
+	}
+
+	// The previous result must be untouched: same scenario recompiles
+	// cleanly from it and the recompiled network still forwards.
+	res, delta, err := base.Recompile(sc)
+	if err != nil {
+		t.Fatalf("recompile after cancelled attempt: %v", err)
+	}
+	if delta == nil || len(res.Artifacts) == 0 {
+		t.Fatalf("recompile after cancelled attempt produced no plan (delta=%v)", delta)
+	}
+	checkForwarding(t, res, "post-cancel")
 }

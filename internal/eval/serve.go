@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+// ServeParams pins the knobs a churn storm ran with, so a recorded run can
+// be reproduced. The fields mirror churn.Config; they are restated here as
+// plain data because eval must stay import-free of the serve stack (the
+// root package's tests import eval, and serve imports the root package).
+type ServeParams struct {
+	Seed        int64  `json:"seed"`
+	Events      int    `json:"events"`
+	Clients     int    `json:"clients"`
+	Sessions    int    `json:"sessions"`
+	Duration    string `json:"duration"`
+	PanicEvery  int    `json:"panic_every"`
+	BurstEvery  int    `json:"burst_every"`
+	BurstSize   int    `json:"burst_size"`
+	MaxInflight int    `json:"max_inflight"`
+	QueueDepth  int    `json:"queue_depth"`
+}
+
+// ServeRun is one recorded churn storm: provenance (git SHA + timestamp),
+// the parameters, and the scores (a *churn.Result, held as any for the
+// import direction above). BENCH_serve.json holds {"serve": [run, ...]} —
+// runs append, never overwrite, so the artifact accumulates a history
+// across revisions (schema in EXPERIMENTS.md).
+type ServeRun struct {
+	GitSHA    string      `json:"git_sha"`
+	Timestamp string      `json:"timestamp"`
+	Params    ServeParams `json:"params"`
+	Result    any         `json:"result"`
+}
+
+// GitSHA names the current revision ("unknown" outside a git checkout).
+func GitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// Stamp fills a run's provenance fields in place.
+func (r *ServeRun) Stamp() {
+	r.GitSHA = GitSHA()
+	r.Timestamp = time.Now().UTC().Format(time.RFC3339)
+}
+
+// AppendServeRun appends a run to the {"serve": [...]} artifact at path,
+// creating it if absent. Existing runs are preserved verbatim — the file is
+// a log, not a snapshot.
+func AppendServeRun(path string, run ServeRun) error {
+	var artifact struct {
+		Serve []json.RawMessage `json:"serve"`
+	}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &artifact); err != nil {
+			return fmt.Errorf("eval: %s exists but is not a serve artifact: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	entry, err := json.Marshal(run)
+	if err != nil {
+		return err
+	}
+	artifact.Serve = append(artifact.Serve, entry)
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -104,18 +104,22 @@ func (s Scenario) String() string {
 	return s.Name + ": " + strings.Join(parts, ", ")
 }
 
-// Apply mutates the network in event order. The first failing event aborts
-// with an error; apply to a topo.Network.Clone() to keep the original.
+// Apply mutates the network in event order, atomically: events are applied
+// to a clone, which replaces net's contents only once every event has
+// succeeded. A failing event therefore aborts with an error and leaves net
+// exactly as it was — earlier events of the scenario are never stranded
+// half-applied on a live topology.
 func (s Scenario) Apply(net *topo.Network) error {
+	work := net.Clone()
 	for _, e := range s.Events {
 		var err error
 		switch e.Kind {
 		case KindSwitchDown:
-			err = net.RemoveSwitch(e.Switch)
+			err = work.RemoveSwitch(e.Switch)
 		case KindLinkDown:
-			err = net.RemoveLink(e.A, e.B)
+			err = work.RemoveLink(e.A, e.B)
 		case KindDegrade:
-			err = net.DegradeASIC(e.Switch, func(m *asic.Model) *asic.Model {
+			err = work.DegradeASIC(e.Switch, func(m *asic.Model) *asic.Model {
 				return asic.Scale(m, orOne(e.StageFactor), orOne(e.MemoryFactor), orOne(e.PHVFactor))
 			})
 		default:
@@ -125,6 +129,7 @@ func (s Scenario) Apply(net *topo.Network) error {
 			return fmt.Errorf("faults: scenario %s: event %s: %w", s.Name, e, err)
 		}
 	}
+	net.ReplaceWith(work)
 	return nil
 }
 

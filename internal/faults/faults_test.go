@@ -148,3 +148,41 @@ func TestScopePathsRecomputedAfterApply(t *testing.T) {
 		}
 	}
 }
+
+// TestApplyAtomicOnFailure: a scenario whose later event fails must leave
+// the network byte-for-byte untouched — the earlier events are applied to a
+// clone and only swapped in on full success.
+func TestApplyAtomicOnFailure(t *testing.T) {
+	net := topo.Testbed()
+	wantNames := net.Names()
+	sc := Scenario{Name: "partial", Events: []Event{
+		SwitchDown("Agg1"),         // would succeed
+		LinkDown("Agg2", "Core1"),  // would succeed
+		SwitchDown("NoSuchSwitch"), // fails
+	}}
+	err := sc.Apply(net)
+	if err == nil {
+		t.Fatal("scenario with unknown switch should fail")
+	}
+	if !strings.Contains(err.Error(), "NoSuchSwitch") {
+		t.Errorf("error should name the failing event, got: %v", err)
+	}
+	if got := net.Names(); !reflect.DeepEqual(got, wantNames) {
+		t.Errorf("switch set mutated by failed scenario:\n got %v\nwant %v", got, wantNames)
+	}
+	if !net.HasLink("Agg2", "Core1") {
+		t.Error("link Agg2—Core1 stranded removed by failed scenario")
+	}
+	if net.Switch("Agg1") == nil {
+		t.Error("switch Agg1 stranded removed by failed scenario")
+	}
+
+	// The same events minus the bad one still apply (and commit) cleanly.
+	ok := Scenario{Name: "full", Events: sc.Events[:2]}
+	if err := ok.Apply(net); err != nil {
+		t.Fatalf("valid prefix scenario: %v", err)
+	}
+	if net.Switch("Agg1") != nil || net.HasLink("Agg2", "Core1") {
+		t.Error("successful scenario did not commit")
+	}
+}

@@ -1,0 +1,53 @@
+// Package leak provides goroutine-leak assertions shared by tests and the
+// churn harness: snapshot the goroutine count before starting the code
+// under test, then demand the count settles back to the baseline after
+// shutdown. Settling is polled with retries because goroutine teardown is
+// asynchronous — a worker that has returned from its function may not yet
+// have been reaped when the assertion runs.
+package leak
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Snapshot returns the current goroutine count. Take it before the code
+// under test spawns anything.
+func Snapshot() int { return runtime.NumGoroutine() }
+
+// Settle polls until the goroutine count drops to at most base, returning
+// nil, or until wait elapses, returning an error naming the excess. A
+// wait <= 0 selects 2s.
+func Settle(base int, wait time.Duration) error {
+	if wait <= 0 {
+		wait = 2 * time.Second
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("goroutine leak: %d running after settle window, baseline %d", n, base)
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TB is the subset of testing.TB that Check needs, kept as an interface so
+// this package does not import testing into non-test binaries.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// Check asserts the goroutine count settles back to base within 2s.
+func Check(t TB, base int) {
+	t.Helper()
+	if err := Settle(base, 0); err != nil {
+		t.Errorf("%v", err)
+	}
+}

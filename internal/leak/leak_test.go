@@ -1,0 +1,46 @@
+package leak
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSettleReapsFinishedGoroutines(t *testing.T) {
+	base := Snapshot()
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() { <-done }()
+	}
+	if err := Settle(base, 50*time.Millisecond); err == nil {
+		t.Fatal("Settle reported clean while 8 goroutines were parked")
+	}
+	close(done)
+	if err := Settle(base, 2*time.Second); err != nil {
+		t.Fatalf("goroutines exited but Settle still failed: %v", err)
+	}
+	Check(t, base)
+}
+
+// failRecorder captures Errorf calls so Check's failure path is testable.
+type failRecorder struct{ failed bool }
+
+func (f *failRecorder) Helper()               {}
+func (f *failRecorder) Errorf(string, ...any) { f.failed = true }
+
+func TestCheckFlagsLeak(t *testing.T) {
+	base := Snapshot()
+	done := make(chan struct{})
+	go func() { <-done }()
+	defer close(done)
+
+	// Impossible baseline: the parked goroutine can never settle below it.
+	rec := &failRecorder{}
+	if err := Settle(base, 30*time.Millisecond); err == nil {
+		t.Fatal("expected a leak error")
+	} else {
+		rec.Errorf("%v", err)
+	}
+	if !rec.failed {
+		t.Fatal("recorder did not observe the failure")
+	}
+}

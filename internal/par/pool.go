@@ -1,0 +1,105 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// ErrPoolClosed is returned by Pool.Do when the pool has been (or is being)
+// closed before a worker could pick the task up.
+var ErrPoolClosed = errors.New("par: pool closed")
+
+// Pool is a long-lived bounded worker pool for request-scoped work. Where
+// For spins workers up per call, a Pool amortizes a fixed set of goroutines
+// across the process lifetime — the shape a resident daemon needs: every
+// admitted request is executed on one of the workers, so compile
+// concurrency stays capped no matter how many requests are queued, and
+// admission is deadline-aware (Do gives up with ctx.Err() if the context
+// expires before a worker frees up, so a request never burns a solve slot
+// after its caller has already timed out).
+type Pool struct {
+	tasks   chan func()
+	closing chan struct{}
+	workers sync.WaitGroup
+	once    sync.Once
+}
+
+// NewPool starts a pool of the given number of workers (<= 0 selects
+// GOMAXPROCS). Close releases them.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		tasks:   make(chan func()),
+		closing: make(chan struct{}),
+	}
+	p.workers.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.workers.Done()
+	for {
+		select {
+		case <-p.closing:
+			return
+		case fn := <-p.tasks:
+			fn()
+		}
+	}
+}
+
+// poolTask carries one Do submission: completion signal plus any panic the
+// function raised, so the panic is re-raised on the submitting goroutine
+// (matching For's contract) instead of killing a pool worker.
+type poolTask struct {
+	fn    func()
+	done  chan struct{}
+	panic *capturedPanic
+}
+
+func (t *poolTask) run() {
+	defer close(t.done)
+	defer func() {
+		if v := recover(); v != nil {
+			t.panic = &capturedPanic{value: v}
+		}
+	}()
+	t.fn()
+}
+
+// Do schedules fn on a pool worker and waits for it to finish. It returns
+// ctx.Err() if the context expires before a worker picks fn up (fn never
+// runs), and ErrPoolClosed if the pool closes first. Once fn has started,
+// Do waits for it to complete regardless of ctx — cancellation mid-run is
+// fn's own responsibility (the compile pipeline polls its context). A panic
+// inside fn is re-raised on the calling goroutine; the worker survives.
+func (p *Pool) Do(ctx context.Context, fn func()) error {
+	t := &poolTask{fn: fn, done: make(chan struct{})}
+	select {
+	case p.tasks <- t.run:
+		<-t.done
+		if t.panic != nil {
+			panic(t.panic.value)
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-p.closing:
+		return ErrPoolClosed
+	}
+}
+
+// Close stops the workers and waits for in-flight tasks to finish. Callers
+// blocked in Do whose task no worker reached return ErrPoolClosed. Close is
+// idempotent and safe to call concurrently with Do.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.closing) })
+	p.workers.Wait()
+}

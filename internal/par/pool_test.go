@@ -1,0 +1,122 @@
+package par
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lyra/internal/leak"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	base := leak.Snapshot()
+	p := NewPool(4)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Do(context.Background(), func() { n.Add(1) }); err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", n.Load())
+	}
+	p.Close()
+	leak.Check(t, base)
+}
+
+// TestPoolShutdownNoLeak is the satellite assertion: pool shutdown leaves
+// no goroutines behind, including when Do callers are still queued.
+func TestPoolShutdownNoLeak(t *testing.T) {
+	base := leak.Snapshot()
+	p := NewPool(2)
+	// Occupy both workers.
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	var busy sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		busy.Add(1)
+		go func() {
+			defer busy.Done()
+			p.Do(context.Background(), func() {
+				started <- struct{}{}
+				<-release
+			})
+		}()
+	}
+	<-started
+	<-started
+	// Queue callers that no worker will ever reach.
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			errs <- p.Do(context.Background(), func() {})
+		}()
+	}
+	// Close concurrently with the queued callers; unblock the workers so
+	// in-flight tasks can finish and Close can return.
+	closed := make(chan struct{})
+	go func() { p.Close(); close(closed) }()
+	close(release)
+	<-closed
+	busy.Wait()
+	for i := 0; i < 3; i++ {
+		if err := <-errs; err != ErrPoolClosed && err != nil {
+			t.Errorf("queued Do after close = %v, want ErrPoolClosed or nil", err)
+		}
+	}
+	p.Close() // idempotent
+	leak.Check(t, base)
+}
+
+func TestPoolDoHonorsContextWhileQueued(t *testing.T) {
+	base := leak.Snapshot()
+	p := NewPool(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func() { close(started); <-release })
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	ran := false
+	err := p.Do(ctx, func() { ran = true })
+	if err != context.DeadlineExceeded {
+		t.Fatalf("queued Do past deadline = %v, want DeadlineExceeded", err)
+	}
+	if ran {
+		t.Fatal("task ran despite expired admission deadline")
+	}
+	close(release)
+	p.Close()
+	leak.Check(t, base)
+}
+
+func TestPoolPanicIsolatedToCaller(t *testing.T) {
+	base := leak.Snapshot()
+	p := NewPool(2)
+	func() {
+		defer func() {
+			if v := recover(); v == nil {
+				t.Error("panic did not propagate to the Do caller")
+			} else if v != "boom" {
+				t.Errorf("panic value = %v, want boom", v)
+			}
+		}()
+		p.Do(context.Background(), func() { panic("boom") })
+	}()
+	// The worker that ran the panicking task must still be alive.
+	ok := false
+	if err := p.Do(context.Background(), func() { ok = true }); err != nil || !ok {
+		t.Fatalf("pool unusable after panic: err=%v ran=%v", err, ok)
+	}
+	p.Close()
+	leak.Check(t, base)
+}

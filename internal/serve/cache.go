@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"lyra"
+	"lyra/internal/topo"
+)
+
+// Outcome labels how Cache.Do obtained its result.
+type Outcome int
+
+// Cache outcomes.
+const (
+	// OutcomeMiss: this call ran the compile itself.
+	OutcomeMiss Outcome = iota
+	// OutcomeHit: a completed entry was served.
+	OutcomeHit
+	// OutcomeDedup: the call joined an identical in-flight compile and
+	// received its result without running anything.
+	OutcomeDedup
+)
+
+// Cache is the daemon's shared content-addressed artifact store. Keys hash
+// the complete compile input (program, scope, topology, configuration,
+// fault set), so identical requests from any tenant resolve to the same
+// entry; an in-flight compile is single-flighted, collapsing concurrent
+// identical requests into one pipeline run. Entries are completed
+// *lyra.Result values, treated as immutable. The store is bounded:
+// insertion order is evicted first once max entries accumulate.
+type Cache struct {
+	mu       sync.Mutex
+	max      int
+	entries  map[string]*lyra.Result
+	order    []string
+	inflight map[string]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	res  *lyra.Result
+	err  error
+}
+
+// NewCache builds a cache bounded to max completed entries (<= 0 selects
+// 256).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = 256
+	}
+	return &Cache{
+		max:      max,
+		entries:  map[string]*lyra.Result{},
+		inflight: map[string]*flight{},
+	}
+}
+
+// Do returns the completed entry for key, joins an identical in-flight
+// compile, or runs compile itself and stores a successful result. Errors
+// are returned to every joined waiter but never cached — the next request
+// retries fresh. A waiter whose ctx expires while joined gives up with
+// ctx.Err() (the underlying compile keeps running for the others).
+func (c *Cache) Do(ctx context.Context, key string, compile func() (*lyra.Result, error)) (*lyra.Result, Outcome, error) {
+	c.mu.Lock()
+	if r, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		return r, OutcomeHit, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.res, OutcomeDedup, f.err
+		case <-ctx.Done():
+			return nil, OutcomeDedup, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.res, f.err = compile()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil && f.res != nil {
+		c.put(key, f.res)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.res, OutcomeMiss, f.err
+}
+
+// Lookup returns a completed entry without triggering any work — the
+// stale-serving tier reads whatever is already there.
+func (c *Cache) Lookup(key string) (*lyra.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.entries[key]
+	return r, ok
+}
+
+// put stores a completed entry, evicting oldest-inserted beyond the bound.
+// Caller holds c.mu.
+func (c *Cache) put(key string, r *lyra.Result) {
+	if _, ok := c.entries[key]; !ok {
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = r
+	for len(c.entries) > c.max && len(c.order) > 0 {
+		old := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, old)
+	}
+}
+
+// Len reports the completed-entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// cacheKey canonicalizes one compile input into a content hash. faultSet
+// must already be in canonical (sorted) order; extra distinguishes
+// configuration axes that change the artifact or its guarantees (dialect,
+// skip-verify tier).
+func cacheKey(source, scope string, net *topo.Network, faultSet []string, extra ...string) string {
+	h := sha256.New()
+	write := func(s string) {
+		fmt.Fprintf(h, "%d:", len(s))
+		h.Write([]byte(s))
+	}
+	write(source)
+	write(scope)
+	write(networkFingerprint(net))
+	for _, f := range faultSet {
+		write(f)
+	}
+	for _, e := range extra {
+		write(e)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// networkFingerprint canonically renders a topology: sorted switches with
+// layer and chip model, then sorted links.
+func networkFingerprint(net *topo.Network) string {
+	var b []byte
+	for _, name := range net.Names() {
+		sw := net.Switch(name)
+		b = append(b, name...)
+		b = append(b, '/')
+		b = append(b, sw.Layer...)
+		b = append(b, '/')
+		if sw.ASIC != nil {
+			b = append(b, sw.ASIC.Name...)
+		}
+		b = append(b, ';')
+		for _, nb := range net.Neighbors(name) {
+			if name < nb {
+				b = append(b, name...)
+				b = append(b, '-')
+				b = append(b, nb...)
+				b = append(b, ',')
+			}
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,59 @@
+package churn
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStormSmoke runs a miniature churn storm end to end: seeded events,
+// injected panics, oversized bursts — and demands the robustness contract
+// holds at small scale (the CI serve-smoke job runs the full-size storm).
+func TestStormSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn storm skipped in -short mode")
+	}
+	cfg := Config{
+		Seed:        1,
+		Events:      40,
+		Clients:     4,
+		Sessions:    2,
+		Duration:    60 * time.Second,
+		PanicEvery:  10,
+		BurstEvery:  20,
+		BurstSize:   6,
+		MaxInflight: 2,
+		QueueDepth:  4,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("storm: %v", err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("storm violations: %v", res.Violations)
+	}
+	if res.FiveXX != 0 {
+		t.Fatalf("daemon answered %d requests with 5xx", res.FiveXX)
+	}
+	if !res.CleanDrain {
+		t.Fatalf("drain was not clean")
+	}
+	if res.LeakedGoroutines != 0 {
+		t.Fatalf("leaked %d goroutines", res.LeakedGoroutines)
+	}
+	if res.Events != cfg.Events {
+		t.Fatalf("issued %d events, want %d", res.Events, cfg.Events)
+	}
+	if res.Converged == 0 || res.Recompiles == 0 {
+		t.Fatalf("storm did no work: %+v", res)
+	}
+	if res.PanicsInjected == 0 || res.PanicsRecovered == 0 {
+		t.Fatalf("panic injection did not exercise recovery: %+v", res)
+	}
+	if res.BurstMisses == 0 || res.BurstDeduped == 0 {
+		t.Fatalf("bursts did not demonstrate single-flight dedup: misses=%d deduped=%d",
+			res.BurstMisses, res.BurstDeduped)
+	}
+	if res.P99Ms < res.P50Ms {
+		t.Fatalf("percentiles inverted: p50=%f p99=%f", res.P50Ms, res.P99Ms)
+	}
+}

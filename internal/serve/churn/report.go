@@ -1,0 +1,30 @@
+package churn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a storm's scores as the lyra-bench text table.
+func (res *Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d: %d events (%d converged) over %d sessions, %d clients, %.0f ms\n",
+		res.Seed, res.Events, res.Converged, res.Sessions, res.Clients, res.DurationMs)
+	fmt.Fprintf(&b, "  throughput   %8.1f events/s\n", res.Throughput)
+	fmt.Fprintf(&b, "  latency      p50 %.1f ms, p99 %.1f ms\n", res.P50Ms, res.P99Ms)
+	fmt.Fprintf(&b, "  recovery     %.1f ms to restore base artifacts on every session\n", res.RecoveryMs)
+	fmt.Fprintf(&b, "  backpressure %d shed, %d skip-verify, %d stale, %d timeouts\n",
+		res.Shed, res.DegradedSkipVerify, res.DegradedStale, res.Timeouts)
+	fmt.Fprintf(&b, "  cache        %d hits, %d deduped (bursts: %d misses, %d deduped)\n",
+		res.CacheHits, res.Deduped, res.BurstMisses, res.BurstDeduped)
+	fmt.Fprintf(&b, "  solver       %d recompiles (%d failed), %d events coalesced\n",
+		res.Recompiles, res.RecompileErrors, res.Coalesced)
+	fmt.Fprintf(&b, "  panics       %d injected, %d recovered (daemon uptime preserved)\n",
+		res.PanicsInjected, res.PanicsRecovered)
+	fmt.Fprintf(&b, "  contract     5xx=%d clean_drain=%v leaked_goroutines=%d violations=%d\n",
+		res.FiveXX, res.CleanDrain, res.LeakedGoroutines, len(res.Violations))
+	for _, v := range res.Violations {
+		fmt.Fprintf(&b, "    VIOLATION: %s\n", v)
+	}
+	return b.String()
+}

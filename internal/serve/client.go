@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// APIError is a non-2xx daemon response, decoded. It preserves the
+// machine-readable kind and the backpressure hint so callers can branch on
+// Retryable/RetryAfter instead of parsing strings.
+type APIError struct {
+	Status     int
+	Kind       string
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: %d %s: %s", e.Status, e.Kind, e.Message)
+}
+
+// Retryable reports whether the request may succeed if simply retried
+// later: backpressure (shed) and timeouts, but not invalid input,
+// infeasibility, or a draining daemon.
+func (e *APIError) Retryable() bool {
+	return e.Kind == "shed" || e.Kind == "timeout"
+}
+
+// Client is a daemon client with bounded retry/backoff. Shed responses are
+// retried after the server's Retry-After hint (exponential backoff with the
+// hint as the floor); other errors return immediately.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts for retryable errors (default 4).
+	MaxRetries int
+	// Backoff is the floor of the first retry delay when the server sent no
+	// hint (default 100ms); it doubles per attempt.
+	Backoff time.Duration
+	// Header is attached to every request (the churn harness injects its
+	// fault headers here).
+	Header http.Header
+}
+
+func (c *Client) retries() int {
+	if c.MaxRetries <= 0 {
+		return 4
+	}
+	return c.MaxRetries
+}
+
+func (c *Client) backoff() time.Duration {
+	if c.Backoff <= 0 {
+		return 100 * time.Millisecond
+	}
+	return c.Backoff
+}
+
+// do runs one JSON round-trip with retry/backoff, decoding a 2xx body into
+// out (ignored when out is nil).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	httpc := c.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	delay := c.backoff()
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		for k, vs := range c.Header {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
+		}
+		resp, err := httpc.Do(req)
+		if err != nil {
+			return err
+		}
+		apiErr := decodeResponse(resp, out)
+		if apiErr == nil {
+			return nil
+		}
+		if !apiErr.Retryable() || attempt >= c.retries() {
+			return apiErr
+		}
+		wait := delay
+		if apiErr.RetryAfter > wait {
+			wait = apiErr.RetryAfter
+		}
+		delay *= 2
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// decodeResponse reads and closes the body: nil on 2xx (out filled), an
+// *APIError otherwise.
+func decodeResponse(resp *http.Response, out any) *APIError {
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out != nil {
+			json.Unmarshal(raw, out)
+		}
+		return nil
+	}
+	apiErr := &APIError{Status: resp.StatusCode, Kind: "unknown", Message: string(raw)}
+	var body ErrorResponse
+	if json.Unmarshal(raw, &body) == nil && body.Kind != "" {
+		apiErr.Kind = body.Kind
+		apiErr.Message = body.Error
+		apiErr.RetryAfter = time.Duration(body.RetryAfterMs) * time.Millisecond
+	}
+	if h := resp.Header.Get("Retry-After"); h != "" && apiErr.RetryAfter == 0 {
+		if secs, err := strconv.ParseFloat(h, 64); err == nil {
+			apiErr.RetryAfter = time.Duration(secs * float64(time.Second))
+		}
+	}
+	return apiErr
+}
+
+// Compile runs a one-shot compile.
+func (c *Client) Compile(ctx context.Context, req CompileRequest) (CompileResponse, error) {
+	var out CompileResponse
+	err := c.do(ctx, http.MethodPost, "/v1/compile", req, &out)
+	return out, err
+}
+
+// NewSession creates a tenant session (compiling its base program).
+func (c *Client) NewSession(ctx context.Context, req CompileRequest) (SessionResponse, error) {
+	var out SessionResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &out)
+	return out, err
+}
+
+// Status fetches a session's current state.
+func (c *Client) Status(ctx context.Context, id string) (SessionStatus, error) {
+	var out SessionStatus
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id, nil, &out)
+	return out, err
+}
+
+// Events enqueues fault/recovery events (asynchronous; returns the covering
+// generation).
+func (c *Client) Events(ctx context.Context, id string, events []WireEvent) (int64, error) {
+	var out EventsResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/events", EventsRequest{Events: events}, &out)
+	return out.Generation, err
+}
+
+// Recompile enqueues events and blocks until the session has converged on
+// them, returning the resulting status.
+func (c *Client) Recompile(ctx context.Context, id string, events []WireEvent) (SessionStatus, error) {
+	var out SessionStatus
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/recompile", EventsRequest{Events: events}, &out)
+	return out, err
+}
+
+// Tables streams control-plane table entries into a session.
+func (c *Client) Tables(ctx context.Context, id string, entries []TableEntry) (int, error) {
+	var out TablesResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/tables", TablesRequest{Entries: entries}, &out)
+	return out.Applied, err
+}
+
+// Close deletes a session.
+func (c *Client) Close(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+}
+
+// Metrics fetches the daemon counters.
+func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
+	var out MetricsSnapshot
+	err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &out)
+	return out, err
+}
+
+// Health fetches liveness.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var out Health
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &out)
+	return out, err
+}

@@ -133,6 +133,16 @@ func (n *Network) Clone() *Network {
 	return c
 }
 
+// ReplaceWith overwrites n's contents with other's, adopting other's
+// backing storage. It is the commit half of a clone-mutate-swap update:
+// build the next topology state on a Clone, and swap it in only once every
+// mutation succeeded, so n never exposes a half-applied sequence.
+func (n *Network) ReplaceWith(other *Network) {
+	n.Switches = other.Switches
+	n.adj = other.adj
+	n.byName = other.byName
+}
+
 // Switch returns a switch by name.
 func (n *Network) Switch(name string) *Switch { return n.byName[name] }
 

@@ -27,6 +27,7 @@ package lyra
 
 import (
 	"context"
+	"crypto/sha256"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -486,6 +487,24 @@ func (r *Result) RecompileContext(ctx context.Context, sc Scenario) (res *Result
 // Network returns the topology this result was compiled against (after
 // Recompile, the degraded clone).
 func (r *Result) Network() *Network { return r.net }
+
+// ArtifactFingerprint content-hashes the complete artifact set — every
+// switch's generated code and control-plane stub, in sorted switch order.
+// Two Results with equal fingerprints are byte-identical deployments; the
+// serve daemon uses this to prove that deduplicated concurrent compiles
+// and cache hits really handed every caller the same artifacts.
+func (r *Result) ArtifactFingerprint() string {
+	h := sha256.New()
+	for _, sw := range r.Switches() {
+		a := r.Artifacts[sw]
+		fmt.Fprintf(h, "%s\x00%s\x00%d\x00", sw, a.Dialect, len(a.Code))
+		h.Write([]byte(a.Code))
+		h.Write([]byte{0})
+		h.Write([]byte(a.ControlPlane))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
 
 func wrapResult(cres *core.Result, creq core.Request, net *Network) *Result {
 	if cres == nil {
