@@ -52,6 +52,7 @@ func main() {
 		trafficK       = flag.Int("traffic-k", 8, "fat-tree size for the traffic replay")
 		trafficPackets = flag.Int("traffic-packets", 200_000, "packets per traffic measurement")
 		trafficWorkers = flag.Int("traffic-workers", 0, "max replay workers (0 = all CPUs)")
+		trafficSlack   = flag.Float64("traffic-assert-scaling", 0, "fail unless worker scaling is monotone and the compiled tier keeps up with the engine, within this slack factor (0 = no assertion)")
 		dataplaneOut   = flag.String("dataplane-out", "", "write the traffic results as a JSON artifact (BENCH_dataplane.json)")
 
 		serveSeed       = flag.Int64("serve-seed", 1, "churn storm seed")
@@ -201,9 +202,15 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println("== Traffic replay: interpreter vs bytecode engine ==")
+		fmt.Println("== Traffic replay: interpreter vs bytecode engine vs compiled ==")
 		fmt.Print(eval.FormatTraffic(points))
 		fmt.Println()
+		if *trafficSlack > 0 {
+			if violations := eval.CheckTrafficScaling(points, *trafficSlack); len(violations) > 0 {
+				return fmt.Errorf("scaling contract violated:\n  %s", strings.Join(violations, "\n  "))
+			}
+			fmt.Printf("scaling contract held (slack %.2f)\n", *trafficSlack)
+		}
 		if *dataplaneOut != "" {
 			artifact := struct {
 				Traffic []eval.TrafficPoint `json:"traffic"`

@@ -1,0 +1,362 @@
+package dataplane
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestCompiledMatchesInterpreterLB checks byte-identical output between
+// RunPath and the compiled backend on the LB workload across every flow
+// path.
+func TestCompiledMatchesInterpreterLB(t *testing.T) {
+	dep, _, paths := lbDeployment(t)
+	rng := rand.New(rand.NewSource(2))
+	ctx := &Context{SwitchID: 7, IngressTS: 1000, EgressTS: 1500, QueueLen: 3}
+	for i := 0; i < 50; i++ {
+		pkt := randomLBPacket(rng)
+		for _, path := range paths {
+			want, err := dep.RunPath(path, ctx, pkt)
+			if err != nil {
+				t.Fatalf("interpreter: %v", err)
+			}
+			got, err := dep.RunPathCompiled(path, ctx, pkt)
+			if err != nil {
+				t.Fatalf("compiled: %v", err)
+			}
+			if got.Summary() != want.Summary() {
+				t.Fatalf("packet %d path %v:\n  interp:   %s\n  compiled: %s",
+					i, path, want.Summary(), got.Summary())
+			}
+			if diffs := DiffPackets(want, got, nil); len(diffs) > 0 {
+				t.Fatalf("packet %d path %v diffs: %v", i, path, diffs)
+			}
+		}
+	}
+}
+
+// TestCompiledReferenceMatchesInterpreter checks the compiled reference
+// unit against RunReference.
+func TestCompiledReferenceMatchesInterpreter(t *testing.T) {
+	dep, tables, _ := lbDeployment(t)
+	comp, err := dep.Compiled()
+	if err != nil {
+		t.Fatalf("compiled: %v", err)
+	}
+	irp := dep.Plan.Input.IR
+	rng := rand.New(rand.NewSource(3))
+	ctx := &Context{SwitchID: 1}
+	for i := 0; i < 50; i++ {
+		pkt := randomLBPacket(rng)
+		want, err := RunReference(irp, tables, ctx, pkt)
+		if err != nil {
+			t.Fatalf("reference: %v", err)
+		}
+		lane := comp.NewLane()
+		f := comp.Flatten(pkt)
+		comp.RunReference(lane, ctx, f)
+		got := f.Packet()
+		if got.Summary() != want.Summary() {
+			t.Fatalf("packet %d:\n  interp:   %s\n  compiled: %s", i, want.Summary(), got.Summary())
+		}
+	}
+}
+
+// TestCompiledStatefulSequence runs a packet sequence through one compiled
+// lane and through the interpreter on a fresh deployment each, asserting
+// identical evolution of register state, inserts, and packet outputs.
+func TestCompiledStatefulSequence(t *testing.T) {
+	plan, _ := compile(t, statefulSrc, statefulScope)
+	tables := NewTables()
+	tables.Set("seen_table", 999, 5)
+
+	depInterp, err := NewDeployment(plan, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depComp, err := NewDeployment(plan, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := depComp.Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := comp.NewLane()
+
+	ctx := &Context{SwitchID: 3, QueueLen: 2}
+	rng := rand.New(rand.NewSource(11))
+	path := []string{"ToR3"}
+	for i := 0; i < 64; i++ {
+		pkt := NewPacket()
+		pkt.Valid["h"] = true
+		pkt.Fields["h.a"] = uint64(rng.Intn(8)) // collide often: counters advance
+		pkt.Fields["h.b"] = uint64(rng.Intn(4))
+		want, err := depInterp.RunPath(path, ctx, pkt)
+		if err != nil {
+			t.Fatalf("interpreter: %v", err)
+		}
+		f := comp.Flatten(pkt)
+		comp.RunPacket(lane, path, ctx, f)
+		got := f.Packet()
+		if got.Summary() != want.Summary() {
+			t.Fatalf("packet %d diverges:\n  interp:   %s\n  compiled: %s", i, want.Summary(), got.Summary())
+		}
+	}
+}
+
+// TestCompiledLaneInterchangeable: a lane alternating between the engine
+// and compiled tiers mid-stream must evolve state exactly as a lane run
+// entirely on one tier — the two backends share lane state by design.
+func TestCompiledLaneInterchangeable(t *testing.T) {
+	plan, _ := compile(t, statefulSrc, statefulScope)
+	tables := NewTables()
+	depA, err := NewDeployment(plan, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depB, err := NewDeployment(plan, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engA, err := depA.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compA, err := depA.Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB, err := depB.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	laneMix := engA.NewLane()
+	lanePure := engB.NewLane()
+	ctx := &Context{SwitchID: 3}
+	path := []string{"ToR3"}
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 32; i++ {
+		pkt := NewPacket()
+		pkt.Valid["h"] = true
+		pkt.Fields["h.a"] = uint64(rng.Intn(8))
+		pkt.Fields["h.b"] = uint64(rng.Intn(4))
+		fm := engA.Flatten(pkt)
+		if i%2 == 0 {
+			engA.RunPacket(laneMix, path, ctx, fm)
+		} else {
+			compA.RunPacket(laneMix, path, ctx, fm)
+		}
+		fp := engB.Flatten(pkt)
+		engB.RunPacket(lanePure, path, ctx, fp)
+		if fm.Packet().Summary() != fp.Packet().Summary() {
+			t.Fatalf("packet %d: mixed-tier lane diverged:\n  pure:  %s\n  mixed: %s",
+				i, fp.Packet().Summary(), fm.Packet().Summary())
+		}
+	}
+}
+
+// TestCompiledRunBatchMatchesSequential: sharded compiled replay must
+// match one-at-a-time execution at every worker count.
+func TestCompiledRunBatchMatchesSequential(t *testing.T) {
+	dep, _, paths := lbDeployment(t)
+	comp, err := dep.Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{SwitchID: 2}
+	const n = 256
+	mk := func() []*FlatPacket {
+		r := rand.New(rand.NewSource(5))
+		out := make([]*FlatPacket, n)
+		for i := range out {
+			out[i] = comp.Flatten(randomLBPacket(r))
+		}
+		return out
+	}
+	base := mk()
+	comp.RunBatch(paths[0], ctx, base, 1)
+	for _, workers := range []int{2, 4, 7} {
+		got := mk()
+		comp.RunBatch(paths[0], ctx, got, workers)
+		for i := range got {
+			if got[i].Packet().Summary() != base[i].Packet().Summary() {
+				t.Fatalf("workers=%d packet %d diverges from sequential", workers, i)
+			}
+		}
+	}
+}
+
+// TestCompiledGuardHoisting: the block grouping must actually group — the
+// stateful program's three-statement if branch if-converts to adjacent
+// instructions under one guard, so its block should hold multiple ops
+// with the guard hoisted rather than one op each.
+func TestCompiledGuardHoisting(t *testing.T) {
+	plan, _ := compile(t, statefulSrc, statefulScope)
+	dep, err := NewDeployment(plan, NewTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := dep.Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hoisted := false
+	for _, cu := range comp.units {
+		ops, guarded := 0, 0
+		for _, b := range cu.blocks {
+			ops += len(b.ops)
+			if len(b.guards) > 0 && len(b.ops) > 1 {
+				guarded++
+			}
+		}
+		if len(cu.blocks) < ops && guarded > 0 {
+			hoisted = true
+		}
+	}
+	if !hoisted {
+		t.Fatal("no unit produced a multi-op guarded block; guard hoisting is not happening")
+	}
+}
+
+// TestFusionProducesSuperinstructions: the LB program's hash-then-member
+// pair must actually fuse, and single-conjunct guards must inline.
+func TestFusionProducesSuperinstructions(t *testing.T) {
+	dep, _, _ := lbDeployment(t)
+	eng, err := dep.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fusedHash, inlined := false, false
+	for _, u := range eng.units {
+		for i := range u.code {
+			switch u.code[i].op {
+			case bHashMember, bHashLookup, bBinSelect:
+				fusedHash = true
+			}
+			if u.code[i].g1reg >= 0 {
+				inlined = true
+			}
+		}
+	}
+	if !fusedHash {
+		t.Fatal("crc32_hash -> conn_table membership did not fuse into a superinstruction")
+	}
+	if !inlined {
+		t.Fatal("no single-conjunct guard was inlined")
+	}
+	// And the unfused engine must keep the plain opcodes.
+	unfused, err := newEngine(dep, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range unfused.units {
+		for i := range u.code {
+			switch u.code[i].op {
+			case bHashMember, bHashLookup, bBinSelect:
+				t.Fatal("fusion pass ran on the unfused oracle engine")
+			}
+		}
+	}
+}
+
+// TestCompiledSteadyStateZeroAlloc is the acceptance gate for the fastest
+// tier: the compiled execute loop must not allocate once lanes and packets
+// exist.
+func TestCompiledSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	dep, _, paths := lbDeployment(t)
+	comp, err := dep.Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := comp.NewLane()
+	ctx := &Context{SwitchID: 2, IngressTS: 5}
+	rng := rand.New(rand.NewSource(6))
+	tmpl := comp.Flatten(randomLBPacket(rng))
+	f := comp.NewFlatPacket()
+	path := paths[0]
+	for i := 0; i < 10; i++ { // warm up: first runs may grow runtime stacks
+		f.CopyFrom(tmpl)
+		comp.RunPacket(lane, path, ctx, f)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		f.CopyFrom(tmpl)
+		comp.RunPacket(lane, path, ctx, f)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state compiled loop allocates %.1f times per packet, want 0", allocs)
+	}
+	batch := []*FlatPacket{f}
+	comp.RunBatch(path, ctx, batch, 1)
+	allocs = testing.AllocsPerRun(200, func() {
+		f.CopyFrom(tmpl)
+		comp.RunBatch(path, ctx, batch, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("single-worker compiled RunBatch allocates %.1f times per packet, want 0", allocs)
+	}
+}
+
+// BenchmarkCompiledPath measures single-packet compiled execution — the
+// number to hold against BenchmarkEnginePath.
+func BenchmarkCompiledPath(b *testing.B) {
+	dep, _, paths := lbDeployment(b)
+	comp, err := dep.Compiled()
+	if err != nil {
+		b.Fatal(err)
+	}
+	lane := comp.NewLane()
+	rng := rand.New(rand.NewSource(8))
+	tmpls := make([]*FlatPacket, 1024)
+	for i := range tmpls {
+		tmpls[i] = comp.Flatten(randomLBPacket(rng))
+	}
+	f := comp.NewFlatPacket()
+	ctx := &Context{SwitchID: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.CopyFrom(tmpls[i%len(tmpls)])
+		comp.RunPacket(lane, paths[0], ctx, f)
+	}
+	reportPPS(b)
+}
+
+// BenchmarkCompiledBatch measures sharded compiled batch replay.
+func BenchmarkCompiledBatch(b *testing.B) {
+	for _, bench := range []struct {
+		batch   int
+		workers int
+	}{{64, 1}, {1024, 1}, {1024, 0}} {
+		name := fmt.Sprintf("batch=%d/workers=%d", bench.batch, bench.workers)
+		b.Run(name, func(b *testing.B) {
+			dep, _, paths := lbDeployment(b)
+			comp, err := dep.Compiled()
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(8))
+			tmpls := make([]*FlatPacket, bench.batch)
+			work := make([]*FlatPacket, bench.batch)
+			for i := range tmpls {
+				tmpls[i] = comp.Flatten(randomLBPacket(rng))
+				work[i] = comp.NewFlatPacket()
+			}
+			ctx := &Context{SwitchID: 2}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range work {
+					work[j].CopyFrom(tmpls[j])
+				}
+				comp.RunBatch(paths[0], ctx, work, bench.workers)
+			}
+			b.StopTimer()
+			pkts := float64(b.N) * float64(bench.batch)
+			b.ReportMetric(pkts/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
+}

@@ -184,6 +184,13 @@ func (f *FlatPacket) Packet() *Packet {
 type tableView struct {
 	entries map[uint64]uint64
 	owned   bool
+
+	// Compiled-tier read index: a lane-local open-addressing mirror of
+	// entries (interleaved key/value pairs), built lazily on the first
+	// flatGet/flatHas so engine-only lanes never pay for it. See compile.go.
+	flatKV []uint64
+	nflat  int
+	built  bool
 }
 
 func (tv *tableView) insert(k, v uint64) {
@@ -196,6 +203,9 @@ func (tv *tableView) insert(k, v uint64) {
 		tv.owned = true
 	}
 	tv.entries[k] = v
+	if tv.built {
+		tv.flatPut(k, v)
+	}
 }
 
 // Engine is the lowered bytecode of one deployment: the reference pipeline
@@ -212,14 +222,28 @@ type Engine struct {
 	maxRegs     int
 	maxGates    int
 	lanes       []*Lane
+
+	// tableGen counts control-plane mutations per unit (indexed by
+	// stateIdx). Deployment.SetSwitchEntry/ClearSwitchTable bump only the
+	// affected switch's counter; lanes lazily rebind that unit's table
+	// views on the next run instead of the whole engine being re-lowered.
+	tableGen []uint64
+
+	codec *WireCodec // lazily built bytes-native parse/serialize programs
 }
 
-// NewEngine lowers a deployment into bytecode. The engine binds lane state
-// to the deployment's current control-plane tables at lane creation;
-// Deployment.SetSwitchEntry/ClearSwitchTable invalidate the deployment's
-// cached engine, but an engine held directly must be rebuilt by the caller
-// after such mutations.
+// NewEngine lowers a deployment into bytecode (with the superinstruction
+// fusion pass applied). The lowered code is immutable: control-plane
+// mutations through the deployment bump per-switch table generations that
+// lanes pick up lazily, so an engine held directly stays valid across
+// SetSwitchEntry/ClearSwitchTable.
 func NewEngine(d *Deployment) (*Engine, error) {
+	return newEngine(d, true)
+}
+
+// newEngine is NewEngine with the fusion pass optional — the unfused
+// engine is the oracle the fused one is sweep-checked against.
+func newEngine(d *Deployment, fuse bool) (*Engine, error) {
 	irp := d.Plan.Input.IR
 	lay := newLayout()
 	lay.seed(irp)
@@ -251,6 +275,11 @@ func NewEngine(d *Deployment) (*Engine, error) {
 		e.units = append(e.units, u)
 		e.switchUnits[sw] = u
 	}
+	if fuse {
+		for _, u := range e.units {
+			fuseUnit(u)
+		}
+	}
 	for _, u := range e.units {
 		if u.numRegs > e.maxRegs {
 			e.maxRegs = u.numRegs
@@ -259,7 +288,21 @@ func NewEngine(d *Deployment) (*Engine, error) {
 			e.maxGates = len(u.gates)
 		}
 	}
+	e.tableGen = make([]uint64, len(e.units))
 	return e, nil
+}
+
+// invalidateTables marks one switch's control-plane contents changed (the
+// empty name marks the reference unit's tables). Existing lanes rebind
+// that unit's table views on their next run; the lowered code is untouched.
+func (e *Engine) invalidateTables(sw string) {
+	if sw == "" {
+		e.tableGen[0]++
+		return
+	}
+	if u := e.switchUnits[sw]; u != nil {
+		e.tableGen[u.stateIdx]++
+	}
 }
 
 // Flatten converts a map-based packet into a fresh engine packet.
@@ -285,6 +328,7 @@ type Lane struct {
 	gateVals []uint64
 	globals  [][][]uint64 // [stateIdx][globalIdx] -> element array
 	tables   [][]tableView
+	tgen     []uint64 // table generation each unit's views were bound at
 }
 
 // NewLane allocates execution state bound to the deployment's current
@@ -297,28 +341,49 @@ func (e *Engine) NewLane() *Lane {
 		gateVals: make([]uint64, e.maxGates),
 		globals:  make([][][]uint64, len(e.units)),
 		tables:   make([][]tableView, len(e.units)),
+		tgen:     make([]uint64, len(e.units)),
 	}
-	for i, u := range e.units {
+	for i := range e.units {
 		l.globals[i] = make([][]uint64, len(e.layout.globals))
 		for gi, spec := range e.layout.globals {
 			l.globals[i][gi] = make([]uint64, spec.length)
 		}
-		var src *Tables
-		if i == 0 {
-			src = e.dep.tables
-		} else {
-			src = e.dep.shardTables[u.name]
-		}
 		l.tables[i] = make([]tableView, len(e.layout.externName))
+		l.bindTables(i)
+	}
+	return l
+}
+
+// bindTables (re)binds one unit's table views to the deployment's current
+// control-plane contents, discarding any copy-on-write clones. Called at
+// lane creation and lazily when the unit's table generation moves.
+func (l *Lane) bindTables(idx int) {
+	e := l.eng
+	var src *Tables
+	if idx == 0 {
+		src = e.dep.tables
+	} else {
+		src = e.dep.shardTables[e.units[idx].name]
+	}
+	views := l.tables[idx]
+	for ei, name := range e.layout.externName {
+		views[ei] = tableView{}
 		if src != nil {
-			for ei, name := range e.layout.externName {
-				if es := src.Externs[name]; es != nil {
-					l.tables[i][ei] = tableView{entries: es.Entries}
-				}
+			if es := src.Externs[name]; es != nil {
+				views[ei] = tableView{entries: es.Entries}
 			}
 		}
 	}
-	return l
+	l.tgen[idx] = e.tableGen[idx]
+}
+
+// syncTables rebinds a unit's views if the deployment mutated that
+// switch's tables since the lane last ran it. One integer compare on the
+// hot path; the rebind itself happens only after a control-plane change.
+func (l *Lane) syncTables(idx int) {
+	if l.tgen[idx] != l.eng.tableGen[idx] {
+		l.bindTables(idx)
+	}
 }
 
 // opval resolves one operand. Kept free of receiver state so it inlines
@@ -344,6 +409,17 @@ func store(in *binstr, regs []uint64, f *FlatPacket, v uint64) {
 	}
 }
 
+// store2 writes a fused superinstruction's second destination.
+func store2(in *binstr, regs []uint64, f *FlatPacket, v uint64) {
+	switch in.dest2Kind {
+	case dReg:
+		regs[in.dest2] = v & in.dest2Mask
+	case dField:
+		f.Fields[in.dest2] = v & in.dest2Mask
+		f.fieldSet[in.dest2] = true
+	}
+}
+
 var zeroCtx Context
 
 // exec runs one unit's code against the lane's state. Guards and gates are
@@ -355,7 +431,12 @@ func (l *Lane) exec(u *compiledUnit, ctx *Context, f *FlatPacket) {
 	code := u.code
 	for i := range code {
 		in := &code[i]
-		if in.guardEnd > in.guardOff {
+		if in.g1reg >= 0 {
+			// Inlined single-conjunct guard (the guard→assign fusion).
+			if (regs[in.g1reg] != 0) == in.g1neg {
+				continue
+			}
+		} else if in.guardEnd > in.guardOff {
 			ok := true
 			for _, g := range u.guards[in.guardOff:in.guardEnd] {
 				if (regs[g.reg] != 0) == g.neg {
@@ -456,6 +537,41 @@ func (l *Lane) exec(u *compiledUnit, ctx *Context, f *FlatPacket) {
 			}
 		case bInsert:
 			tabs[in.table].insert(opval(in.a, regs, f), opval(in.b, regs, f))
+		case bHashLookup, bHashMember:
+			var h uint64 = 14695981039346656037
+			for _, a := range u.args[in.argsOff:in.argsEnd] {
+				v := opval(a, regs, f)
+				for sh := uint(0); sh < 64; sh += 8 {
+					h ^= (v >> sh) & 0xff
+					h *= 1099511628211
+				}
+			}
+			if in.crc16 {
+				h = (h >> 16) ^ (h & 0xffff)
+			}
+			store(in, regs, f, h&in.auxMask)
+			// The lookup key is the hash register after its store mask,
+			// exactly what the unfused pair would read back.
+			key := regs[in.dest]
+			if in.op == bHashLookup {
+				store2(in, regs, f, tabs[in.table].entries[key])
+			} else {
+				_, hit := tabs[in.table].entries[key]
+				v := uint64(0)
+				if hit {
+					v = 1
+				}
+				store2(in, regs, f, v)
+			}
+		case bBinSelect:
+			store(in, regs, f, evalBin(in.binop, opval(in.a, regs, f), opval(in.b, regs, f)))
+			var v uint64
+			if regs[in.dest] != 0 {
+				v = opval(u.args[in.argsOff], regs, f)
+			} else {
+				v = opval(u.args[in.argsOff+1], regs, f)
+			}
+			store2(in, regs, f, v)
 		}
 	}
 }
@@ -464,6 +580,7 @@ func (l *Lane) exec(u *compiledUnit, ctx *Context, f *FlatPacket) {
 // shard-gate snapshot, code, bridge exports — the compiled equivalent of
 // one RunPath hop.
 func (l *Lane) runSwitch(u *compiledUnit, ctx *Context, f *FlatPacket) {
+	l.syncTables(u.stateIdx)
 	clear(l.regs[:u.numRegs])
 	for _, m := range u.imports {
 		l.regs[m.reg] = f.Bridge[m.slot]
@@ -484,6 +601,7 @@ func (e *Engine) RunReference(l *Lane, ctx *Context, f *FlatPacket) {
 	if ctx == nil {
 		ctx = &zeroCtx
 	}
+	l.syncTables(0)
 	clear(l.regs[:e.ref.numRegs])
 	l.exec(e.ref, ctx, f)
 }

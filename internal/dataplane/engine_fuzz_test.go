@@ -12,10 +12,26 @@ import (
 	"lyra/internal/topo"
 )
 
-// engineEquivalenceOneProgram compiles one generated program and asserts that
-// for every flow path and packet, the bytecode engine produces output
-// byte-identical to the tree-walking interpreter — both the full field/header
-// maps (via DiffPackets) and the packet-op summary.
+// runUnfused executes a path on an engine lowered WITHOUT the
+// superinstruction fusion pass — the oracle the fused opcodes are swept
+// against.
+func runUnfused(dep *Deployment, path []string, ctx *Context, in *Packet) (*Packet, error) {
+	eng, err := newEngine(dep, false)
+	if err != nil {
+		return nil, err
+	}
+	l := eng.NewLane()
+	f := eng.Flatten(in)
+	eng.RunPacket(l, path, ctx, f)
+	return f.Packet(), nil
+}
+
+// engineEquivalenceOneProgram compiles one generated program and asserts
+// that for every flow path and packet, every execution tier produces
+// output byte-identical to the tree-walking interpreter — the fused
+// bytecode engine, the engine with fusion disabled, and the compiled
+// backend — comparing both the full field/header maps (via DiffPackets)
+// and the packet-op summary.
 func engineEquivalenceOneProgram(t *testing.T, src, scopeText string, rng *rand.Rand, nPkts int) {
 	t.Helper()
 	prog, err := parser.Parse("fuzz.lyra", []byte(src))
@@ -82,13 +98,38 @@ func engineEquivalenceOneProgram(t *testing.T, src, scopeText string, rng *rand.
 			if diffs := DiffPackets(want, got, nil); len(diffs) > 0 {
 				t.Fatalf("engine field diffs on path %v: %v\nsource:\n%s", path, diffs, src)
 			}
+			depU, err := NewDeployment(plan, tables)
+			if err != nil {
+				t.Fatalf("deployment: %v\n%s", err, src)
+			}
+			unfused, err := runUnfused(depU, path, ctx, pkt)
+			if err != nil {
+				t.Fatalf("unfused engine: %v\n%s", err, src)
+			}
+			if diffs := DiffPackets(want, unfused, nil); len(diffs) > 0 || unfused.Summary() != want.Summary() {
+				t.Fatalf("unfused engine diverges on path %v: %v\n  interp:  %s\n  unfused: %s\nsource:\n%s",
+					path, diffs, want.Summary(), unfused.Summary(), src)
+			}
+			depC, err := NewDeployment(plan, tables)
+			if err != nil {
+				t.Fatalf("deployment: %v\n%s", err, src)
+			}
+			comp, err := depC.RunPathCompiled(path, ctx, pkt)
+			if err != nil {
+				t.Fatalf("compiled: %v\n%s", err, src)
+			}
+			if diffs := DiffPackets(want, comp, nil); len(diffs) > 0 || comp.Summary() != want.Summary() {
+				t.Fatalf("compiled backend diverges on path %v: %v\n  interp:   %s\n  compiled: %s\nsource:\n%s",
+					path, diffs, want.Summary(), comp.Summary(), src)
+			}
 		}
 	}
 }
 
-// FuzzEngineEquivalence is the native fuzzing harness for the bytecode
-// engine: each int64 seed expands into a random program via progGen, which
-// is compiled PER-SW and checked interpreter-vs-engine on random packets.
+// FuzzEngineEquivalence is the native fuzzing harness for the execution
+// tiers: each int64 seed expands into a random program via progGen, which
+// is compiled PER-SW and checked interpreter vs fused engine vs unfused
+// engine vs compiled backend on random packets.
 // Run with:
 //
 //	go test ./internal/dataplane -fuzz FuzzEngineEquivalence

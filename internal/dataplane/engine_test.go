@@ -244,20 +244,43 @@ func TestEngineInsertIsLaneLocal(t *testing.T) {
 	}
 }
 
-// TestEngineInvalidatedOnTableMutation: SetSwitchEntry must drop the cached
-// engine (and extern metadata) so the next engine run sees the new entry.
+// TestEngineInvalidatedOnTableMutation: SetSwitchEntry must invalidate the
+// mutated switch's lowered table state — without dropping the engine. The
+// lowered code never depends on table contents, so the engine (and any
+// lanes bound to it) survives the mutation; only the affected switch's
+// table generation bumps, and lanes rebind that switch's views on their
+// next run through it.
 func TestEngineInvalidatedOnTableMutation(t *testing.T) {
 	dep, _, paths := lbDeployment(t)
-	if _, err := dep.Engine(); err != nil {
+	eng, err := dep.Engine()
+	if err != nil {
 		t.Fatal(err)
 	}
 	if dep.engine == nil || dep.externKeys == nil {
 		t.Fatal("expected caches to be populated")
 	}
-	dep.SetSwitchEntry(paths[0][len(paths[0])-1], "vip_table", 99, 0xdead)
-	if dep.engine != nil || dep.externKeys != nil {
-		t.Fatal("SetSwitchEntry did not invalidate derived caches")
+	tor := paths[0][len(paths[0])-1]
+	gen := eng.tableGen[eng.switchUnits[tor].stateIdx]
+	// A lane that has already executed the switch holds stale views.
+	lane := eng.NewLane()
+	warm := NewPacket()
+	warm.Valid["ipv4"] = true
+	warm.Valid["tcp"] = true
+	warm.Fields["ipv4.dstAddr"] = 99
+	warm.Fields["ipv4.protocol"] = 6
+	eng.RunPacket(lane, paths[0], &Context{SwitchID: 1}, eng.Flatten(warm))
+
+	dep.SetSwitchEntry(tor, "vip_table", 99, 0xdead)
+	if dep.engine != eng {
+		t.Fatal("SetSwitchEntry dropped the cached engine; expected a generation bump instead")
 	}
+	if dep.externKeys == nil {
+		t.Fatal("SetSwitchEntry dropped extern metadata; it does not depend on table contents")
+	}
+	if got := eng.tableGen[eng.switchUnits[tor].stateIdx]; got != gen+1 {
+		t.Fatalf("mutated switch generation = %d, want %d", got, gen+1)
+	}
+
 	pkt := NewPacket()
 	pkt.Valid["ipv4"] = true
 	pkt.Valid["tcp"] = true
@@ -275,9 +298,40 @@ func TestEngineInvalidatedOnTableMutation(t *testing.T) {
 	if got.Summary() != want.Summary() {
 		t.Fatalf("post-mutation divergence:\n  interp: %s\n  engine: %s", want.Summary(), got.Summary())
 	}
+	// The pre-existing lane must also observe the new entry (lazy rebind).
+	f := eng.Flatten(pkt.Clone())
+	eng.RunPacket(lane, paths[0], ctx, f)
+	if laneGot := f.Packet(); laneGot.Summary() != want.Summary() {
+		t.Fatalf("stale lane after mutation:\n  interp: %s\n  lane:   %s", want.Summary(), laneGot.Summary())
+	}
+	// The compiled backend shares the engine's generations and must agree.
+	cgot, err := dep.RunPathCompiled(paths[0], ctx, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cgot.Summary() != want.Summary() {
+		t.Fatalf("post-mutation divergence:\n  interp:   %s\n  compiled: %s", want.Summary(), cgot.Summary())
+	}
+
+	// Mutating one switch must not touch the others' generations.
+	other := ""
+	for sw, u := range eng.switchUnits {
+		if sw != tor && u != nil {
+			other = sw
+			break
+		}
+	}
+	if other != "" {
+		before := eng.tableGen[eng.switchUnits[other].stateIdx]
+		dep.SetSwitchEntry(tor, "vip_table", 100, 0xbeef)
+		if after := eng.tableGen[eng.switchUnits[other].stateIdx]; after != before {
+			t.Fatalf("unrelated switch generation moved: %d -> %d", before, after)
+		}
+	}
+	// Mutating a switch with no placed program must be harmless.
 	dep.ClearSwitchTable(paths[0][0], "conn_table")
-	if dep.engine != nil {
-		t.Fatal("ClearSwitchTable did not invalidate the cached engine")
+	if dep.engine != eng {
+		t.Fatal("ClearSwitchTable dropped the cached engine; expected a generation bump instead")
 	}
 }
 

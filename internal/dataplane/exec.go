@@ -221,23 +221,21 @@ type Deployment struct {
 	globals     map[string]globalStore
 	tables      *Tables
 
-	// Derived state cached at construction and dropped whenever the
-	// control-plane contents change (SetSwitchEntry/ClearSwitchTable):
-	// the compiled bytecode engine, each extern's sorted entry keys, and
-	// each extern's hosting switches in shard-index order. Before this
-	// cache, hostOrder re-scanned the whole placement per extern and entry
-	// keys were re-sorted on every use.
+	// Derived state cached at construction: the lowered bytecode engine
+	// and compiled backend, the per-tier executors, each extern's sorted
+	// entry keys, and each extern's hosting switches in shard-index order.
+	// Control-plane mutations (SetSwitchEntry/ClearSwitchTable) no longer
+	// drop any of this: the lowered/compiled code is content-independent,
+	// so mutations only bump the affected switch's table generation on the
+	// engine and lanes rebind that one switch's views lazily. The extern
+	// metadata derives from the construction-time tables and the plan,
+	// which those calls never touch.
 	engine      *Engine
+	compiled    *Compiled
+	execs       [3]Executor
+	tier        ExecutorTier
 	externKeys  map[string][]uint64
 	externHosts map[string][]string
-}
-
-// invalidateDerived drops every cache computed from the control-plane
-// contents. Called on any table mutation.
-func (d *Deployment) invalidateDerived() {
-	d.engine = nil
-	d.externKeys = nil
-	d.externHosts = nil
 }
 
 // buildExternMeta computes the per-extern caches in one pass: sorted entry
@@ -309,8 +307,9 @@ func (d *Deployment) hostOrderOf(extern string) []string {
 // NewDeployment builds a deployment from a solved plan, distributing the
 // control-plane entries across extern shards exactly as the generated
 // control-plane interface would (fill shard hosts in shard-index order up
-// to each shard's allotted size).
-func NewDeployment(plan *encode.Plan, tables *Tables) (*Deployment, error) {
+// to each shard's allotted size). Options select the execution tier
+// (WithExecutor); the default is the bytecode engine.
+func NewDeployment(plan *encode.Plan, tables *Tables, opts ...DeployOption) (*Deployment, error) {
 	progs, err := backend.Build(plan)
 	if err != nil {
 		return nil, err
@@ -321,6 +320,10 @@ func NewDeployment(plan *encode.Plan, tables *Tables) (*Deployment, error) {
 		shardTables: map[string]*Tables{},
 		globals:     map[string]globalStore{},
 		tables:      tables,
+		tier:        TierEngine,
+	}
+	for _, opt := range opts {
+		opt(d)
 	}
 	for sw := range progs {
 		d.shardTables[sw] = NewTables()
@@ -469,26 +472,35 @@ func (d *Deployment) RunPathWithContexts(path []string, ctxOf func(sw string) *C
 // SetSwitchEntry installs a control-plane entry into one switch's local
 // shard only. PER-SW deployments use this to configure role-specific
 // tables differently per switch (e.g. the INT sink filter is populated
-// only on egress ToRs, Figure 1).
+// only on egress ToRs, Figure 1). Only the affected switch's lowered
+// table state is invalidated (a per-switch generation bump; lanes rebind
+// that switch's views lazily) — the engine and compiled backend are never
+// re-lowered for a table mutation.
 func (d *Deployment) SetSwitchEntry(sw, extern string, key, value uint64) {
 	if d.shardTables[sw] == nil {
 		d.shardTables[sw] = NewTables()
 	}
 	d.shardTables[sw].Set(extern, key, value)
-	d.invalidateDerived()
+	if d.engine != nil {
+		d.engine.invalidateTables(sw)
+	}
 }
 
-// ClearSwitchTable removes an extern's entries from one switch.
+// ClearSwitchTable removes an extern's entries from one switch,
+// invalidating only that switch's lowered table state.
 func (d *Deployment) ClearSwitchTable(sw, extern string) {
 	if t := d.shardTables[sw]; t != nil {
 		delete(t.Externs, extern)
 	}
-	d.invalidateDerived()
+	if d.engine != nil {
+		d.engine.invalidateTables(sw)
+	}
 }
 
-// Engine returns the deployment's compiled bytecode engine, lowering the
-// placed programs on first use. The cache is dropped whenever the
-// control-plane contents change.
+// Engine returns the deployment's bytecode engine, lowering the placed
+// programs on first use. The engine survives control-plane mutations:
+// SetSwitchEntry/ClearSwitchTable bump only the affected switch's table
+// generation.
 func (d *Deployment) Engine() (*Engine, error) {
 	if d.engine == nil {
 		e, err := NewEngine(d)
@@ -498,6 +510,20 @@ func (d *Deployment) Engine() (*Engine, error) {
 		d.engine = e
 	}
 	return d.engine, nil
+}
+
+// Compiled returns the deployment's closure-threaded compiled backend,
+// translating the engine's lowered units on first use. Like the engine it
+// survives control-plane mutations.
+func (d *Deployment) Compiled() (*Compiled, error) {
+	if d.compiled == nil {
+		e, err := d.Engine()
+		if err != nil {
+			return nil, err
+		}
+		d.compiled = CompileEngine(e)
+	}
+	return d.compiled, nil
 }
 
 // RunPathEngine is RunPath executed on the compiled bytecode engine: a
@@ -539,19 +565,33 @@ func (d *Deployment) RunPathEngineTraced(path []string, ctx *Context, in *Packet
 	return f.Packet(), trace, nil
 }
 
+// RunPathCompiled is RunPath executed on the closure-threaded compiled
+// backend: the same semantics as RunPathEngine, one dispatch tier faster.
+func (d *Deployment) RunPathCompiled(path []string, ctx *Context, in *Packet) (*Packet, error) {
+	return d.RunPathCompiledWithContexts(path, func(string) *Context { return ctx }, in)
+}
+
+// RunPathCompiledWithContexts is RunPathCompiled with a per-switch
+// environment.
+func (d *Deployment) RunPathCompiledWithContexts(path []string, ctxOf func(sw string) *Context, in *Packet) (*Packet, error) {
+	c, err := d.Compiled()
+	if err != nil {
+		return nil, err
+	}
+	l := c.eng.NewLane()
+	f := c.eng.Flatten(in)
+	c.RunPacketContexts(l, path, ctxOf, f)
+	return f.Packet(), nil
+}
+
 // ReplayTraffic replays a batch of engine packets along a path, sharded
-// across workers (see Engine.RunBatch). Packets are mutated in place and
-// must come from this deployment's engine.
+// across workers. It is a compat shim over the deployment's selected
+// Executor tier (TierEngine by default; see WithExecutor). Packets are
+// mutated in place and must come from this deployment's engine layout.
 func (d *Deployment) ReplayTraffic(path []string, ctx *Context, pkts []*FlatPacket, workers int) error {
-	e, err := d.Engine()
+	x, err := d.Executor()
 	if err != nil {
 		return err
 	}
-	if len(pkts) > 0 {
-		if err := e.owns(pkts[0]); err != nil {
-			return err
-		}
-	}
-	e.RunBatch(path, ctx, pkts, workers)
-	return nil
+	return x.RunBatch(path, ctx, pkts, workers)
 }

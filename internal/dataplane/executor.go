@@ -1,0 +1,221 @@
+package dataplane
+
+// The unified Executor API. A deployment can execute packets through three
+// tiers that implement identical semantics over the same placed programs:
+//
+//	TierInterpreter — the tree-walking interpreter over map-based Packets
+//	                  (exec.go). Slowest; the root oracle.
+//	TierEngine      — the bytecode engine over FlatPackets (engine.go).
+//	                  Fast; cross-checked against the interpreter.
+//	TierCompiled    — the closure-threaded compiled backend (compile.go).
+//	                  Fastest; cross-checked against both.
+//
+// Every tier speaks FlatPacket at the interface (the engine's Layout is the
+// deployment-wide packet currency); the interpreter tier converts at the
+// boundary. Callers pick a tier with WithExecutor at deployment
+// construction, or ask for a specific one with ExecutorFor. The legacy
+// entry points (Deployment.RunPath, RunPathEngine, ReplayTraffic,
+// dataplane.RunReference) remain as compat shims over these tiers.
+
+import "fmt"
+
+// ExecutorTier names one of the three execution backends.
+type ExecutorTier int
+
+const (
+	TierInterpreter ExecutorTier = iota
+	TierEngine
+	TierCompiled
+)
+
+func (t ExecutorTier) String() string {
+	switch t {
+	case TierInterpreter:
+		return "interpreter"
+	case TierEngine:
+		return "engine"
+	case TierCompiled:
+		return "compiled"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// ExecutorStats counts work done through one executor since construction.
+type ExecutorStats struct {
+	Tier    string `json:"tier"`
+	Packets uint64 `json:"packets"`
+	Batches uint64 `json:"batches"`
+}
+
+// Executor runs packets through one execution tier of a deployment. Like
+// the engine it wraps, an Executor is single-caller: one goroutine calls
+// RunPacket/RunBatch at a time (RunBatch fans out internally).
+type Executor interface {
+	// Tier identifies the backend.
+	Tier() ExecutorTier
+	// RunPacket pushes one packet along a flow path, mutating it in place.
+	RunPacket(path []string, ctx *Context, f *FlatPacket) error
+	// RunBatch replays a batch along a path across up to workers lanes
+	// (workers <= 0 means all CPUs; the interpreter tier runs sequentially
+	// regardless). Packets are mutated in place.
+	RunBatch(path []string, ctx *Context, pkts []*FlatPacket, workers int) error
+	// Stats reports packets and batches executed through this executor.
+	Stats() ExecutorStats
+}
+
+// interpExecutor adapts the tree-walking interpreter to the Executor
+// interface: packets convert to maps at the boundary, and the deployment's
+// persistent per-switch globals carry state across packets (the engine
+// tiers keep that state in lanes instead).
+type interpExecutor struct {
+	d       *Deployment
+	packets uint64
+	batches uint64
+}
+
+func (x *interpExecutor) Tier() ExecutorTier { return TierInterpreter }
+
+func (x *interpExecutor) RunPacket(path []string, ctx *Context, f *FlatPacket) error {
+	x.packets++
+	out, err := x.d.RunPath(path, ctx, f.Packet())
+	if err != nil {
+		return err
+	}
+	f.load(out)
+	return nil
+}
+
+func (x *interpExecutor) RunBatch(path []string, ctx *Context, pkts []*FlatPacket, workers int) error {
+	x.batches++
+	for _, f := range pkts {
+		x.packets++
+		out, err := x.d.RunPath(path, ctx, f.Packet())
+		if err != nil {
+			return err
+		}
+		f.load(out)
+	}
+	return nil
+}
+
+func (x *interpExecutor) Stats() ExecutorStats {
+	return ExecutorStats{Tier: TierInterpreter.String(), Packets: x.packets, Batches: x.batches}
+}
+
+// engineExecutor adapts the bytecode engine. Single-packet runs share lane
+// 0 with single-worker batches, so stateful programs see one continuous
+// stream.
+type engineExecutor struct {
+	e       *Engine
+	packets uint64
+	batches uint64
+}
+
+func (x *engineExecutor) Tier() ExecutorTier { return TierEngine }
+
+func (x *engineExecutor) RunPacket(path []string, ctx *Context, f *FlatPacket) error {
+	if err := x.e.owns(f); err != nil {
+		return err
+	}
+	x.packets++
+	x.e.ensureLanes(1)
+	x.e.RunPacket(x.e.lanes[0], path, ctx, f)
+	return nil
+}
+
+func (x *engineExecutor) RunBatch(path []string, ctx *Context, pkts []*FlatPacket, workers int) error {
+	if len(pkts) > 0 {
+		if err := x.e.owns(pkts[0]); err != nil {
+			return err
+		}
+	}
+	x.packets += uint64(len(pkts))
+	x.batches++
+	x.e.RunBatch(path, ctx, pkts, workers)
+	return nil
+}
+
+func (x *engineExecutor) Stats() ExecutorStats {
+	return ExecutorStats{Tier: TierEngine.String(), Packets: x.packets, Batches: x.batches}
+}
+
+// compiledExecutor adapts the closure-threaded compiled backend.
+type compiledExecutor struct {
+	c       *Compiled
+	packets uint64
+	batches uint64
+}
+
+func (x *compiledExecutor) Tier() ExecutorTier { return TierCompiled }
+
+func (x *compiledExecutor) RunPacket(path []string, ctx *Context, f *FlatPacket) error {
+	if err := x.c.eng.owns(f); err != nil {
+		return err
+	}
+	x.packets++
+	x.c.ensureLanes(1)
+	x.c.RunPacket(x.c.lanes[0], path, ctx, f)
+	return nil
+}
+
+func (x *compiledExecutor) RunBatch(path []string, ctx *Context, pkts []*FlatPacket, workers int) error {
+	if len(pkts) > 0 {
+		if err := x.c.eng.owns(pkts[0]); err != nil {
+			return err
+		}
+	}
+	x.packets += uint64(len(pkts))
+	x.batches++
+	x.c.RunBatch(path, ctx, pkts, workers)
+	return nil
+}
+
+func (x *compiledExecutor) Stats() ExecutorStats {
+	return ExecutorStats{Tier: TierCompiled.String(), Packets: x.packets, Batches: x.batches}
+}
+
+// DeployOption configures a Deployment at construction.
+type DeployOption func(*Deployment)
+
+// WithExecutor selects the execution tier Deployment.Executor (and the
+// compat shims routed through it, like ReplayTraffic) will use. The
+// default is TierEngine.
+func WithExecutor(t ExecutorTier) DeployOption {
+	return func(d *Deployment) { d.tier = t }
+}
+
+// Executor returns the deployment's selected execution tier (TierEngine
+// unless WithExecutor chose otherwise), building it on first use.
+func (d *Deployment) Executor() (Executor, error) { return d.ExecutorFor(d.tier) }
+
+// ExecutorFor returns the given tier's executor for this deployment,
+// building and caching it on first use. All tiers share the engine's
+// Layout, so FlatPackets flow between them freely; stats accumulate per
+// tier for the deployment's lifetime.
+func (d *Deployment) ExecutorFor(t ExecutorTier) (Executor, error) {
+	if int(t) < 0 || int(t) >= len(d.execs) {
+		return nil, fmt.Errorf("dataplane: unknown executor tier %v", t)
+	}
+	if x := d.execs[t]; x != nil {
+		return x, nil
+	}
+	var x Executor
+	switch t {
+	case TierInterpreter:
+		x = &interpExecutor{d: d}
+	case TierEngine:
+		e, err := d.Engine()
+		if err != nil {
+			return nil, err
+		}
+		x = &engineExecutor{e: e}
+	case TierCompiled:
+		c, err := d.Compiled()
+		if err != nil {
+			return nil, err
+		}
+		x = &compiledExecutor{c: c}
+	}
+	d.execs[t] = x
+	return x, nil
+}

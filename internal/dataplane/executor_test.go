@@ -1,0 +1,216 @@
+package dataplane
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestExecutorTiersAgree runs the same packet stream through all three
+// executor tiers and asserts byte-identical outputs packet by packet.
+func TestExecutorTiersAgree(t *testing.T) {
+	plan, _ := compile(t, lbSrc, lbScope)
+	tables := NewTables()
+	for vip := uint64(0); vip < 16; vip++ {
+		tables.Set("vip_table", vip, 0xC0A80000+vip)
+	}
+	mkDep := func() *Deployment {
+		dep, err := NewDeployment(plan, tables)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dep
+	}
+	// One deployment per tier: the interpreter tier mutates shared
+	// per-switch globals while the flat tiers keep state in lanes.
+	deps := map[ExecutorTier]*Deployment{
+		TierInterpreter: mkDep(),
+		TierEngine:      mkDep(),
+		TierCompiled:    mkDep(),
+	}
+	execs := map[ExecutorTier]Executor{}
+	engines := map[ExecutorTier]*Engine{}
+	for tier, dep := range deps {
+		x, err := dep.ExecutorFor(tier)
+		if err != nil {
+			t.Fatalf("%v: %v", tier, err)
+		}
+		if x.Tier() != tier {
+			t.Fatalf("ExecutorFor(%v) reports tier %v", tier, x.Tier())
+		}
+		execs[tier] = x
+		// Each deployment's engine flattens its own packets (executors
+		// reject packets from a foreign layout).
+		eng, err := dep.Engine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[tier] = eng
+	}
+	paths := plan.Input.Scopes["loadbalancer"].Paths
+	ctx := &Context{SwitchID: 3, IngressTS: 50}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 30; i++ {
+		pkt := randomLBPacket(rng)
+		outs := map[ExecutorTier]string{}
+		for tier, x := range execs {
+			f := engines[tier].Flatten(pkt)
+			if err := x.RunPacket(paths[0], ctx, f); err != nil {
+				t.Fatalf("%v RunPacket: %v", tier, err)
+			}
+			outs[tier] = f.Packet().Summary()
+		}
+		if outs[TierEngine] != outs[TierInterpreter] || outs[TierCompiled] != outs[TierInterpreter] {
+			t.Fatalf("packet %d tier divergence:\n  interp:   %s\n  engine:   %s\n  compiled: %s",
+				i, outs[TierInterpreter], outs[TierEngine], outs[TierCompiled])
+		}
+	}
+}
+
+// TestExecutorBatchAgree runs one batch through each tier's RunBatch.
+func TestExecutorBatchAgree(t *testing.T) {
+	plan, _ := compile(t, lbSrc, lbScope)
+	tables := NewTables()
+	for vip := uint64(0); vip < 16; vip++ {
+		tables.Set("vip_table", vip, 0xC0A80000+vip)
+	}
+	paths := plan.Input.Scopes["loadbalancer"].Paths
+	ctx := &Context{SwitchID: 2}
+	const n = 64
+	var want []string
+	for _, tier := range []ExecutorTier{TierInterpreter, TierEngine, TierCompiled} {
+		dep, err := NewDeployment(plan, tables)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := dep.Engine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := dep.ExecutorFor(tier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(14))
+		pkts := make([]*FlatPacket, n)
+		for i := range pkts {
+			pkts[i] = eng.Flatten(randomLBPacket(rng))
+		}
+		if err := x.RunBatch(paths[0], ctx, pkts, 2); err != nil {
+			t.Fatalf("%v RunBatch: %v", tier, err)
+		}
+		if tier == TierInterpreter {
+			for _, f := range pkts {
+				want = append(want, f.Packet().Summary())
+			}
+			continue
+		}
+		for i, f := range pkts {
+			if got := f.Packet().Summary(); got != want[i] {
+				t.Fatalf("%v packet %d diverges:\n  interp: %s\n  got:    %s", tier, i, want[i], got)
+			}
+		}
+	}
+}
+
+// TestExecutorSelection: WithExecutor picks the tier Deployment.Executor
+// (and the ReplayTraffic shim) routes through; the default is the engine.
+func TestExecutorSelection(t *testing.T) {
+	plan, _ := compile(t, lbSrc, lbScope)
+	tables := NewTables()
+
+	dep, err := NewDeployment(plan, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := dep.Executor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Tier() != TierEngine {
+		t.Fatalf("default executor tier = %v, want %v", x.Tier(), TierEngine)
+	}
+
+	for _, tier := range []ExecutorTier{TierInterpreter, TierEngine, TierCompiled} {
+		dep, err := NewDeployment(plan, tables, WithExecutor(tier))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := dep.Executor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x.Tier() != tier {
+			t.Fatalf("WithExecutor(%v) selected %v", tier, x.Tier())
+		}
+		// ReplayTraffic routes through the selected tier and its stats.
+		eng, err := dep.Engine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths := plan.Input.Scopes["loadbalancer"].Paths
+		rng := rand.New(rand.NewSource(15))
+		pkts := make([]*FlatPacket, 8)
+		for i := range pkts {
+			pkts[i] = eng.Flatten(randomLBPacket(rng))
+		}
+		if err := dep.ReplayTraffic(paths[0], &Context{SwitchID: 1}, pkts, 1); err != nil {
+			t.Fatal(err)
+		}
+		st := x.Stats()
+		if st.Tier != tier.String() {
+			t.Fatalf("stats tier = %q, want %q", st.Tier, tier.String())
+		}
+		if st.Packets != 8 || st.Batches != 1 {
+			t.Fatalf("%v stats = %+v, want 8 packets / 1 batch", tier, st)
+		}
+	}
+
+	if _, err := dep.ExecutorFor(ExecutorTier(42)); err == nil {
+		t.Fatal("unknown tier must error")
+	}
+}
+
+// TestExecutorCachedPerTier: repeated Executor calls return the same
+// instance, so stats accumulate across calls.
+func TestExecutorCachedPerTier(t *testing.T) {
+	dep, _, paths := lbDeployment(t)
+	x1, err := dep.ExecutorFor(TierCompiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := dep.ExecutorFor(TierCompiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x1 != x2 {
+		t.Fatal("ExecutorFor rebuilt an executor instead of returning the cache")
+	}
+	eng, err := dep.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(16))
+	f := eng.Flatten(randomLBPacket(rng))
+	for i := 0; i < 3; i++ {
+		if err := x1.RunPacket(paths[0], &Context{}, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := x2.Stats(); st.Packets != 3 {
+		t.Fatalf("stats did not accumulate across the cached instance: %+v", st)
+	}
+}
+
+// TestExecutorTierString covers the tier names the JSON artifacts key on.
+func TestExecutorTierString(t *testing.T) {
+	for tier, want := range map[ExecutorTier]string{
+		TierInterpreter:  "interpreter",
+		TierEngine:       "engine",
+		TierCompiled:     "compiled",
+		ExecutorTier(42): "tier(42)",
+	} {
+		if got := tier.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(tier), got, want)
+		}
+	}
+}

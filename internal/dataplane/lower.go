@@ -41,6 +41,14 @@ const (
 	bGlobalRead
 	bGlobalWrite
 	bInsert
+
+	// Superinstructions (peephole-fused hot pairs, see fuseUnit). Each
+	// performs both component stores in original order, so fusion is
+	// semantics-preserving even when later code reads the intermediate
+	// register.
+	bHashLookup // bHash feeding a bLookup keyed on the hash result
+	bHashMember // bHash feeding a bMember keyed on the hash result
+	bBinSelect  // bBin feeding a bSelect conditioned on the bin result
 )
 
 // Destination kinds.
@@ -118,8 +126,20 @@ type binstr struct {
 	gate     int32  // shard-gate index, -1 when ungated
 	guardOff int32
 	guardEnd int32
-	argsOff  int32 // bHash operands in unit.args
+	argsOff  int32 // bHash operands in unit.args; fused select operands
 	argsEnd  int32
+
+	// g1reg/g1neg inline the common single-conjunct guard so the hot loop
+	// skips the side-array walk (-1 = no inlined guard; fall back to the
+	// [guardOff,guardEnd) range). Set by fuseUnit.
+	g1reg int32
+	g1neg bool
+
+	// Second destination of a fused superinstruction (the downstream
+	// instruction's store). dNone for plain opcodes.
+	dest2     int32
+	dest2Kind uint8
+	dest2Mask uint64
 }
 
 // globalSpec is a lowered global register array: its declared length and
@@ -292,7 +312,7 @@ func (lo *lowerer) opref(o ir.Operand, slot func(*ir.Var) int32) opRef {
 func (lo *lowerer) lowerInstrs(u *compiledUnit, instrs []*ir.Instr,
 	slot func(*ir.Var) int32, gateOf func(id int) int32) error {
 	for _, in := range instrs {
-		b := binstr{gate: -1, guardOff: int32(len(u.guards)), argsOff: int32(len(u.args))}
+		b := binstr{gate: -1, g1reg: -1, guardOff: int32(len(u.guards)), argsOff: int32(len(u.args))}
 		for _, g := range in.Guard {
 			u.guards = append(u.guards, guardRef{reg: slot(g.Var), neg: g.Neg})
 		}
@@ -492,4 +512,96 @@ func (lo *lowerer) lowerSwitch(sp *backend.SwitchProgram) (*compiledUnit, error)
 	}
 	u.numRegs = m.Len()
 	return u, nil
+}
+
+// sameGuardsAndGate reports whether two instructions run under identical
+// conditions: the same shard gate and the same guard conjunct list.
+func sameGuardsAndGate(u *compiledUnit, a, b *binstr) bool {
+	if a.gate != b.gate || a.guardEnd-a.guardOff != b.guardEnd-b.guardOff {
+		return false
+	}
+	ga := u.guards[a.guardOff:a.guardEnd]
+	gb := u.guards[b.guardOff:b.guardEnd]
+	for i := range ga {
+		if ga[i] != gb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// guardReadsReg reports whether an instruction's guard tests the register.
+func guardReadsReg(u *compiledUnit, in *binstr, reg int32) bool {
+	for _, g := range u.guards[in.guardOff:in.guardEnd] {
+		if g.reg == reg {
+			return true
+		}
+	}
+	return false
+}
+
+// fuseUnit is the peephole superinstruction pass. It fuses adjacent pairs
+// that run under identical guards and gates where the second instruction is
+// keyed on the first's register result:
+//
+//	hash → lookup  becomes bHashLookup
+//	hash → member  becomes bHashMember
+//	bin  → select  becomes bBinSelect (compare→branch in this guard-based IR)
+//
+// The fused opcode performs both stores in original order (the intermediate
+// register is still written), so fusion never changes observable state.
+// Fusion requires the pair's shared guard not to test the intermediate
+// register: the unfused loop re-evaluates the second guard after the first
+// store, and a guard over the clobbered register could flip between the
+// two evaluations.
+//
+// The pass also inlines single-conjunct guards (by far the common case of
+// if-conversion) into the instruction itself — the guard→assign fusion —
+// so the hot loop tests one register without touching the guard side array.
+func fuseUnit(u *compiledUnit) {
+	fused := u.code[:0:0]
+	for i := 0; i < len(u.code); i++ {
+		in := u.code[i]
+		if i+1 < len(u.code) && in.destKind == dReg {
+			nx := &u.code[i+1]
+			if sameGuardsAndGate(u, &in, nx) && !guardReadsReg(u, nx, in.dest) {
+				switch {
+				case in.op == bHash && (nx.op == bLookup || nx.op == bMember) &&
+					nx.a.kind == oReg && nx.a.idx == in.dest:
+					if nx.op == bLookup {
+						in.op = bHashLookup
+					} else {
+						in.op = bHashMember
+					}
+					in.table = nx.table
+					in.dest2, in.dest2Kind, in.dest2Mask = nx.dest, nx.destKind, nx.destMask
+					fused = append(fused, in)
+					i++
+					continue
+				case in.op == bBin && nx.op == bSelect &&
+					nx.a.kind == oReg && nx.a.idx == in.dest:
+					// The select's true/false operands ride in the unit's
+					// flat args array (the bBin slot pair a/b stays the
+					// comparison's operands).
+					in.op = bBinSelect
+					in.argsOff = int32(len(u.args))
+					u.args = append(u.args, nx.b, nx.c)
+					in.argsEnd = int32(len(u.args))
+					in.dest2, in.dest2Kind, in.dest2Mask = nx.dest, nx.destKind, nx.destMask
+					fused = append(fused, in)
+					i++
+					continue
+				}
+			}
+		}
+		fused = append(fused, in)
+	}
+	u.code = fused
+	for i := range u.code {
+		in := &u.code[i]
+		if in.guardEnd-in.guardOff == 1 {
+			g := u.guards[in.guardOff]
+			in.g1reg, in.g1neg = g.reg, g.neg
+		}
+	}
 }

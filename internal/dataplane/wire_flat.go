@@ -1,0 +1,348 @@
+package dataplane
+
+// The bytes-native wire path. A WireCodec precompiles a program's header
+// layouts and parse graph against an engine Layout once, so raw bytes
+// parse directly into FlatPacket slots and serialize back out without the
+// map-based Packet detour of wire.go. The codec mirrors ParseBytes /
+// Serialize bit-for-bit (same MSB-first packing, same parse-graph walk,
+// same stop-on-invalid emit semantics, same error messages); wire_flat
+// fuzz tests hold the two paths to byte-level agreement.
+
+import (
+	"fmt"
+
+	"lyra/internal/ir"
+)
+
+// wireField is one header field resolved against the layout: its slot (or
+// -1 for fields the layout never saw, which overflow-map like the
+// interpreter), its full "hdr.field" key, and its wire width.
+type wireField struct {
+	slot int
+	name string
+	bits int
+}
+
+// wireHeader is one header instance's precompiled wire image.
+type wireHeader struct {
+	name       string
+	validSlot  int // -1 when the layout has no validity slot for it
+	fields     []wireField
+	totalBits  int
+	haveLayout bool // headerLayout resolved; false reproduces wire.go's error lazily
+}
+
+// Next-state markers beyond real state indices.
+const (
+	wireStateEnd       = -1 // "", accept, ingress — parsing stops cleanly
+	wireStateUndefined = -2 // named state has no parser node
+)
+
+// wireCase is one precompiled select case.
+type wireCase struct {
+	value    uint64
+	next     int
+	nextName string
+}
+
+// wireState is one precompiled parser state.
+type wireState struct {
+	name        string
+	extracts    []int // indices into WireCodec.headers
+	hasSelect   bool
+	keyErr      error // selectKey failure, surfaced when the state is reached
+	keySlot     int
+	keyName     string
+	cases       []wireCase
+	defaultNext int
+	defaultName string
+}
+
+// WireCodec is the precompiled bytes<->FlatPacket translator for one
+// engine layout. It is immutable after construction and safe to share
+// across lanes; ParseBytesFlat allocates only the returned packet.
+type WireCodec struct {
+	lay       *Layout
+	headers   []wireHeader
+	headerIdx map[string]int
+	states    []wireState
+	start     int   // index into states; wireStateEnd when graph-less
+	order     []int // wireOrder as header indices
+}
+
+// NewWireCodec precompiles the program's wire format against a layout.
+func NewWireCodec(irp *ir.Program, lay *Layout) *WireCodec {
+	c := &WireCodec{lay: lay, headerIdx: map[string]int{}, start: wireStateEnd}
+	for _, h := range wireOrder(irp) {
+		c.order = append(c.order, c.ensureHeader(irp, h))
+	}
+	src := irp.Source
+	if len(src.Parsers) == 0 {
+		return c
+	}
+	// First parser node wins on duplicate names, as in wire.go's scans.
+	idx := map[string]int{}
+	for _, pn := range src.Parsers {
+		if _, ok := idx[pn.Name]; ok {
+			continue
+		}
+		idx[pn.Name] = len(c.states)
+		c.states = append(c.states, wireState{name: pn.Name})
+	}
+	resolve := func(name string) (int, string) {
+		if name == "" || name == "accept" || name == "ingress" {
+			return wireStateEnd, name
+		}
+		if si, ok := idx[name]; ok {
+			return si, name
+		}
+		return wireStateUndefined, name
+	}
+	compiled := make([]bool, len(c.states))
+	for _, pn := range src.Parsers {
+		si := idx[pn.Name]
+		if compiled[si] {
+			continue // later duplicate; the first node wins, as in wire.go
+		}
+		compiled[si] = true
+		st := &c.states[si]
+		for _, h := range pn.Extracts {
+			st.extracts = append(st.extracts, c.ensureHeader(irp, h))
+		}
+		if pn.Select != nil {
+			st.hasSelect = true
+			keyStr, err := selectKey(pn.Select.Key)
+			if err != nil {
+				st.keyErr = err
+			} else {
+				st.keyName = keyStr
+				st.keySlot = -1
+				if s, ok := lay.fieldSlot[keyStr]; ok {
+					st.keySlot = s
+				}
+			}
+			for _, cs := range pn.Select.Cases {
+				next, name := resolve(cs.Next)
+				st.cases = append(st.cases, wireCase{value: cs.Value, next: next, nextName: name})
+			}
+			st.defaultNext, st.defaultName = resolve(pn.Select.Default)
+		}
+	}
+	start := "start"
+	if _, ok := idx["start"]; !ok {
+		start = src.Parsers[0].Name
+	}
+	c.start = idx[start]
+	return c
+}
+
+// ensureHeader interns a header instance's precompiled layout.
+func (c *WireCodec) ensureHeader(irp *ir.Program, name string) int {
+	if hi, ok := c.headerIdx[name]; ok {
+		return hi
+	}
+	wh := wireHeader{name: name, validSlot: -1}
+	if s, ok := c.lay.validSlot[name]; ok {
+		wh.validSlot = s
+	}
+	if layout, ok := headerLayout(irp, name); ok {
+		wh.haveLayout = true
+		for _, f := range layout {
+			fname, bits := f[0].(string), f[1].(int)
+			key := name + "." + fname
+			slot := -1
+			if s, ok := c.lay.fieldSlot[key]; ok {
+				slot = s
+			}
+			wh.fields = append(wh.fields, wireField{slot: slot, name: key, bits: bits})
+			wh.totalBits += bits
+		}
+	}
+	hi := len(c.headers)
+	c.headerIdx[name] = hi
+	c.headers = append(c.headers, wh)
+	return hi
+}
+
+// fieldVal reads a precompiled field reference off a flat packet,
+// matching the map semantics (absent => 0).
+func (c *WireCodec) fieldVal(f *FlatPacket, slot int, name string) uint64 {
+	if slot >= 0 {
+		return f.Fields[slot]
+	}
+	return f.extraFields[name]
+}
+
+// headerValid reports whether a header is present on the packet.
+func (c *WireCodec) headerValid(f *FlatPacket, h *wireHeader) bool {
+	if h.validSlot >= 0 {
+		return f.Valid[h.validSlot]
+	}
+	return f.extraValid[h.name]
+}
+
+// extract reads one header's fields off the bit stream into the packet's
+// slots and marks it valid.
+func (c *WireCodec) extract(f *FlatPacket, r *bitReader, h *wireHeader) error {
+	if !h.haveLayout {
+		return fmt.Errorf("dataplane: no layout for header %q", h.name)
+	}
+	for i := range h.fields {
+		fl := &h.fields[i]
+		v, err := r.read(fl.bits)
+		if err != nil {
+			return err
+		}
+		if fl.slot >= 0 {
+			f.Fields[fl.slot] = v
+			f.fieldSet[fl.slot] = true
+		} else {
+			f.SetField(fl.name, v)
+		}
+	}
+	if h.validSlot >= 0 {
+		f.Valid[h.validSlot] = true
+		f.validSet[h.validSlot] = true
+	} else {
+		f.SetValid(h.name)
+	}
+	return nil
+}
+
+// ParseBytesFlat runs the precompiled parse graph over raw bytes,
+// depositing fields directly into a fresh FlatPacket's slots, and returns
+// the unconsumed payload. Behavior is bit-identical to ParseBytes
+// followed by Flatten.
+func (c *WireCodec) ParseBytesFlat(data []byte) (*FlatPacket, []byte, error) {
+	f := c.lay.newFlat()
+	r := bitReader{buf: data}
+	if len(c.states) == 0 {
+		for _, hi := range c.order {
+			h := &c.headers[hi]
+			if h.haveLayout && r.remaining() < h.totalBits {
+				break
+			}
+			if err := c.extract(f, &r, h); err != nil {
+				return nil, nil, err
+			}
+		}
+	} else {
+		si := c.start
+		for si >= 0 {
+			st := &c.states[si]
+			for _, hi := range st.extracts {
+				if err := c.extract(f, &r, &c.headers[hi]); err != nil {
+					return nil, nil, err
+				}
+			}
+			if !st.hasSelect {
+				break
+			}
+			if st.keyErr != nil {
+				return nil, nil, st.keyErr
+			}
+			v := c.fieldVal(f, st.keySlot, st.keyName)
+			next, name := st.defaultNext, st.defaultName
+			for i := range st.cases {
+				if st.cases[i].value == v {
+					next, name = st.cases[i].next, st.cases[i].nextName
+					break
+				}
+			}
+			if next == wireStateUndefined {
+				return nil, nil, fmt.Errorf("dataplane: parse state %q undefined", name)
+			}
+			si = next
+		}
+	}
+	off := (r.nbit + 7) / 8
+	if off > len(data) {
+		off = len(data)
+	}
+	return f, data[off:], nil
+}
+
+// SerializeFlat packs a flat packet's valid headers into wire bytes
+// followed by the payload, reading field values straight from the slot
+// arrays. Byte-identical to Serialize over the equivalent map packet.
+func (c *WireCodec) SerializeFlat(f *FlatPacket, payload []byte) ([]byte, error) {
+	w := bitWriter{}
+	emitted := make([]bool, len(c.headers))
+	emit := func(hi int) error {
+		h := &c.headers[hi]
+		if emitted[hi] || !c.headerValid(f, h) {
+			return nil
+		}
+		if !h.haveLayout {
+			return fmt.Errorf("dataplane: no layout for header %q", h.name)
+		}
+		for i := range h.fields {
+			fl := &h.fields[i]
+			w.write(mask(c.fieldVal(f, fl.slot, fl.name), fl.bits), fl.bits)
+		}
+		emitted[hi] = true
+		return nil
+	}
+	if len(c.states) > 0 {
+		si := c.start
+		for si >= 0 {
+			st := &c.states[si]
+			stop := false
+			for _, hi := range st.extracts {
+				if !c.headerValid(f, &c.headers[hi]) {
+					stop = true // parser would extract garbage; packet ends here
+					break
+				}
+				if err := emit(hi); err != nil {
+					return nil, err
+				}
+			}
+			if stop || !st.hasSelect {
+				break
+			}
+			if st.keyErr != nil {
+				return nil, st.keyErr
+			}
+			v := c.fieldVal(f, st.keySlot, st.keyName)
+			next := st.defaultNext
+			for i := range st.cases {
+				if st.cases[i].value == v {
+					next = st.cases[i].next
+					break
+				}
+			}
+			if next == wireStateUndefined {
+				break // Serialize walks past undefined states silently
+			}
+			si = next
+		}
+	}
+	for _, hi := range c.order {
+		if err := emit(hi); err != nil {
+			return nil, err
+		}
+	}
+	if w.nbit%8 != 0 {
+		w.nbit = (w.nbit/8 + 1) * 8 // pad to a byte boundary
+	}
+	return append(w.buf, payload...), nil
+}
+
+// Codec returns the engine's bytes-native wire codec, precompiling the
+// program's parse graph against the engine layout on first use.
+func (e *Engine) Codec() *WireCodec {
+	if e.codec == nil {
+		e.codec = NewWireCodec(e.dep.Plan.Input.IR, e.layout)
+	}
+	return e.codec
+}
+
+// ParseBytesFlat parses raw bytes directly into an engine FlatPacket.
+func (e *Engine) ParseBytesFlat(data []byte) (*FlatPacket, []byte, error) {
+	return e.Codec().ParseBytesFlat(data)
+}
+
+// SerializeFlat packs an engine FlatPacket back into wire bytes.
+func (e *Engine) SerializeFlat(f *FlatPacket, payload []byte) ([]byte, error) {
+	return e.Codec().SerializeFlat(f, payload)
+}

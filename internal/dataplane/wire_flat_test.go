@@ -1,0 +1,224 @@
+package dataplane
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// wireEngine compiles wireSrc and returns its deployment engine plus IR,
+// the fixtures the flat-vs-map wire comparisons run against.
+func wireEngine(t testing.TB) (*Engine, *Deployment) {
+	t.Helper()
+	plan, _ := compile(t, wireSrc, "noop: [ ToR3 | PER-SW | - ]")
+	dep, err := NewDeployment(plan, NewTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := dep.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, dep
+}
+
+// checkWireFlatAgreement is the byte-level oracle: the flat codec and the
+// map-based wire path must agree on arbitrary input bytes — same parse
+// error (if any), same parsed packet, same unconsumed payload, and the
+// same re-serialized bytes.
+func checkWireFlatAgreement(t *testing.T, eng *Engine, data []byte) {
+	t.Helper()
+	irp := eng.dep.Plan.Input.IR
+	mapPkt, mapPayload, mapErr := ParseBytes(irp, data)
+	flatPkt, flatPayload, flatErr := eng.ParseBytesFlat(data)
+	if (mapErr == nil) != (flatErr == nil) {
+		t.Fatalf("parse error divergence on %x:\n  map:  %v\n  flat: %v", data, mapErr, flatErr)
+	}
+	if mapErr != nil {
+		if mapErr.Error() != flatErr.Error() {
+			t.Fatalf("parse error text divergence on %x:\n  map:  %v\n  flat: %v", data, mapErr, flatErr)
+		}
+		return
+	}
+	if !bytes.Equal(mapPayload, flatPayload) {
+		t.Fatalf("payload divergence on %x: map %x, flat %x", data, mapPayload, flatPayload)
+	}
+	got := flatPkt.Packet()
+	if got.Summary() != mapPkt.Summary() {
+		t.Fatalf("parsed packet divergence on %x:\n  map:  %s\n  flat: %s", data, mapPkt.Summary(), got.Summary())
+	}
+	if diffs := DiffPackets(mapPkt, got, nil); len(diffs) > 0 {
+		t.Fatalf("parsed field divergence on %x: %v", data, diffs)
+	}
+	mapOut, mapSerErr := Serialize(irp, mapPkt, mapPayload)
+	flatOut, flatSerErr := eng.SerializeFlat(flatPkt, flatPayload)
+	if (mapSerErr == nil) != (flatSerErr == nil) {
+		t.Fatalf("serialize error divergence on %x:\n  map:  %v\n  flat: %v", data, mapSerErr, flatSerErr)
+	}
+	if mapSerErr != nil {
+		return
+	}
+	if !bytes.Equal(mapOut, flatOut) {
+		t.Fatalf("serialized byte divergence on %x:\n  map:  %x\n  flat: %x", data, mapOut, flatOut)
+	}
+}
+
+// FuzzWireFlatRoundTrip feeds arbitrary bytes to both wire paths and
+// requires byte-level agreement end to end. Run with:
+//
+//	go test ./internal/dataplane -fuzz FuzzWireFlatRoundTrip
+func FuzzWireFlatRoundTrip(f *testing.F) {
+	plan, irp := compile(f, wireSrc, "noop: [ ToR3 | PER-SW | - ]")
+	dep, err := NewDeployment(plan, NewTables())
+	if err != nil {
+		f.Fatal(err)
+	}
+	eng, err := dep.Engine()
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Seed with structurally interesting inputs: a full ethernet+ipv4
+	// packet, an ethernet+probe+ipv4 chain, truncations, and junk.
+	pkt := NewPacket()
+	pkt.Valid["ethernet"] = true
+	pkt.Fields["ethernet.dst_mac"] = 0x112233445566
+	pkt.Fields["ethernet.src_mac"] = 0xAABBCCDDEEFF
+	pkt.Fields["ethernet.ether_type"] = 0x0800
+	pkt.Valid["ipv4"] = true
+	pkt.Fields["ipv4.ttl"] = 64
+	pkt.Fields["ipv4.protocol"] = 6
+	pkt.Fields["ipv4.src_ip"] = 0x0A000001
+	pkt.Fields["ipv4.dst_ip"] = 0x0A000002
+	full, err := Serialize(irp, pkt, []byte{0xde, 0xad})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full)
+	pkt.Fields["ethernet.ether_type"] = 0x0801
+	pkt.Valid["probe"] = true
+	pkt.Fields["probe.msg_type"] = 1
+	pkt.Fields["probe.hop_count"] = 3
+	chained, err := Serialize(irp, pkt, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(chained)
+	f.Add(full[:7])      // truncated mid-ethernet
+	f.Add([]byte{})      // empty wire
+	f.Add([]byte{0xff})  // one junk byte
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkWireFlatAgreement(t, eng, data)
+	})
+}
+
+// TestWireFlatSweep is the deterministic arm of the fuzz campaign: 200
+// random wire packets (valid serializations, truncations, and raw noise)
+// checked for byte-level agreement between the two paths.
+func TestWireFlatSweep(t *testing.T) {
+	eng, _ := wireEngine(t)
+	irp := eng.dep.Plan.Input.IR
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		var data []byte
+		switch i % 4 {
+		case 0, 1: // valid serialization of a random packet
+			pkt := NewPacket()
+			pkt.Valid["ethernet"] = true
+			pkt.Fields["ethernet.dst_mac"] = uint64(rng.Int63()) & (1<<48 - 1)
+			pkt.Fields["ethernet.src_mac"] = uint64(rng.Int63()) & (1<<48 - 1)
+			switch rng.Intn(3) {
+			case 0:
+				pkt.Fields["ethernet.ether_type"] = 0x0800
+				pkt.Valid["ipv4"] = true
+				pkt.Fields["ipv4.ttl"] = uint64(rng.Intn(256))
+				pkt.Fields["ipv4.protocol"] = 6
+				pkt.Fields["ipv4.src_ip"] = uint64(rng.Uint32())
+				pkt.Fields["ipv4.dst_ip"] = uint64(rng.Uint32())
+			case 1:
+				pkt.Fields["ethernet.ether_type"] = 0x0801
+				pkt.Valid["probe"] = true
+				pkt.Fields["probe.msg_type"] = uint64(rng.Intn(3))
+				pkt.Fields["probe.hop_count"] = uint64(rng.Intn(256))
+			default:
+				pkt.Fields["ethernet.ether_type"] = uint64(rng.Intn(1 << 16))
+			}
+			payload := make([]byte, rng.Intn(16))
+			rng.Read(payload)
+			var err error
+			data, err = Serialize(irp, pkt, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+		case 2: // truncated valid packet
+			base := make([]byte, 14+rng.Intn(12))
+			rng.Read(base)
+			data = base[:rng.Intn(len(base)+1)]
+		default: // raw noise
+			data = make([]byte, rng.Intn(40))
+			rng.Read(data)
+		}
+		checkWireFlatAgreement(t, eng, data)
+	}
+}
+
+// TestWireFlatGraphless covers programs without parser_nodes, where both
+// paths extract declared headers in order while bytes remain.
+func TestWireFlatGraphless(t *testing.T) {
+	src := `
+header_type a_t { bit[16] x; bit[16] y; }
+header a_t a;
+header_type b_t { bit[8] z; }
+header b_t b;
+pipeline[P]{noop};
+algorithm noop { q = a.x; }
+`
+	plan, _ := compile(t, src, "noop: [ ToR3 | PER-SW | - ]")
+	dep, err := NewDeployment(plan, NewTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := dep.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 50; i++ {
+		data := make([]byte, rng.Intn(10))
+		rng.Read(data)
+		checkWireFlatAgreement(t, eng, data)
+	}
+}
+
+// TestWireFlatDirectSlots asserts the parse really is bytes-native: the
+// extracted fields land in the layout's slots (not the overflow maps).
+func TestWireFlatDirectSlots(t *testing.T) {
+	eng, _ := wireEngine(t)
+	irp := eng.dep.Plan.Input.IR
+	pkt := NewPacket()
+	pkt.Valid["ethernet"] = true
+	pkt.Fields["ethernet.dst_mac"] = 42
+	pkt.Fields["ethernet.src_mac"] = 43
+	pkt.Fields["ethernet.ether_type"] = 0x0800
+	pkt.Valid["ipv4"] = true
+	pkt.Fields["ipv4.ttl"] = 64
+	pkt.Fields["ipv4.protocol"] = 17
+	pkt.Fields["ipv4.src_ip"] = 7
+	pkt.Fields["ipv4.dst_ip"] = 9
+	data, err := Serialize(irp, pkt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := eng.ParseBytesFlat(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.extraFields != nil || f.extraValid != nil {
+		t.Fatalf("declared headers overflowed the layout: fields=%v valid=%v", f.extraFields, f.extraValid)
+	}
+	if s, ok := eng.layout.fieldSlot["ipv4.src_ip"]; !ok || f.Fields[s] != 7 || !f.fieldSet[s] {
+		t.Fatalf("ipv4.src_ip not deposited in its slot")
+	}
+	if s, ok := eng.layout.validSlot["ipv4"]; !ok || !f.Valid[s] {
+		t.Fatalf("ipv4 validity not deposited in its slot")
+	}
+}

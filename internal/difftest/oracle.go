@@ -315,27 +315,38 @@ func (o *Oracle) equivalent(c *Case, res *lyra.Result) Outcome {
 				if err != nil {
 					return Outcome{Class: Crash, Detail: fmt.Sprintf("reference: %v", err)}
 				}
-				// The bytecode engine executes the deployed path; the
-				// tree-walking interpreter then replays the same packet as
-				// a cross-check. The engine runs first: its copy-on-write
-				// table views keep data-plane inserts lane-local, while the
-				// interpreter writes into the shared shard tables.
+				// The bytecode engine and the compiled backend execute the
+				// deployed path; the tree-walking interpreter then replays
+				// the same packet as a cross-check of both. The flat tiers
+				// run first: their copy-on-write table views keep
+				// data-plane inserts lane-local, while the interpreter
+				// writes into the shared shard tables.
 				dist, err := sim.RunPathEngine(path, ctx, mkPacket(tp))
 				if err != nil {
 					return Outcome{Class: Crash,
 						Detail: fmt.Sprintf("%s path#%d %v: engine: %v", alg, pi, path, err)}
+				}
+				comp, err := sim.RunPathCompiled(path, ctx, mkPacket(tp))
+				if err != nil {
+					return Outcome{Class: Crash,
+						Detail: fmt.Sprintf("%s path#%d %v: compiled: %v", alg, pi, path, err)}
 				}
 				interp, err := sim.RunPath(path, ctx, mkPacket(tp))
 				if err != nil {
 					return Outcome{Class: Crash,
 						Detail: fmt.Sprintf("%s path#%d %v: %v", alg, pi, path, err)}
 				}
-				// Engine and interpreter implement the same semantics over
-				// the same programs; any mismatch is an execution-engine
-				// bug, not a compile divergence.
+				// All three tiers implement the same semantics over the
+				// same programs; any mismatch is an execution-engine bug,
+				// not a compile divergence.
 				if xd := dataplane.DiffPackets(interp, dist, nil); len(xd) > 0 {
 					return Outcome{Class: Crash, Detail: fmt.Sprintf(
 						"%s path#%d %v packet#%d: engine diverges from interpreter: %s",
+						alg, pi, path, ti, strings.Join(xd, "; "))}
+				}
+				if xd := dataplane.DiffPackets(interp, comp, nil); len(xd) > 0 {
+					return Outcome{Class: Crash, Detail: fmt.Sprintf(
+						"%s path#%d %v packet#%d: compiled backend diverges from interpreter: %s",
 						alg, pi, path, ti, strings.Join(xd, "; "))}
 				}
 				got := dist.Clone()

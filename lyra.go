@@ -656,8 +656,16 @@ func (s *Simulation) RunPathEngine(path []string, ctx *SimContext, pkt *Packet) 
 	return s.dep.RunPathEngine(path, ctx, pkt)
 }
 
+// RunPathCompiled is RunPath executed by the closure-threaded compiled
+// backend, the fastest of the three execution tiers. Like the engine it is
+// byte-identical to the interpreter (the difftest oracle cross-checks all
+// three).
+func (s *Simulation) RunPathCompiled(path []string, ctx *SimContext, pkt *Packet) (*Packet, error) {
+	return s.dep.RunPathCompiled(path, ctx, pkt)
+}
+
 // Deployment exposes the underlying deployment for batched traffic replay
-// through the bytecode engine (Engine, ReplayTraffic).
+// through the execution tiers (Executor, Engine, ReplayTraffic).
 func (s *Simulation) Deployment() *dataplane.Deployment { return s.dep }
 
 // Serialize packs a packet's valid headers into wire bytes per the
