@@ -9,16 +9,21 @@
 //	lyra-bench -experiment comp     # §7.3 composition case study
 //	lyra-bench -experiment traffic  # packet replay: interpreter vs bytecode engine
 //	lyra-bench -experiment serve    # daemon churn storm (robustness under load)
+//	lyra-bench -experiment optimize # rewrite search: certified program optimization
 //	lyra-bench -experiment phases,ladder -out BENCH_compile.json
 //	lyra-bench -experiment all
 //
-// -experiment accepts a comma-separated list. With -out, the phases and
-// ladder results that ran are written together as one JSON artifact (the
-// BENCH_compile.json the CI smoke job publishes); the traffic experiment
-// writes its own artifact to -dataplane-out (BENCH_dataplane.json); the
-// serve experiment appends a provenance-stamped run to -serve-out
-// (BENCH_serve.json) and exits nonzero if the storm violated the
-// robustness contract.
+// -experiment accepts a comma-separated list; unknown names are rejected
+// with the valid list. With -out, the phases and ladder results that ran
+// are merged into one JSON artifact (the BENCH_compile.json the CI smoke
+// job publishes), preserving any keys other experiments wrote there; the
+// traffic experiment writes its own artifact to -dataplane-out
+// (BENCH_dataplane.json); the serve experiment appends a
+// provenance-stamped run to -serve-out (BENCH_serve.json) and exits
+// nonzero if the storm violated the robustness contract; the optimize
+// experiment appends a provenance-stamped run to the "optimize" key of
+// -optimize-out (default -out) and exits nonzero if the search found no
+// certified improvement.
 //
 // -cpuprofile and -memprofile write pprof profiles covering whichever
 // experiments ran — the intended workflow for hunting hot spots in the
@@ -32,6 +37,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -42,7 +48,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "comma-separated list of: fig9 | fig10 | phases | ladder | ext | comp | ablation | traffic | serve | all")
+		experiment = flag.String("experiment", "all", "comma-separated list of: fig9 | fig10 | phases | ladder | ext | comp | ablation | traffic | serve | optimize | all")
 		ks         = flag.String("k", "4,8,16,24,32", "fat-tree sizes for fig10 and phases")
 		parallel   = flag.Int("parallel", 0, "worker pool size for phases (0 = all CPUs)")
 		ladderK    = flag.Int("ladder-k", 16, "fat-tree size for the ladder comparison")
@@ -66,6 +72,11 @@ func main() {
 		serveInflight   = flag.Int("serve-inflight", 4, "daemon MaxInflight during the storm")
 		serveQueue      = flag.Int("serve-queue", 8, "daemon QueueDepth during the storm")
 		serveOut        = flag.String("serve-out", "", "append the storm scores to a JSON artifact (BENCH_serve.json)")
+
+		optimizeK       = flag.Int("optimize-k", 4, "fat-tree pod size for the rewrite-search experiment")
+		optimizeSeed    = flag.Int64("optimize-seed", 1, "rewrite-search trace seed")
+		optimizeMeasure = flag.Int("optimize-measure-packets", 0, "replay packets for measured pkts/s in the optimize report (0 = skip measurement)")
+		optimizeOut     = flag.String("optimize-out", "", "append the optimize run to this JSON artifact (defaults to -out)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
 		memProfile = flag.String("memprofile", "", "write a heap profile after the selected experiments")
@@ -101,9 +112,29 @@ func main() {
 		}()
 	}
 
+	// Every name must be a known experiment: a typo that silently selected
+	// nothing used to exit 0 having measured nothing.
+	valid := []string{"fig9", "fig10", "phases", "ladder", "ext", "comp",
+		"ablation", "traffic", "serve", "optimize", "all"}
+	known := map[string]bool{}
+	for _, name := range valid {
+		known[name] = true
+	}
 	selected := map[string]bool{}
+	var unknown []string
 	for _, name := range strings.Split(*experiment, ",") {
-		selected[strings.TrimSpace(name)] = true
+		name = strings.TrimSpace(name)
+		if !known[name] {
+			unknown = append(unknown, name)
+			continue
+		}
+		selected[name] = true
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		fmt.Fprintf(os.Stderr, "lyra-bench: unknown experiment(s): %s\nvalid experiments: %s\n",
+			strings.Join(unknown, ", "), strings.Join(valid, ", "))
+		os.Exit(2)
 	}
 	run := func(name string, fn func() error) {
 		if !selected["all"] && !selected[name] {
@@ -276,6 +307,34 @@ func main() {
 		return nil
 	})
 
+	run("optimize", func() error {
+		params := eval.OptimizeParams{
+			K:              *optimizeK,
+			Seed:           *optimizeSeed,
+			MeasurePackets: *optimizeMeasure,
+		}.WithDefaults()
+		res, err := eval.RunOptimize(params)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Rewrite search: certified program optimization ==")
+		fmt.Print(eval.FormatOptimize(res))
+		fmt.Println()
+		dest := *optimizeOut
+		if dest == "" {
+			dest = *outPath
+		}
+		if dest != "" {
+			entry := eval.OptimizeRun{Params: params, Result: *res}
+			entry.Stamp()
+			if err := eval.AppendOptimizeRun(dest, entry); err != nil {
+				return err
+			}
+			fmt.Printf("appended optimize run to %s\n", dest)
+		}
+		return nil
+	})
+
 	run("comp", func() error {
 		steps, err := eval.Composition()
 		if err != nil {
@@ -288,7 +347,30 @@ func main() {
 	})
 
 	if *outPath != "" && (artifact.Phases != nil || artifact.Ladder != nil) {
-		data, err := json.MarshalIndent(artifact, "", "  ")
+		// Merge into the existing artifact rather than overwriting it: the
+		// optimize experiment (possibly this very invocation) appends runs
+		// under its own key, and those must survive a phases/ladder rewrite.
+		doc := map[string]json.RawMessage{}
+		if raw, err := os.ReadFile(*outPath); err == nil {
+			if err := json.Unmarshal(raw, &doc); err != nil {
+				doc = map[string]json.RawMessage{}
+			}
+		}
+		put := func(key string, v any) {
+			data, err := json.Marshal(v)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lyra-bench: %v\n", err)
+				os.Exit(1)
+			}
+			doc[key] = data
+		}
+		if artifact.Phases != nil {
+			put("phases", artifact.Phases)
+		}
+		if artifact.Ladder != nil {
+			put("ladder", artifact.Ladder)
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lyra-bench: %v\n", err)
 			os.Exit(1)

@@ -37,6 +37,7 @@ func main() {
 		shrink   = flag.Bool("shrink", true, "minimize failing cases before writing bundles")
 		parallel = flag.Int("parallel", 0, "compiler worker pool size for the parallel compile (0 = all CPUs)")
 		incr     = flag.Bool("incremental", false, "cross-check each compiling case against an incremental identity recompile (cached solver reuse must reproduce the plan)")
+		optimize = flag.Bool("optimize", false, "cross-check each compiling case against a rewrite-search compile (the optimized deployment must keep the original's reference semantics)")
 		quiet    = flag.Bool("q", false, "suppress per-case progress dots")
 	)
 	flag.Parse()
@@ -54,6 +55,7 @@ func main() {
 		SkipShrink:  !*shrink,
 		Parallelism: *parallel,
 		Incremental: *incr,
+		Optimize:    *optimize,
 	}
 
 	progress := func(i int, out difftest.Outcome) {

@@ -34,6 +34,9 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "worker pool size (0 = all CPUs, 1 = sequential)")
 		phases      = flag.Bool("phases", false, "print the per-phase timing breakdown")
 		quiet       = flag.Bool("q", false, "suppress the per-switch summary")
+
+		optimize     = flag.Bool("optimize", false, "run the certified rewrite search before placement and report it")
+		optimizeSeed = flag.Int64("optimize-seed", 1, "trace seed for the rewrite search (with -optimize)")
 	)
 	flag.Parse()
 	if *programPath == "" || *scopePath == "" {
@@ -76,6 +79,9 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown objective %q", *objective))
 	}
+	if *optimize {
+		opts = append(opts, lyra.WithOptimize(lyra.OptimizeOptions{Seed: *optimizeSeed}))
+	}
 	res, err := lyra.New(opts...).Compile(context.Background(), string(src), string(scopeText), net)
 	if err != nil {
 		fatal(err)
@@ -93,6 +99,9 @@ func main() {
 			st := res.SolverStats
 			fmt.Printf("  solver: %d decisions, %d propagations, %d conflicts, %d restarts\n",
 				st.Decisions, st.Propagations, st.Conflicts, st.Restarts)
+		}
+		if res.Optimization != nil {
+			fmt.Print(res.Optimization)
 		}
 		if res.Diagnostics.FellBack() {
 			fmt.Printf("degraded solve:\n%s\n", res.Diagnostics)

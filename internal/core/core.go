@@ -20,6 +20,7 @@ import (
 	"lyra/internal/ir"
 	"lyra/internal/lang/checker"
 	"lyra/internal/lang/parser"
+	"lyra/internal/rewrite"
 	"lyra/internal/scope"
 	"lyra/internal/smt"
 	"lyra/internal/topo"
@@ -46,6 +47,12 @@ type Request struct {
 	// Observer, when non-nil, receives a callback as each pipeline phase
 	// completes.
 	Observer Observer
+	// Optimize, when non-nil, runs the rewrite search between the front-end
+	// and placement: semantics-preserving program variants are explored,
+	// costed, and certified, and the winner (possibly the original program)
+	// proceeds through the normal pipeline. The search's account lands in
+	// Result.Optimization.
+	Optimize *rewrite.Options
 }
 
 // Result is a successful compilation, exposing every intermediate product
@@ -81,6 +88,10 @@ type Result struct {
 
 	CompileTime time.Duration
 	SolveTime   time.Duration
+
+	// Optimization is the rewrite-search report when Request.Optimize was
+	// set (nil otherwise).
+	Optimization *rewrite.Report
 }
 
 // Delta reports how a recompilation differs from its predecessor: which
@@ -153,7 +164,27 @@ func CompileContext(ctx context.Context, req Request) (*Result, error) {
 		return nil, err
 	}
 
-	return solveAndTranslate(ctx, req, irp, req.Network, scopes, start, tr, nil, nil, nil)
+	// Optional rewrite search (between front-end and placement): explore
+	// semantics-preserving variants and carry the certified winner — or the
+	// unchanged program — into the normal back half. The search runs outside
+	// the phase set; its own solves are bounded by Optimize.SolveBudget.
+	var optRep *rewrite.Report
+	if req.Optimize != nil {
+		opt := *req.Optimize
+		if opt.Objective == encode.ObjNone {
+			opt.Objective = req.Objective
+		}
+		if opt.Parallelism == 0 {
+			opt.Parallelism = req.Parallelism
+		}
+		irp, optRep = rewrite.Search(ctx, irp, req.Network, scopes, opt)
+	}
+
+	res, err := solveAndTranslate(ctx, req, irp, req.Network, scopes, start, tr, nil, nil, nil)
+	if res != nil {
+		res.Optimization = optRep
+	}
+	return res, err
 }
 
 // Recompile re-solves placement after a network change (the §6.3 loop):

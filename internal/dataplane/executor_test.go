@@ -2,6 +2,7 @@ package dataplane
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -198,6 +199,106 @@ func TestExecutorCachedPerTier(t *testing.T) {
 	}
 	if st := x2.Stats(); st.Packets != 3 {
 		t.Fatalf("stats did not accumulate across the cached instance: %+v", st)
+	}
+}
+
+// TestExecutorForInvalidTier: out-of-range tiers — negative, one past the
+// last, and far out — are typed errors naming the tier, never a panic or a
+// nil executor, and they leave the deployment usable.
+func TestExecutorForInvalidTier(t *testing.T) {
+	plan, _ := compile(t, lbSrc, lbScope)
+	dep, err := NewDeployment(plan, NewTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []ExecutorTier{ExecutorTier(-1), ExecutorTier(3), ExecutorTier(42)} {
+		x, err := dep.ExecutorFor(bad)
+		if err == nil {
+			t.Fatalf("ExecutorFor(%v) succeeded with executor %v", bad, x)
+		}
+		if x != nil {
+			t.Fatalf("ExecutorFor(%v) returned a non-nil executor alongside the error", bad)
+		}
+		if !strings.Contains(err.Error(), "unknown executor tier") ||
+			!strings.Contains(err.Error(), bad.String()) {
+			t.Fatalf("ExecutorFor(%v) error does not name the tier: %v", bad, err)
+		}
+	}
+	// Valid tiers still work on the same deployment afterwards.
+	x, err := dep.Executor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Tier() != TierEngine {
+		t.Fatalf("deployment damaged by invalid-tier probes: tier = %v", x.Tier())
+	}
+}
+
+// TestExecutorObservesTableMutationsMidReplay drives control-plane churn
+// through a live executor: entries installed with SetSwitchEntry become
+// visible to the next packet through the same Executor instance (the
+// per-switch generation bump rebinds the lane's table views), and
+// ClearSwitchTable makes them vanish again. Checked on both flat tiers,
+// where lowered table state is cached and invalidation is load-bearing.
+func TestExecutorObservesTableMutationsMidReplay(t *testing.T) {
+	plan, _ := compile(t, lbSrc, lbScope)
+	for _, tier := range []ExecutorTier{TierEngine, TierCompiled} {
+		// No VIP entries: the packet's dstAddr passes through unchanged
+		// until the mutation installs a mapping.
+		dep, err := NewDeployment(plan, NewTables(), WithExecutor(tier))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := dep.Executor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x.Tier() != tier {
+			t.Fatalf("WithExecutor(%v) selected %v", tier, x.Tier())
+		}
+		eng, err := dep.Engine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := plan.Input.Scopes["loadbalancer"].Paths[0]
+		ctx := &Context{SwitchID: 1}
+		mkPkt := func() *FlatPacket {
+			p := NewPacket()
+			p.Valid["ipv4"] = true
+			p.Valid["tcp"] = true
+			p.Fields["ipv4.srcAddr"] = 0x0A000001
+			p.Fields["ipv4.dstAddr"] = 5
+			p.Fields["ipv4.protocol"] = 6
+			p.Fields["tcp.srcPort"] = 1234
+			p.Fields["tcp.dstPort"] = 80
+			return eng.Flatten(p)
+		}
+		runDst := func() uint64 {
+			f := mkPkt()
+			if err := x.RunPacket(path, ctx, f); err != nil {
+				t.Fatalf("%v RunPacket: %v", tier, err)
+			}
+			return f.Packet().Fields["ipv4.dstAddr"]
+		}
+
+		if got := runDst(); got != 5 {
+			t.Fatalf("%v: empty tables rewrote dstAddr to %#x", tier, got)
+		}
+		for _, sw := range path {
+			dep.SetSwitchEntry(sw, "vip_table", 5, 0xDEAD)
+		}
+		if got := runDst(); got != 0xDEAD {
+			t.Fatalf("%v: mid-replay SetSwitchEntry not observed: dstAddr = %#x, want 0xdead", tier, got)
+		}
+		for _, sw := range path {
+			dep.ClearSwitchTable(sw, "vip_table")
+		}
+		if got := runDst(); got != 5 {
+			t.Fatalf("%v: mid-replay ClearSwitchTable not observed: dstAddr = %#x, want 5", tier, got)
+		}
+		if st := x.Stats(); st.Packets != 3 {
+			t.Fatalf("%v: stats = %+v, want 3 packets", tier, st)
+		}
 	}
 }
 

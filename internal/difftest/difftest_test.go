@@ -89,6 +89,24 @@ func TestCampaignIncrementalOracle(t *testing.T) {
 	}
 }
 
+// TestCampaignOptimizeOracle runs the rewrite-search cross-check: every
+// compiling case is recompiled under the certified rewrite search, and the
+// optimized deployment must keep the ORIGINAL program's reference
+// semantics on the case trace — an equivalence the oracle derives
+// independently of the search's internal certification.
+func TestCampaignOptimizeOracle(t *testing.T) {
+	sum := Run(20, 1, Options{SkipShrink: true, Optimize: true}, nil)
+	if n := sum.Unexplained(); n != 0 {
+		for _, f := range sum.Failures {
+			t.Errorf("case %d (seed %d): %s", f.Index, f.Seed, f.Outcome)
+		}
+		t.Fatalf("%d unexplained cases under the optimize oracle", n)
+	}
+	if sum.Counts[Equivalent] == 0 {
+		t.Fatal("campaign produced no equivalent cases — optimize coverage is vacuous")
+	}
+}
+
 // TestEngineCampaign200 is the bytecode-engine acceptance campaign: 200
 // generated cases executed through the oracle, which now runs every
 // deployed path on the engine and cross-checks the interpreter packet by

@@ -35,6 +35,14 @@ type Options struct {
 	// the one-shot compile — same switch set, same artifacts, same plan
 	// fingerprints — and must actually have reused the solver.
 	Incremental bool
+	// Optimize adds a rewrite-search check: every compiling case is
+	// recompiled under the certified rewrite search, and the optimized
+	// deployment must still match the ORIGINAL program's reference
+	// semantics on the case trace. The search certifies its own winners
+	// internally; this check re-derives equivalence from the oracle's
+	// independent trace, so a certification hole shows up as a
+	// divergence here.
+	Optimize bool
 }
 
 func (o Options) withDefaults() Options {
@@ -225,6 +233,11 @@ func (o *Oracle) Check(c *Case) Outcome {
 			return *out
 		}
 	}
+	if o.opts.Optimize {
+		if out := o.checkOptimize(c, compiled[0].res); out != nil {
+			return *out
+		}
+	}
 	for _, k := range compiled {
 		for _, rep := range k.res.Reports {
 			if !rep.OK {
@@ -261,6 +274,64 @@ func (o *Oracle) checkIncremental(base *lyra.Result) *Outcome {
 	if st := inc.SolverStats; st.SolveCalls < 2*st.Encodes {
 		return &Outcome{Class: SolverDisagreement,
 			Detail: fmt.Sprintf("incremental: identity recompile re-encoded instead of reusing the solver (SolveCalls=%d Encodes=%d)", st.SolveCalls, st.Encodes)}
+	}
+	return nil
+}
+
+// checkOptimize recompiles the case under the rewrite search and checks
+// the result from outside the search's own certification: the optimized
+// program's reference semantics must match the original's on the case
+// trace, and the optimized deployment must pass the full cross-tier
+// equivalence check. A nil return means the check passed.
+func (o *Oracle) checkOptimize(c *Case, base *lyra.Result) *Outcome {
+	net, err := c.Network()
+	if err != nil {
+		return &Outcome{Class: GeneratorError, Detail: err.Error()}
+	}
+	opt, err := lyra.New(lyra.WithDialect(o.opts.Dialects[0]), lyra.WithParallelism(1),
+		lyra.WithOptimize(lyra.OptimizeOptions{Seed: 7})).
+		Compile(context.Background(), c.Source(), c.ScopeText(), net)
+	if err != nil {
+		// The search falls back to the base program, which compiled, so any
+		// failure here is the optimizer's fault.
+		return &Outcome{Class: SolverDisagreement,
+			Detail: fmt.Sprintf("optimize: compile failed where plain compile succeeded: %v", err)}
+	}
+	tables := lyra.NewTables()
+	for name, entries := range c.Entries {
+		for _, e := range entries {
+			tables.Set(name, e.Key, e.Value)
+		}
+	}
+	ctx := &lyra.SimContext{SwitchID: 1}
+	for ti, tp := range c.Trace {
+		// Fresh simulators per packet: reference runs share no register
+		// state with each other in either program.
+		baseSim, err := base.Simulate(tables)
+		if err != nil {
+			return &Outcome{Class: Crash, Detail: fmt.Sprintf("optimize: deploy base: %v", err)}
+		}
+		optSim, err := opt.Simulate(tables)
+		if err != nil {
+			return &Outcome{Class: Crash, Detail: fmt.Sprintf("optimize: deploy optimized: %v", err)}
+		}
+		rb, err := baseSim.RunReference(ctx, mkPacket(tp))
+		if err != nil {
+			return &Outcome{Class: Crash, Detail: fmt.Sprintf("optimize: base reference: %v", err)}
+		}
+		ro, err := optSim.RunReference(ctx, mkPacket(tp))
+		if err != nil {
+			return &Outcome{Class: Crash, Detail: fmt.Sprintf("optimize: optimized reference: %v", err)}
+		}
+		if diffs := dataplane.DiffPackets(rb, ro, nil); len(diffs) > 0 {
+			return &Outcome{Class: OutputDivergence, Detail: fmt.Sprintf(
+				"optimize: rewritten program diverges from the original's reference on packet#%d: %s",
+				ti, strings.Join(diffs, "; "))}
+		}
+	}
+	if out := o.equivalent(c, opt); out.Class != Equivalent {
+		out.Detail = "optimize: " + out.Detail
+		return &out
 	}
 	return nil
 }

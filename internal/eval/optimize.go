@@ -1,0 +1,194 @@
+package eval
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lyra/internal/asic"
+	"lyra/internal/core"
+	"lyra/internal/rewrite"
+	"lyra/internal/topo"
+)
+
+// The optimize experiment (E15): compile a Figure-9-style nested-gateway
+// ACL twice over a k-ary fat-tree pod — once straight through the pipeline,
+// once under the rewrite search — and record the search's certified
+// improvement. The scenario is constructed so the merge-gateway rule has a
+// strict win available: the inner comparison is guarded, so the base
+// program synthesizes a compute table plus a gateway table, while the
+// hoisted variant absorbs both comparisons into one multi-field match
+// table (the paper's §7.1 NetCache-style merge).
+
+// optimizeSrc is the nested-gateway ACL scenario program.
+const optimizeSrc = `
+header_type ipv4_t { bit[32] srcAddr; bit[32] dstAddr; bit[8] tos; bit[8] ttl; }
+header ipv4_t ipv4;
+pipeline[ACL]{acl};
+algorithm acl {
+  if (ipv4.tos == 1) {
+    if (ipv4.ttl == 2) {
+      drop();
+    }
+  }
+}
+`
+
+// OptimizeParams pins the knobs one optimize run used.
+type OptimizeParams struct {
+	K              int   `json:"k"`
+	Seed           int64 `json:"seed"`
+	MaxCandidates  int   `json:"max_candidates"`
+	BeamWidth      int   `json:"beam_width"`
+	MaxDepth       int   `json:"max_depth"`
+	TracePackets   int   `json:"trace_packets"`
+	MeasurePackets int   `json:"measure_packets"`
+}
+
+// OptimizeResult is the outcome of one optimize experiment: the search's
+// own report plus the end-to-end compile times with and without the search.
+type OptimizeResult struct {
+	Report *rewrite.Report `json:"report"`
+	// BaselineCompileMS and OptimizedCompileMS are the wall-clock compile
+	// times without and with the rewrite search (the search pays for its
+	// candidate solves and certification inside the latter).
+	BaselineCompileMS  float64 `json:"baseline_compile_ms"`
+	OptimizedCompileMS float64 `json:"optimized_compile_ms"`
+	// Switches counts programmed switches in the optimized compile.
+	Switches int `json:"switches"`
+}
+
+// OptimizeRun is one provenance-stamped optimize experiment, appended to
+// the {"optimize": [...]} key of BENCH_compile.json.
+type OptimizeRun struct {
+	GitSHA    string         `json:"git_sha"`
+	Timestamp string         `json:"timestamp"`
+	Params    OptimizeParams `json:"params"`
+	Result    OptimizeResult `json:"result"`
+}
+
+// Stamp fills the run's provenance fields in place.
+func (r *OptimizeRun) Stamp() {
+	r.GitSHA = GitSHA()
+	r.Timestamp = time.Now().UTC().Format(time.RFC3339)
+}
+
+// WithDefaults fills unset knobs with the experiment's standard budget, so
+// callers can record the parameters a run actually used.
+func (p OptimizeParams) WithDefaults() OptimizeParams {
+	if p.K <= 0 {
+		p.K = 4
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.MaxCandidates <= 0 {
+		p.MaxCandidates = 8
+	}
+	if p.BeamWidth <= 0 {
+		p.BeamWidth = 4
+	}
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = 2
+	}
+	if p.TracePackets <= 0 {
+		p.TracePackets = 24
+	}
+	return p
+}
+
+// RunOptimize executes the optimize experiment. It fails when the search
+// finds no certified improvement — the scenario guarantees one exists, so
+// coming back empty means the subsystem regressed (this is the CI
+// optimize-smoke assertion).
+func RunOptimize(params OptimizeParams) (*OptimizeResult, error) {
+	params = params.WithDefaults()
+	net := topo.FatTreePod(params.K, asic.Tofino32Q)
+	scopeSpec := "acl: [ ToR* | PER-SW | - ]"
+
+	base := core.Request{Source: optimizeSrc, SourceName: "optimize.lyra",
+		ScopeSpec: scopeSpec, Network: net}
+	start := time.Now()
+	if _, err := core.CompileContext(context.Background(), base); err != nil {
+		return nil, fmt.Errorf("baseline compile: %w", err)
+	}
+	baseMS := float64(time.Since(start).Microseconds()) / 1000
+
+	opt := base
+	opt.Optimize = &rewrite.Options{
+		MaxCandidates:  params.MaxCandidates,
+		BeamWidth:      params.BeamWidth,
+		MaxDepth:       params.MaxDepth,
+		Seed:           params.Seed,
+		TracePackets:   params.TracePackets,
+		MeasurePackets: params.MeasurePackets,
+	}
+	start = time.Now()
+	res, err := core.CompileContext(context.Background(), opt)
+	if err != nil {
+		return nil, fmt.Errorf("optimized compile: %w", err)
+	}
+	optMS := float64(time.Since(start).Microseconds()) / 1000
+
+	rep := res.Optimization
+	if rep == nil {
+		return nil, fmt.Errorf("optimized compile produced no optimization report")
+	}
+	if !rep.Improved {
+		return nil, fmt.Errorf("rewrite search found no certified improvement on the nested-gateway scenario:\n%s", rep)
+	}
+	return &OptimizeResult{
+		Report:             rep,
+		BaselineCompileMS:  baseMS,
+		OptimizedCompileMS: optMS,
+		Switches:           len(res.Artifacts),
+	}, nil
+}
+
+// FormatOptimize renders an optimize result for the CLI.
+func FormatOptimize(r *OptimizeResult) string {
+	var b strings.Builder
+	b.WriteString(r.Report.String())
+	fmt.Fprintf(&b, "  compile: baseline %.1fms, with search %.1fms (%d switches)\n",
+		r.BaselineCompileMS, r.OptimizedCompileMS, r.Switches)
+	return b.String()
+}
+
+// AppendOptimizeRun appends a run to the "optimize" key of the compile
+// artifact at path, creating the file if absent. Every other key the
+// artifact holds (phases, ladder, earlier runs) is preserved verbatim — the
+// optimize entry is a log, not a snapshot.
+func AppendOptimizeRun(path string, run OptimizeRun) error {
+	doc := map[string]json.RawMessage{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("eval: %s exists but is not a JSON object: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	var runs []json.RawMessage
+	if cur, ok := doc["optimize"]; ok {
+		if err := json.Unmarshal(cur, &runs); err != nil {
+			return fmt.Errorf("eval: %s has a malformed optimize key: %w", path, err)
+		}
+	}
+	entry, err := json.Marshal(run)
+	if err != nil {
+		return err
+	}
+	runs = append(runs, entry)
+	merged, err := json.Marshal(runs)
+	if err != nil {
+		return err
+	}
+	doc["optimize"] = merged
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunOptimizeFindsCertifiedWin(t *testing.T) {
+	res, err := RunOptimize(OptimizeParams{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	if !rep.Improved {
+		t.Fatalf("report not improved:\n%s", rep)
+	}
+	if !rep.BestCost.Less(rep.BaseCost) {
+		t.Fatalf("best cost %s not below base %s", rep.BestCost, rep.BaseCost)
+	}
+	if rep.CertifyAttempts == 0 || rep.Rejected != 0 {
+		t.Fatalf("certification bookkeeping off: attempts=%d rejected=%d",
+			rep.CertifyAttempts, rep.Rejected)
+	}
+	if res.Switches == 0 {
+		t.Fatal("optimized compile produced no artifacts")
+	}
+}
+
+func TestAppendOptimizeRunPreservesSiblings(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_compile.json")
+	seed := `{"phases":[{"program":"x"}],"ladder":{"solved":1}}`
+	if err := os.WriteFile(path, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := OptimizeRun{Params: OptimizeParams{K: 4, Seed: 1}}
+	run.Stamp()
+	if run.Timestamp == "" || run.GitSHA == "" {
+		t.Fatalf("stamp left provenance empty: %+v", run)
+	}
+	if err := AppendOptimizeRun(path, run); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendOptimizeRun(path, run); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"phases", "ladder"} {
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("append clobbered sibling key %q: %s", key, raw)
+		}
+	}
+	var runs []OptimizeRun
+	if err := json.Unmarshal(doc["optimize"], &runs); err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("optimize entries = %d, want 2", len(runs))
+	}
+	if runs[0].Params.K != 4 || runs[0].Timestamp == "" {
+		t.Fatalf("round-tripped run lost fields: %+v", runs[0])
+	}
+}
+
+func TestAppendOptimizeRunCreatesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.json")
+	run := OptimizeRun{Params: OptimizeParams{K: 6}}
+	run.Stamp()
+	if err := AppendOptimizeRun(path, run); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string][]OptimizeRun
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc["optimize"]) != 1 {
+		t.Fatalf("want 1 optimize entry, got %v", doc)
+	}
+}

@@ -1,0 +1,222 @@
+// Package rewrite is Lyra's semantics-preserving program-rewrite layer: a
+// bounded best-first search over structurally different but behaviorally
+// equivalent variants of an ir.Program, run between the front-end and SMT
+// placement so the solver can choose among table structures instead of
+// taking the synthesized one as given (the equality-saturation idea of
+// "Scaling Program Synthesis Based Technology Mapping", scoped down to an
+// e-graph-lite: canonical-fingerprint dedup over a beam-limited frontier).
+//
+// The subsystem has three parts:
+//
+//   - a rule library (rules.go) of local rewrites — gateway-table
+//     merge/split, select merge/split, predicate-block reorder, stage
+//     reshape, extern key-widening — each emitting candidates that are
+//     equivalent by construction;
+//   - a two-level cost model (cost.go): a cheap static tier (synthesized
+//     table/action counts from internal/synth) orders and prunes the
+//     frontier, then a real compile through encode/smt scores survivors,
+//     optionally followed by a traffic-engine replay measurement;
+//   - a certification oracle (certify.go): before any candidate may win, it
+//     must be proven equivalent to the base program on seeded traces — the
+//     one-big-pipeline references are diffed packet-by-packet, and the
+//     candidate's deployed execution is cross-checked through the
+//     interpreter, bytecode-engine, and compiled tiers against the base
+//     reference on the fields each algorithm owns (the difftest-oracle
+//     discipline).
+//
+// The search is deterministic for a fixed seed and budget: candidates are
+// generated, deduped, pruned, and ranked in a fixed order, measured replay
+// throughput is reported but never used for ranking, and two runs over the
+// same inputs produce byte-identical winning programs and reports.
+package rewrite
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+	"time"
+
+	"lyra/internal/encode"
+	"lyra/internal/frontend"
+	"lyra/internal/ir"
+)
+
+// Rule is one local rewrite. Apply returns zero or more rewritten deep
+// clones of p (the input is never mutated); the search normalizes and
+// fingerprints every candidate. Rules must be deterministic: the same input
+// program yields the same candidates in the same order.
+type Rule interface {
+	Name() string
+	Apply(p *ir.Program) []*ir.Program
+}
+
+// DefaultRules returns the built-in rule library in application order.
+func DefaultRules() []Rule {
+	return []Rule{
+		mergeGatewayRule{},
+		splitGatewayRule{},
+		mergeSelectRule{},
+		splitSelectRule{},
+		reorderGuardRule{},
+		reshapeASAPRule{},
+		widenKeyRule{},
+	}
+}
+
+// Options bounds and seeds one search. The zero value selects the defaults
+// noted per field.
+type Options struct {
+	// MaxCandidates bounds how many candidates get a real compile through
+	// encode/smt (default 16). The base program's compile is not counted.
+	MaxCandidates int
+	// BeamWidth bounds the frontier kept per depth after static-cost
+	// ranking (default 6).
+	BeamWidth int
+	// MaxDepth bounds rule-application chains (default 3).
+	MaxDepth int
+	// Seed drives certification trace generation (default 1).
+	Seed int64
+	// TracePackets is the number of generated packets each certification
+	// runs (default 24).
+	TracePackets int
+	// CertifyPaths caps the flow paths exercised per algorithm during
+	// certification (default 4; 0 selects the default, negative means all).
+	CertifyPaths int
+	// SolveBudget bounds each candidate's SMT solve (default 10s).
+	SolveBudget time.Duration
+	// Objective is the placement objective candidates are solved under
+	// (normally the enclosing compile's objective).
+	Objective encode.Objective
+	// Parallelism bounds each candidate solve's worker pool (<= 0 selects
+	// GOMAXPROCS). The search itself is sequential and deterministic.
+	Parallelism int
+	// MeasurePackets, when > 0, replays this many packets through the
+	// compiled execution tier for the base program and the certified winner
+	// and records the throughput in the report. Measured rates never
+	// influence ranking, so they do not perturb determinism of the winner;
+	// leave 0 for byte-identical reports across runs.
+	MeasurePackets int
+	// Rules overrides the rule library (nil = DefaultRules). Tests inject
+	// deliberately broken rules here to prove certification rejects them.
+	Rules []Rule
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 16
+	}
+	if o.BeamWidth <= 0 {
+		o.BeamWidth = 6
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.TracePackets <= 0 {
+		o.TracePackets = 24
+	}
+	if o.CertifyPaths == 0 {
+		o.CertifyPaths = 4
+	}
+	if o.SolveBudget <= 0 {
+		o.SolveBudget = 10 * time.Second
+	}
+	if o.Rules == nil {
+		o.Rules = DefaultRules()
+	}
+	return o
+}
+
+// Report is the machine- and human-readable account of one search. All
+// fields except the replay measurements are deterministic for a fixed seed
+// and budget.
+type Report struct {
+	// Explored counts candidate programs generated by rule application
+	// (before dedup).
+	Explored int `json:"explored"`
+	// Deduped counts candidates dropped because their canonical fingerprint
+	// was already seen (the e-graph-lite equivalence-class collapse).
+	Deduped int `json:"deduped"`
+	// Pruned counts candidates dropped by static-cost beam pruning or the
+	// MaxCandidates solve budget without a real compile.
+	Pruned int `json:"pruned"`
+	// Solved counts candidates compiled through encode/smt.
+	Solved int `json:"solved"`
+	// Infeasible counts solved candidates with no feasible placement.
+	Infeasible int `json:"infeasible"`
+	// CertifyAttempts counts candidates run through the equivalence oracle.
+	CertifyAttempts int `json:"certify_attempts"`
+	// Rejected counts candidates the oracle refused (a rejection indicates
+	// a broken rule; see RejectionDetail).
+	Rejected int `json:"rejected"`
+	// RejectionDetail carries the first oracle rejection, for diagnosis.
+	RejectionDetail string `json:"rejection_detail,omitempty"`
+	// Improved reports whether a certified candidate beat the base program.
+	Improved bool `json:"improved"`
+	// Applied is the rule chain that produced the winner (empty when the
+	// base program won).
+	Applied []string `json:"applied,omitempty"`
+	// BaseCost and BestCost are the base program's and winner's cost
+	// vectors (equal when no candidate improved).
+	BaseCost Cost `json:"base_cost"`
+	BestCost Cost `json:"best_cost"`
+	// BaseFingerprint and WinnerFingerprint canonically identify the
+	// programs compared.
+	BaseFingerprint   string `json:"base_fingerprint"`
+	WinnerFingerprint string `json:"winner_fingerprint"`
+	// Note records a non-fatal condition (e.g. the base program failed to
+	// solve, so the search was skipped).
+	Note string `json:"note,omitempty"`
+	// BaseReplayPktsPerSec and WinnerReplayPktsPerSec are the optional
+	// compiled-tier replay measurements (0 when MeasurePackets was 0).
+	// They are reported for the record and never used for ranking.
+	BaseReplayPktsPerSec   float64 `json:"base_replay_pkts_per_sec,omitempty"`
+	WinnerReplayPktsPerSec float64 `json:"winner_replay_pkts_per_sec,omitempty"`
+}
+
+// String renders the deterministic portion of the report for logs and CLI
+// output; the measured replay rates are appended only when present.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rewrite search: explored=%d deduped=%d pruned=%d solved=%d infeasible=%d certified=%d rejected=%d\n",
+		r.Explored, r.Deduped, r.Pruned, r.Solved, r.Infeasible, r.CertifyAttempts, r.Rejected)
+	if r.Improved {
+		fmt.Fprintf(&b, "  winner: rules=[%s]\n", strings.Join(r.Applied, " "))
+		fmt.Fprintf(&b, "  cost: %s -> %s\n", r.BaseCost, r.BestCost)
+	} else {
+		fmt.Fprintf(&b, "  no certified improvement; base program kept (cost %s)\n", r.BaseCost)
+	}
+	if r.Note != "" {
+		fmt.Fprintf(&b, "  note: %s\n", r.Note)
+	}
+	if r.BaseReplayPktsPerSec > 0 || r.WinnerReplayPktsPerSec > 0 {
+		fmt.Fprintf(&b, "  replay: base %.0f pkts/s, winner %.0f pkts/s\n",
+			r.BaseReplayPktsPerSec, r.WinnerReplayPktsPerSec)
+	}
+	return b.String()
+}
+
+// Normalize renumbers every algorithm's instructions densely, clears the
+// derived dependency and predicate annotations, and re-runs the code
+// analyzer. Every rule application must be followed by Normalize before the
+// program is fingerprinted, costed, or executed.
+func Normalize(p *ir.Program) {
+	for _, a := range p.Algorithms {
+		a.Preds = map[*ir.Var]int{}
+		for i, in := range a.Instrs {
+			in.ID = i
+			in.Deps = nil
+		}
+	}
+	frontend.Analyze(p)
+}
+
+// Fingerprint canonically identifies a normalized program's structure: the
+// sha256 of its deterministic IR dump (guards, operations, operands, extern
+// key/value widths included; derived dependency edges excluded). Two
+// programs with equal fingerprints are the same rewrite-search node.
+func Fingerprint(p *ir.Program) string {
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(p.Dump())))
+}

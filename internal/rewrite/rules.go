@@ -1,0 +1,498 @@
+package rewrite
+
+import (
+	"lyra/internal/ir"
+)
+
+// The rule library. Every rule returns fresh clones; the equivalence
+// argument for each is stated on the rule. All rules iterate algorithms and
+// instructions in program order, so candidate order is deterministic.
+
+// guardHasPrefix reports whether g starts with the terms of prefix.
+func guardHasPrefix(g, prefix ir.Guard) bool {
+	if len(g) < len(prefix) {
+		return false
+	}
+	for i, t := range prefix {
+		if g[i].Var != t.Var || g[i].Neg != t.Neg {
+			return false
+		}
+	}
+	return true
+}
+
+// comparisonShape reports whether in is a comparison of a header field
+// against a constant that defines an SSA variable — the shape synth can
+// absorb into a table match when the result is only ever used as a guard.
+func comparisonShape(in *ir.Instr) *ir.Var {
+	v := in.WritesVar()
+	if v == nil || in.Op != ir.IBin || !in.BinOp.IsComparison() {
+		return nil
+	}
+	fieldConst := (in.Args[0].Kind == ir.OpdField && in.Args[1].Kind == ir.OpdConst) ||
+		(in.Args[1].Kind == ir.OpdField && in.Args[0].Kind == ir.OpdConst)
+	if !fieldConst {
+		return nil
+	}
+	return v
+}
+
+// readersRespectPrefix verifies the hoistability condition shared by the
+// gateway rules: v is never read as a data operand, and every guard that
+// tests v carries prefix as its leading terms with v appearing only after
+// them. Under these conditions v's value is observable only when prefix
+// holds, so computing it unconditionally (or exactly under prefix) cannot
+// change any observable behavior.
+func readersRespectPrefix(a *ir.Algorithm, v *ir.Var, prefix ir.Guard) bool {
+	used := false
+	for _, j := range a.Instrs {
+		for _, arg := range j.Args {
+			if arg.Kind == ir.OpdVar && arg.Var == v {
+				return false // read as data: hoisting would be observable
+			}
+		}
+		for k, t := range j.Guard {
+			if t.Var != v {
+				continue
+			}
+			if k < len(prefix) || !guardHasPrefix(j.Guard, prefix) {
+				return false
+			}
+			used = true
+		}
+	}
+	return used
+}
+
+// mergeGatewayRule (table merge): hoists a guarded field-vs-constant
+// comparison to unconditional when its result is only read in guards that
+// extend the comparison's own guard. The hoisted comparison becomes
+// absorbable, so its compute table merges into the gateway tables it feeds
+// — the paper's §7.1 NetCache-style multi-field match merge.
+//
+// Equivalence: the comparison writes one SSA variable and nothing else.
+// When its original guard holds, the hoisted instruction computes the same
+// value at the same position. When the guard fails, the freshly computed
+// value is unobservable: every read site's guard starts with the same
+// (failed) prefix, so no reading instruction executes.
+type mergeGatewayRule struct{}
+
+func (mergeGatewayRule) Name() string { return "merge-gateway" }
+
+func (mergeGatewayRule) Apply(p *ir.Program) []*ir.Program {
+	var out []*ir.Program
+	for ai, a := range p.Algorithms {
+		for ii, in := range a.Instrs {
+			if len(in.Guard) == 0 {
+				continue
+			}
+			v := comparisonShape(in)
+			if v == nil {
+				continue
+			}
+			if !readersRespectPrefix(a, v, in.Guard) {
+				continue
+			}
+			q := p.Clone()
+			q.Algorithms[ai].Instrs[ii].Guard = nil
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// splitGatewayRule (table split): the inverse of mergeGatewayRule. An
+// unconditional field-vs-constant comparison whose result is only tested
+// inside guards sharing a common non-empty prefix is re-guarded with that
+// prefix, splitting a merged multi-field gateway back into compute +
+// gateway tables. Same equivalence argument, run in reverse; the prefix
+// variables must all be defined before the comparison so re-guarding adds
+// only backward dependency edges.
+type splitGatewayRule struct{}
+
+func (splitGatewayRule) Name() string { return "split-gateway" }
+
+func (splitGatewayRule) Apply(p *ir.Program) []*ir.Program {
+	var out []*ir.Program
+	for ai, a := range p.Algorithms {
+		defIdx := map[*ir.Var]int{}
+		for i, in := range a.Instrs {
+			if v := in.WritesVar(); v != nil {
+				defIdx[v] = i
+			}
+		}
+		for ii, in := range a.Instrs {
+			if len(in.Guard) != 0 {
+				continue
+			}
+			v := comparisonShape(in)
+			if v == nil {
+				continue
+			}
+			prefix := commonReaderPrefix(a, v)
+			if len(prefix) == 0 {
+				continue
+			}
+			ok := true
+			for _, t := range prefix {
+				d, defined := defIdx[t.Var]
+				if !defined || d >= ii {
+					ok = false
+					break
+				}
+			}
+			if !ok || !readersRespectPrefix(a, v, prefix) {
+				continue
+			}
+			q := p.Clone()
+			qi := q.Algorithms[ai].Instrs[ii]
+			g := make(ir.Guard, len(prefix))
+			for gi, t := range prefix {
+				// Remap prefix terms into the clone's variable identity.
+				var qv *ir.Var
+				for _, cand := range q.Algorithms[ai].Instrs {
+					if w := cand.WritesVar(); w != nil && w.Name == t.Var.Name && w.Ver == t.Var.Ver {
+						qv = w
+						break
+					}
+				}
+				if qv == nil {
+					ok = false
+					break
+				}
+				g[gi] = ir.GuardTerm{Var: qv, Neg: t.Neg}
+			}
+			if !ok {
+				continue
+			}
+			qi.Guard = g
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// commonReaderPrefix computes the longest common guard prefix, up to v's
+// first occurrence, across every guard that tests v. Returns nil when v is
+// read as a data operand or never tested.
+func commonReaderPrefix(a *ir.Algorithm, v *ir.Var) ir.Guard {
+	var prefix ir.Guard
+	first := true
+	for _, j := range a.Instrs {
+		for _, arg := range j.Args {
+			if arg.Kind == ir.OpdVar && arg.Var == v {
+				return nil
+			}
+		}
+		for k, t := range j.Guard {
+			if t.Var != v {
+				continue
+			}
+			cur := j.Guard[:k]
+			if first {
+				prefix = append(ir.Guard(nil), cur...)
+				first = false
+				continue
+			}
+			n := len(prefix)
+			if len(cur) < n {
+				n = len(cur)
+			}
+			m := 0
+			for m < n && prefix[m].Var == cur[m].Var && prefix[m].Neg == cur[m].Neg {
+				m++
+			}
+			prefix = prefix[:m]
+		}
+	}
+	return prefix
+}
+
+// mergeSelectRule (table merge): two adjacent assignments to the same
+// header field under complementary innermost guard terms fuse into one
+// select instruction under the shared guard prefix.
+//
+// Equivalence, case by case on the shared prefix G and predicate p: under
+// G∧p the original writes the then-value and the select picks the same
+// operand; under G∧¬p symmetrically; under ¬G neither form writes.
+// Adjacency guarantees no instruction observes the field between the two
+// writes, and operand evaluation is side-effect free, so evaluating the
+// untaken arm's operand is unobservable.
+type mergeSelectRule struct{}
+
+func (mergeSelectRule) Name() string { return "merge-select" }
+
+func (mergeSelectRule) Apply(p *ir.Program) []*ir.Program {
+	var out []*ir.Program
+	for ai, a := range p.Algorithms {
+		for ii := 0; ii+1 < len(a.Instrs); ii++ {
+			x, y := a.Instrs[ii], a.Instrs[ii+1]
+			if x.Op != ir.IAssign || y.Op != ir.IAssign {
+				continue
+			}
+			if x.Dest.Kind != ir.DestField || y.Dest.Kind != ir.DestField {
+				continue
+			}
+			if x.Dest.Hdr != y.Dest.Hdr || x.Dest.Field != y.Dest.Field {
+				continue
+			}
+			n := len(x.Guard)
+			if n == 0 || len(y.Guard) != n {
+				continue
+			}
+			if !guardHasPrefix(y.Guard, x.Guard[:n-1]) {
+				continue
+			}
+			tx, ty := x.Guard[n-1], y.Guard[n-1]
+			if tx.Var != ty.Var || tx.Neg == ty.Neg {
+				continue
+			}
+			q := p.Clone()
+			qa := q.Algorithms[ai]
+			qx, qy := qa.Instrs[ii], qa.Instrs[ii+1]
+			pv := qx.Guard[n-1].Var
+			pos, neg := qx.Args[0], qy.Args[0]
+			if qx.Guard[n-1].Neg {
+				pos, neg = qy.Args[0], qx.Args[0]
+			}
+			merged := &ir.Instr{
+				Op:    ir.ISelect,
+				Alg:   qx.Alg,
+				Dest:  qx.Dest,
+				Args:  []ir.Operand{ir.VarOp(pv), pos, neg},
+				Guard: append(ir.Guard(nil), qx.Guard[:n-1]...),
+				Pos:   qx.Pos,
+			}
+			qa.Instrs = append(qa.Instrs[:ii], append([]*ir.Instr{merged}, qa.Instrs[ii+2:]...)...)
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// splitSelectRule (table split): the inverse of mergeSelectRule. A select
+// into a header field whose condition is a boolean SSA variable splits into
+// two complementary guarded assignments. The guards are mutually exclusive,
+// so the two writes can never both execute; the same case analysis applies
+// in reverse.
+type splitSelectRule struct{}
+
+func (splitSelectRule) Name() string { return "split-select" }
+
+func (splitSelectRule) Apply(p *ir.Program) []*ir.Program {
+	var out []*ir.Program
+	for ai, a := range p.Algorithms {
+		for ii, in := range a.Instrs {
+			if in.Op != ir.ISelect || in.Dest.Kind != ir.DestField {
+				continue
+			}
+			if in.Args[0].Kind != ir.OpdVar || in.Args[0].Var == nil || !in.Args[0].Var.Bool {
+				continue
+			}
+			q := p.Clone()
+			qa := q.Algorithms[ai]
+			qi := qa.Instrs[ii]
+			pv := qi.Args[0].Var
+			pos := &ir.Instr{
+				Op: ir.IAssign, Alg: qi.Alg, Dest: qi.Dest,
+				Args:  []ir.Operand{qi.Args[1]},
+				Guard: append(append(ir.Guard(nil), qi.Guard...), ir.GuardTerm{Var: pv}),
+				Pos:   qi.Pos,
+			}
+			neg := &ir.Instr{
+				Op: ir.IAssign, Alg: qi.Alg, Dest: qi.Dest,
+				Args:  []ir.Operand{qi.Args[2]},
+				Guard: append(append(ir.Guard(nil), qi.Guard...), ir.GuardTerm{Var: pv, Neg: true}),
+				Pos:   qi.Pos,
+			}
+			qa.Instrs = append(qa.Instrs[:ii], append([]*ir.Instr{pos, neg}, qa.Instrs[ii+1:]...)...)
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// reorderGuardRule (predicate-block reorder): re-sorts each algorithm's
+// instructions into a dependency-respecting order that keeps same-guard
+// instructions adjacent, so synthesis groups them into fewer predicate
+// blocks.
+//
+// Equivalence: the analyzer's dependency edges capture every read-after-
+// write, write-after-read, and write-after-write hazard (memory edges
+// between mutually exclusive guards are omitted precisely because those
+// instruction pairs never both execute). Any topological order of the
+// dependency graph therefore executes identically on every packet.
+type reorderGuardRule struct{}
+
+func (reorderGuardRule) Name() string { return "reorder-guard" }
+
+func (reorderGuardRule) Apply(p *ir.Program) []*ir.Program {
+	perm, changed := groupedTopoOrder(p)
+	if !changed {
+		return nil
+	}
+	return []*ir.Program{permute(p, perm)}
+}
+
+// groupedTopoOrder computes, per algorithm, a Kahn topological order that
+// prefers continuing the current guard group, breaking ties by original
+// position. Returns the permutations and whether any differs from identity.
+func groupedTopoOrder(p *ir.Program) ([][]int, bool) {
+	perms := make([][]int, len(p.Algorithms))
+	changed := false
+	for ai, a := range p.Algorithms {
+		n := len(a.Instrs)
+		indeg := make([]int, n)
+		succ := make([][]int, n)
+		for i, in := range a.Instrs {
+			for _, d := range in.Deps {
+				succ[d] = append(succ[d], i)
+				indeg[i]++
+			}
+		}
+		ready := make([]bool, n)
+		for i := 0; i < n; i++ {
+			ready[i] = indeg[i] == 0
+		}
+		order := make([]int, 0, n)
+		done := make([]bool, n)
+		lastKey := ""
+		for len(order) < n {
+			pick := -1
+			for i := 0; i < n; i++ {
+				if ready[i] && !done[i] && a.Instrs[i].Guard.String() == lastKey {
+					pick = i
+					break
+				}
+			}
+			if pick < 0 {
+				for i := 0; i < n; i++ {
+					if ready[i] && !done[i] {
+						pick = i
+						break
+					}
+				}
+			}
+			done[pick] = true
+			order = append(order, pick)
+			lastKey = a.Instrs[pick].Guard.String()
+			for _, s := range succ[pick] {
+				indeg[s]--
+				if indeg[s] == 0 {
+					ready[s] = true
+				}
+			}
+		}
+		perms[ai] = order
+		for i, o := range order {
+			if i != o {
+				changed = true
+			}
+		}
+	}
+	return perms, changed
+}
+
+// reshapeASAPRule (stage reshape): re-sorts each algorithm's instructions
+// by as-soon-as-possible dependency depth (ties by original position),
+// presenting the placement encoder a schedule whose block structure follows
+// dependency levels. Equivalence: same topological-order argument as
+// reorderGuardRule.
+type reshapeASAPRule struct{}
+
+func (reshapeASAPRule) Name() string { return "reshape-asap" }
+
+func (reshapeASAPRule) Apply(p *ir.Program) []*ir.Program {
+	perms := make([][]int, len(p.Algorithms))
+	changed := false
+	for ai, a := range p.Algorithms {
+		n := len(a.Instrs)
+		depth := make([]int, n)
+		for i, in := range a.Instrs {
+			d := 0
+			for _, dep := range in.Deps {
+				if depth[dep]+1 > d {
+					d = depth[dep] + 1
+				}
+			}
+			depth[i] = d
+		}
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		// Stable insertion sort by (depth, original index).
+		for i := 1; i < n; i++ {
+			for j := i; j > 0; j-- {
+				a1, b1 := order[j-1], order[j]
+				if depth[a1] > depth[b1] || (depth[a1] == depth[b1] && a1 > b1) {
+					order[j-1], order[j] = order[j], order[j-1]
+				} else {
+					break
+				}
+			}
+		}
+		perms[ai] = order
+		for i, o := range order {
+			if i != o {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		return nil
+	}
+	return []*ir.Program{permute(p, perms)}
+}
+
+// permute clones p and reorders each algorithm's instructions per the given
+// permutation (perm[ai][k] = original index of the instruction now at k).
+func permute(p *ir.Program, perms [][]int) *ir.Program {
+	q := p.Clone()
+	for ai, perm := range perms {
+		a := q.Algorithms[ai]
+		instrs := make([]*ir.Instr, len(a.Instrs))
+		for k, o := range perm {
+			instrs[k] = a.Instrs[o]
+		}
+		a.Instrs = instrs
+	}
+	return q
+}
+
+// widenKeyRule (extern key-widening): rounds an extern table's key-field
+// widths up to byte boundaries. Execution semantics are untouched —
+// simulated lookups match on raw key values, and declared widths feed only
+// resource accounting (match bits) and emitted code — so the variant is
+// equivalent by construction while presenting the placement solver a
+// byte-aligned match layout (what hand-written P4 usually declares).
+type widenKeyRule struct{}
+
+func (widenKeyRule) Name() string { return "widen-key" }
+
+func (widenKeyRule) Apply(p *ir.Program) []*ir.Program {
+	var out []*ir.Program
+	for ai, a := range p.Algorithms {
+		for ei, e := range a.Externs {
+			ragged := false
+			for _, k := range e.Keys {
+				if k.Type.Bits%8 != 0 {
+					ragged = true
+					break
+				}
+			}
+			if !ragged {
+				continue
+			}
+			q := p.Clone()
+			qe := q.Algorithms[ai].Externs[ei]
+			for ki := range qe.Keys {
+				if r := qe.Keys[ki].Type.Bits % 8; r != 0 {
+					qe.Keys[ki].Type.Bits += 8 - r
+				}
+			}
+			out = append(out, q)
+		}
+	}
+	return out
+}

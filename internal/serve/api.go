@@ -53,6 +53,13 @@ type ArtifactSummary struct {
 	Code    string `json:"code,omitempty"`
 }
 
+// PhaseMs is one pipeline phase's wall-clock share of a compile, in
+// execution order (parse, check, preprocess, analyze, scope, ...).
+type PhaseMs struct {
+	Phase string  `json:"phase"`
+	Ms    float64 `json:"ms"`
+}
+
 // CompileResponse reports a completed compilation.
 type CompileResponse struct {
 	// Fingerprint content-hashes the full artifact set; equal fingerprints
@@ -68,6 +75,10 @@ type CompileResponse struct {
 	Deduped   bool    `json:"deduped"`
 	CompileMs float64 `json:"compile_ms"`
 	SolveMs   float64 `json:"solve_ms"`
+	// Phases is the per-phase timing breakdown of the compile that
+	// produced this artifact. A cached or deduped response carries the
+	// breakdown of the compile that populated the cache entry.
+	Phases []PhaseMs `json:"phases,omitempty"`
 }
 
 // SessionResponse is returned on session creation.

@@ -97,6 +97,60 @@ func TestCompileEndpointAndCache(t *testing.T) {
 	}
 }
 
+// TestCompileResponseCarriesPhaseTimings checks the per-phase breakdown on
+// the wire: a fresh compile reports every pipeline phase with sane
+// durations, and both the session-creation response and cache hits carry
+// the breakdown of the compile that produced the artifact.
+func TestCompileResponseCarriesPhaseTimings(t *testing.T) {
+	_, c := newTestDaemon(t, Config{MaxInflight: 2})
+	ctx := context.Background()
+
+	resp, err := c.Compile(ctx, lbRequest())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if len(resp.Phases) == 0 {
+		t.Fatalf("compile response carries no phase timings: %+v", resp)
+	}
+	seen := map[string]bool{}
+	var total float64
+	for _, ph := range resp.Phases {
+		if ph.Phase == "" {
+			t.Fatalf("unnamed phase in %+v", resp.Phases)
+		}
+		if ph.Ms < 0 {
+			t.Fatalf("phase %s has negative duration %v", ph.Phase, ph.Ms)
+		}
+		seen[ph.Phase] = true
+		total += ph.Ms
+	}
+	for _, want := range []string{"parse", "solve", "codegen"} {
+		if !seen[want] {
+			t.Fatalf("phase %q missing from breakdown %+v", want, resp.Phases)
+		}
+	}
+	if total > resp.CompileMs*1.5+1 {
+		t.Fatalf("phase sum %.3fms wildly exceeds compile_ms %.3f", total, resp.CompileMs)
+	}
+
+	hit, err := c.Compile(ctx, lbRequest())
+	if err != nil {
+		t.Fatalf("cached compile: %v", err)
+	}
+	if !hit.Cached || len(hit.Phases) != len(resp.Phases) {
+		t.Fatalf("cache hit lost the phase breakdown: cached=%v phases=%+v", hit.Cached, hit.Phases)
+	}
+
+	sess, err := c.NewSession(ctx, CompileRequest{Source: lbSourceN(77), Scope: lbScope, Topology: "testbed"})
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	defer c.Close(ctx, sess.ID)
+	if len(sess.Compile.Phases) == 0 {
+		t.Fatalf("session compile response carries no phase timings: %+v", sess.Compile)
+	}
+}
+
 func TestDeadlineProducesTypedTimeout(t *testing.T) {
 	srv, c := newTestDaemon(t, Config{MaxInflight: 2, EnableTestFaults: true})
 	c.MaxRetries = 1

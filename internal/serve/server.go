@@ -462,6 +462,12 @@ func compileResponse(res *lyra.Result, includeCode bool) CompileResponse {
 		CompileMs:   float64(res.CompileTime.Microseconds()) / 1e3,
 		SolveMs:     float64(res.SolveTime.Microseconds()) / 1e3,
 	}
+	for _, pt := range res.Phases {
+		resp.Phases = append(resp.Phases, PhaseMs{
+			Phase: string(pt.Phase),
+			Ms:    float64(pt.Duration.Microseconds()) / 1e3,
+		})
+	}
 	for _, sw := range res.Switches() {
 		a := res.Artifact(sw)
 		sum := ArtifactSummary{Switch: sw, Dialect: string(a.Dialect), LoC: a.LoC, Tables: a.Tables}

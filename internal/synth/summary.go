@@ -1,0 +1,40 @@
+package synth
+
+import "lyra/internal/ir"
+
+// Summary aggregates the synthesized conditional implementation of a whole
+// program into the few totals a cost model needs. It is intentionally
+// cheap — pure synthesis, no placement — so callers (the rewrite search's
+// static tier) can rank many program variants without touching the solver.
+type Summary struct {
+	// Tables is the total conditional-table count across algorithms.
+	Tables int `json:"tables"`
+	// Actions is the total distinct-action count.
+	Actions int `json:"actions"`
+	// MatchBits sums every table's match width.
+	MatchBits int `json:"match_bits"`
+	// Registers counts stateful register objects.
+	Registers int `json:"registers"`
+	// LongestPath is the longest instruction dependency chain over all
+	// algorithms.
+	LongestPath int `json:"longest_path"`
+}
+
+// Summarize synthesizes every algorithm with the P4 mapping and totals the
+// results. The program must be analyzed (dependency edges populated).
+func Summarize(prog *ir.Program) Summary {
+	var s Summary
+	for _, a := range prog.Algorithms {
+		r := SynthesizeP4(prog, a)
+		s.Tables += len(r.Tables)
+		s.Actions += r.ActionCount
+		s.Registers += r.Registers
+		if r.LongestPath > s.LongestPath {
+			s.LongestPath = r.LongestPath
+		}
+		for _, t := range r.Tables {
+			s.MatchBits += t.MatchBits()
+		}
+	}
+	return s
+}

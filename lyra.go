@@ -42,6 +42,7 @@ import (
 	"lyra/internal/encode"
 	"lyra/internal/faults"
 	"lyra/internal/ir"
+	"lyra/internal/rewrite"
 	"lyra/internal/smt"
 	"lyra/internal/topo"
 	"lyra/internal/verify"
@@ -191,6 +192,21 @@ const (
 // Phases lists every pipeline phase in execution order.
 func Phases() []Phase { return core.Phases() }
 
+// Rewrite-search surface (re-exported from internal/rewrite): WithOptimize
+// runs a bounded, certified search over semantics-preserving program
+// variants before placement; the account lands in Result.Optimization.
+type (
+	// OptimizeOptions bounds and seeds one rewrite search.
+	OptimizeOptions = rewrite.Options
+	// Optimization is the rewrite-search report: rules applied, candidates
+	// explored/deduped/pruned/solved, certification outcomes, cost deltas.
+	Optimization = rewrite.Report
+	// RewriteRule is one local rewrite; OptimizeOptions.Rules overrides the
+	// built-in library (tests inject deliberately broken rules to prove
+	// certification rejects them).
+	RewriteRule = rewrite.Rule
+)
+
 // Fault-event constructors.
 var (
 	// SwitchDown fails a switch, removing it and its links.
@@ -254,6 +270,7 @@ type Compiler struct {
 	observer     Observer
 	skipVerify   bool
 	sourceName   string
+	optimize     *rewrite.Options
 }
 
 // Option configures a Compiler.
@@ -305,6 +322,17 @@ func WithSkipVerify() Option { return func(c *Compiler) { c.skipVerify = true } 
 // WithSourceName sets the file name used in diagnostics (default
 // "input.lyra").
 func WithSourceName(name string) Option { return func(c *Compiler) { c.sourceName = name } }
+
+// WithOptimize enables the rewrite search: before placement, the compiler
+// explores semantics-preserving merge/split/reorder/reshape/widen variants
+// of the program, scores them with a two-level cost model (synthesized
+// table totals, then a real bounded solve), certifies the best one
+// equivalent on seeded traces across all execution tiers, and compiles
+// whichever program won. The zero OptimizeOptions value selects sensible
+// bounded defaults; the search's account is in Result.Optimization.
+func WithOptimize(opts OptimizeOptions) Option {
+	return func(c *Compiler) { o := opts; c.optimize = &o }
+}
 
 // Compile runs the full Lyra pipeline — parse, check, preprocess, analyze,
 // synthesize, encode, solve, translate, verify — on the given program text,
@@ -363,6 +391,7 @@ func (c *Compiler) coreRequest(source, scopeSpec string, net *Network) core.Requ
 		SkipVerify:   c.skipVerify,
 		Parallelism:  c.parallelism,
 		Observer:     c.observer,
+		Optimize:     c.optimize,
 	}
 }
 
@@ -419,6 +448,10 @@ type Result struct {
 	CompileTime time.Duration
 	// SolveTime is the SMT portion.
 	SolveTime time.Duration
+	// Optimization is the rewrite-search report when the compile ran with
+	// WithOptimize (nil otherwise): rules applied, candidates explored and
+	// pruned, certification outcomes, and the cost delta.
+	Optimization *Optimization
 
 	plan *encode.Plan
 	irp  *ir.Program
@@ -520,6 +553,7 @@ func wrapResult(cres *core.Result, creq core.Request, net *Network) *Result {
 		SolveInstances: cres.SolveInstances,
 		CompileTime:    cres.CompileTime,
 		SolveTime:      cres.SolveTime,
+		Optimization:   cres.Optimization,
 		plan:           cres.Plan,
 		irp:            cres.IR,
 		cres:           cres,

@@ -1,6 +1,7 @@
 package lyra
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -209,5 +210,57 @@ algorithm marker {
 	}
 	if !pkt.Valid["tag"] || pkt.Fields["tag.mark"] != 7 {
 		t.Errorf("tag missing: %s", pkt.Summary())
+	}
+}
+
+// TestWithOptimize drives the rewrite search through the public API: the
+// option threads the search into the pipeline, the report lands on the
+// Result, and the winning program ships strictly fewer tables than the
+// plain compile of the same nested-gateway source.
+func TestWithOptimize(t *testing.T) {
+	const src = `
+header_type ipv4_t { bit[32] srcAddr; bit[32] dstAddr; bit[8] tos; bit[8] ttl; }
+header ipv4_t ipv4;
+pipeline[ACL]{acl};
+algorithm acl {
+  if (ipv4.tos == 1) {
+    if (ipv4.ttl == 2) {
+      drop();
+    }
+  }
+}
+`
+	const scopeSpec = "acl: [ ToR1 | PER-SW | - ]"
+	ctx := context.Background()
+
+	plain, err := New().Compile(ctx, src, scopeSpec, Testbed())
+	if err != nil {
+		t.Fatalf("plain compile: %v", err)
+	}
+	if plain.Optimization != nil {
+		t.Fatal("plain compile carries an optimization report")
+	}
+
+	res, err := New(WithOptimize(OptimizeOptions{Seed: 1})).Compile(ctx, src, scopeSpec, Testbed())
+	if err != nil {
+		t.Fatalf("optimized compile: %v", err)
+	}
+	rep := res.Optimization
+	if rep == nil {
+		t.Fatal("WithOptimize produced no optimization report")
+	}
+	if !rep.Improved || len(rep.Applied) == 0 {
+		t.Fatalf("search found no certified improvement:\n%s", rep)
+	}
+	if !rep.BestCost.Less(rep.BaseCost) {
+		t.Fatalf("best cost %s not below base %s", rep.BestCost, rep.BaseCost)
+	}
+	if rep.CertifyAttempts == 0 || rep.Rejected != 0 {
+		t.Fatalf("certification bookkeeping off: attempts=%d rejected=%d",
+			rep.CertifyAttempts, rep.Rejected)
+	}
+	pt, ot := plain.Artifact("ToR1").Tables, res.Artifact("ToR1").Tables
+	if ot >= pt {
+		t.Fatalf("optimized artifact has %d tables, plain has %d — no reduction shipped", ot, pt)
 	}
 }
