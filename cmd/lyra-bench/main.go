@@ -8,6 +8,7 @@
 //	lyra-bench -experiment ext      # §7.2 extensibility case study
 //	lyra-bench -experiment comp     # §7.3 composition case study
 //	lyra-bench -experiment traffic  # packet replay: interpreter vs bytecode engine
+//	lyra-bench -experiment stream   # streaming replay: scenario library through OpenStream
 //	lyra-bench -experiment serve    # daemon churn storm (robustness under load)
 //	lyra-bench -experiment optimize # rewrite search: certified program optimization
 //	lyra-bench -experiment phases,ladder -out BENCH_compile.json
@@ -17,8 +18,9 @@
 // with the valid list. With -out, the phases and ladder results that ran
 // are merged into one JSON artifact (the BENCH_compile.json the CI smoke
 // job publishes), preserving any keys other experiments wrote there; the
-// traffic experiment writes its own artifact to -dataplane-out
-// (BENCH_dataplane.json); the serve experiment appends a
+// traffic and stream experiments merge their results under the "traffic"
+// and "stream" keys of -dataplane-out (BENCH_dataplane.json), each
+// preserving the other's key; the serve experiment appends a
 // provenance-stamped run to -serve-out (BENCH_serve.json) and exits
 // nonzero if the storm violated the robustness contract; the optimize
 // experiment appends a provenance-stamped run to the "optimize" key of
@@ -48,7 +50,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "comma-separated list of: fig9 | fig10 | phases | ladder | ext | comp | ablation | traffic | serve | optimize | all")
+		experiment = flag.String("experiment", "all", "comma-separated list of: fig9 | fig10 | phases | ladder | ext | comp | ablation | traffic | stream | serve | optimize | all")
 		ks         = flag.String("k", "4,8,16,24,32", "fat-tree sizes for fig10 and phases")
 		parallel   = flag.Int("parallel", 0, "worker pool size for phases (0 = all CPUs)")
 		ladderK    = flag.Int("ladder-k", 16, "fat-tree size for the ladder comparison")
@@ -59,7 +61,12 @@ func main() {
 		trafficPackets = flag.Int("traffic-packets", 200_000, "packets per traffic measurement")
 		trafficWorkers = flag.Int("traffic-workers", 0, "max replay workers (0 = all CPUs)")
 		trafficSlack   = flag.Float64("traffic-assert-scaling", 0, "fail unless worker scaling is monotone and the compiled tier keeps up with the engine, within this slack factor (0 = no assertion)")
-		dataplaneOut   = flag.String("dataplane-out", "", "write the traffic results as a JSON artifact (BENCH_dataplane.json)")
+		dataplaneOut   = flag.String("dataplane-out", "", "merge the traffic/stream results into a JSON artifact (BENCH_dataplane.json)")
+
+		streamK       = flag.Int("stream-k", 8, "fat-tree pod size for the streaming replay")
+		streamPackets = flag.Int("stream-packets", 100_000, "packets per streaming measurement")
+		streamLanes   = flag.Int("stream-lanes", 0, "fan-out lanes for lane-safe scenarios (0 = CPUs, capped at 4)")
+		streamAllocs  = flag.Float64("stream-assert-allocs", -1, "fail if any engine/compiled stream point allocates more than this per packet (negative = no assertion)")
 
 		serveSeed       = flag.Int64("serve-seed", 1, "churn storm seed")
 		serveEvents     = flag.Int("serve-events", 500, "fault/recovery events in the churn storm")
@@ -115,7 +122,7 @@ func main() {
 	// Every name must be a known experiment: a typo that silently selected
 	// nothing used to exit 0 having measured nothing.
 	valid := []string{"fig9", "fig10", "phases", "ladder", "ext", "comp",
-		"ablation", "traffic", "serve", "optimize", "all"}
+		"ablation", "traffic", "stream", "serve", "optimize", "all"}
 	known := map[string]bool{}
 	for _, name := range valid {
 		known[name] = true
@@ -243,14 +250,30 @@ func main() {
 			fmt.Printf("scaling contract held (slack %.2f)\n", *trafficSlack)
 		}
 		if *dataplaneOut != "" {
-			artifact := struct {
-				Traffic []eval.TrafficPoint `json:"traffic"`
-			}{points}
-			data, err := json.MarshalIndent(artifact, "", "  ")
-			if err != nil {
+			if err := mergeArtifactKey(*dataplaneOut, "traffic", points); err != nil {
 				return err
 			}
-			if err := os.WriteFile(*dataplaneOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Printf("wrote %s\n", *dataplaneOut)
+		}
+		return nil
+	})
+
+	run("stream", func() error {
+		points, err := eval.StreamReplay(*streamK, *streamPackets, *streamLanes)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Streaming replay: scenario library through OpenStream ==")
+		fmt.Print(eval.FormatStream(points))
+		fmt.Println()
+		if *streamAllocs >= 0 {
+			if violations := eval.CheckStreamAllocs(points, *streamAllocs); len(violations) > 0 {
+				return fmt.Errorf("allocation contract violated:\n  %s", strings.Join(violations, "\n  "))
+			}
+			fmt.Printf("allocation contract held (budget %.4f allocs/pkt)\n", *streamAllocs)
+		}
+		if *dataplaneOut != "" {
+			if err := mergeArtifactKey(*dataplaneOut, "stream", points); err != nil {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *dataplaneOut)
@@ -381,6 +404,28 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *outPath)
 	}
+}
+
+// mergeArtifactKey replaces one top-level key of a JSON artifact in place,
+// preserving every other key — so `-experiment traffic` and `-experiment
+// stream` can maintain BENCH_dataplane.json without clobbering each other.
+func mergeArtifactKey(path, key string, v any) error {
+	doc := map[string]json.RawMessage{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			doc = map[string]json.RawMessage{}
+		}
+	}
+	val, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	doc[key] = val
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // parseKs parses the comma-separated -k list.

@@ -13,7 +13,11 @@
 //
 // The -mutation flag injects a named backend bug so the oracle's detection
 // and shrinking paths can be exercised end to end; see -mutation help for
-// the list. Exit status is nonzero iff the campaign had unexplained cases.
+// the list. The -stateful flag switches the generator to flow-keyed
+// stateful streaming cases, which additionally replay every case through
+// OpenStream on all three executor tiers (one and three lanes, chunked
+// feeds) against a one-shot replay. Exit status is nonzero iff the
+// campaign had unexplained cases.
 package main
 
 import (
@@ -36,6 +40,7 @@ func main() {
 		outDir   = flag.String("out", "difftest-failures", "directory for failure bundles")
 		shrink   = flag.Bool("shrink", true, "minimize failing cases before writing bundles")
 		parallel = flag.Int("parallel", 0, "compiler worker pool size for the parallel compile (0 = all CPUs)")
+		stateful = flag.Bool("stateful", false, "generate flow-keyed stateful streaming cases and run the streaming oracle (stream-vs-one-shot, every tier, chunked lanes)")
 		incr     = flag.Bool("incremental", false, "cross-check each compiling case against an incremental identity recompile (cached solver reuse must reproduce the plan)")
 		optimize = flag.Bool("optimize", false, "cross-check each compiling case against a rewrite-search compile (the optimized deployment must keep the original's reference semantics)")
 		quiet    = flag.Bool("q", false, "suppress per-case progress dots")
@@ -54,6 +59,7 @@ func main() {
 		Mutation:    *mutation,
 		SkipShrink:  !*shrink,
 		Parallelism: *parallel,
+		Stateful:    *stateful,
 		Incremental: *incr,
 		Optimize:    *optimize,
 	}

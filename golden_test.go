@@ -25,32 +25,64 @@ func TestGoldenArtifacts(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			res, err := Compile(Request{
-				Source:    src,
-				ScopeSpec: perSwitchScope(t, src, c.sw),
-				Network:   Testbed(),
-				Dialect:   c.dialect,
-			})
-			if err != nil {
-				t.Fatalf("compile: %v", err)
-			}
-			got := res.Artifact(c.sw).Code
-			path := filepath.Join("testdata", "golden", c.file)
-			if *updateGolden {
-				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("missing golden file (run with -update): %v", err)
-			}
-			if got != string(want) {
-				t.Errorf("generated %s differs from golden %s;\nrun `go test -run Golden -update` if the change is intended.\n--- got ---\n%s",
-					c.name, c.file, got)
-			}
+			checkGolden(t, src, c.sw, c.dialect, c.file)
 		})
+	}
+}
+
+// TestGoldenScenarioArtifacts locks the generated text of the streaming
+// scenario library — stateful NAT, heavy-hitter sketch, flowlet load
+// balancer — on every dialect: P4_14 and P4_16 on a Tofino ToR, NPL on a
+// Trident-4 Agg. Regenerate with `go test -run Golden -update`.
+func TestGoldenScenarioArtifacts(t *testing.T) {
+	for _, prog := range []string{"stateful_nat", "heavy_hitter", "flowlet_lb"} {
+		src := loadProgram(t, prog)
+		cases := []struct {
+			name    string
+			sw      string
+			dialect Dialect
+			file    string
+		}{
+			{"p414", "ToR1", P414, prog + "_tor1.p4"},
+			{"p416", "ToR1", P416, prog + "_tor1_16.p4"},
+			{"npl", "Agg1", P414, prog + "_agg1.npl"},
+		}
+		for _, c := range cases {
+			t.Run(prog+"/"+c.name, func(t *testing.T) {
+				checkGolden(t, src, c.sw, c.dialect, c.file)
+			})
+		}
+	}
+}
+
+// checkGolden compiles src for one switch/dialect and compares (or, with
+// -update, rewrites) the named golden artifact.
+func checkGolden(t *testing.T, src, sw string, dialect Dialect, file string) {
+	t.Helper()
+	res, err := Compile(Request{
+		Source:    src,
+		ScopeSpec: perSwitchScope(t, src, sw),
+		Network:   Testbed(),
+		Dialect:   dialect,
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	got := res.Artifact(sw).Code
+	path := filepath.Join("testdata", "golden", file)
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("generated artifact differs from golden %s;\nrun `go test -run Golden -update` if the change is intended.\n--- got ---\n%s",
+			file, got)
 	}
 }
 

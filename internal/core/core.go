@@ -297,7 +297,16 @@ func solveAndTranslate(ctx context.Context, req Request, irp *ir.Program, net *t
 		tr.done(PhaseVerify, time.Since(vStart))
 		for _, r := range res.Reports {
 			if !r.OK {
-				verifyErr = fmt.Errorf("verification failed on %s: %v", r.Switch, r.Problems)
+				if r.Capacity {
+					// Chip-resource exhaustion discovered at admission
+					// (PHV packing, stages): the program provably does
+					// not fit the target, so surface it as
+					// infeasibility, not as a compiler defect.
+					verifyErr = fmt.Errorf("verification failed on %s: %v: %w",
+						r.Switch, r.Problems, encode.ErrInfeasible)
+				} else {
+					verifyErr = fmt.Errorf("verification failed on %s: %v", r.Switch, r.Problems)
+				}
 				break
 			}
 		}

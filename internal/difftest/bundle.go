@@ -202,6 +202,16 @@ func parseScopes(text string) ([]ScopeSpec, error) {
 
 func formatTrace(c *Case) string {
 	var b strings.Builder
+	if c.FlowField != "" {
+		fmt.Fprintf(&b, "flow %s\n", c.FlowField)
+	}
+	if len(c.Chunks) > 0 {
+		b.WriteString("chunks")
+		for _, n := range c.Chunks {
+			fmt.Fprintf(&b, " %d", n)
+		}
+		b.WriteByte('\n')
+	}
 	for _, tp := range c.Trace {
 		b.WriteString("packet valid=" + strings.Join(tp.Valid, ","))
 		var keys []string
@@ -234,6 +244,19 @@ func parseTrace(text string, c *Case) error {
 			continue
 		}
 		switch fields[0] {
+		case "flow":
+			if len(fields) != 2 {
+				return fmt.Errorf("trace.txt: bad line %q", line)
+			}
+			c.FlowField = fields[1]
+		case "chunks":
+			for _, f := range fields[1:] {
+				n, err := strconv.Atoi(f)
+				if err != nil || n <= 0 {
+					return fmt.Errorf("trace.txt: bad chunk %q", f)
+				}
+				c.Chunks = append(c.Chunks, n)
+			}
 		case "packet":
 			tp := TracePacket{Fields: map[string]uint64{}}
 			for _, kv := range fields[1:] {

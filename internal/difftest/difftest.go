@@ -137,9 +137,13 @@ func CaseSeed(campaignSeed int64, i int) int64 {
 func Run(n int, seed int64, opts Options, progress func(i int, out Outcome)) *Summary {
 	sum := &Summary{Counts: map[Class]int{}}
 	oracle := NewOracle(opts)
+	gen := Generate
+	if opts.Stateful {
+		gen = GenerateStateful
+	}
 	for i := 0; i < n; i++ {
 		cs := CaseSeed(seed, i)
-		c := Generate(cs)
+		c := gen(cs)
 		out := oracle.Check(c)
 		sum.Cases++
 		sum.Counts[out.Class]++

@@ -115,6 +115,17 @@ type Case struct {
 	Topo    *TopoSpec
 	Trace   []TracePacket
 	Entries map[string][]Entry
+	// FlowField names the packet field carrying a stateful streaming
+	// case's flow identity ("" = stateless case). Every register index and
+	// dict key the generated program computes derives from this field, so
+	// a stream keyed by its raw value satisfies the lane-affinity
+	// contract and the oracle can cross-check streaming against one-shot
+	// replay.
+	FlowField string
+	// Chunks partitions the trace into successive Feed calls for the
+	// streaming cross-check; chunk boundaries deliberately land mid-flow
+	// so state must survive across batches. Empty means one chunk.
+	Chunks []int
 }
 
 // Source renders the program text compiled by the oracle.
@@ -248,8 +259,9 @@ func anyStmt(stmts []ast.Stmt, pred func(ast.Stmt) bool) bool {
 
 // generator carries the per-case random state.
 type generator struct {
-	r   *rand.Rand
-	opt bool // optional second header present
+	r        *rand.Rand
+	opt      bool // optional second header present
+	stateful bool // flow-keyed stateful mode (GenerateStateful)
 
 	algIdx   int
 	vars     []string // assigned temporaries of the current algorithm
@@ -274,6 +286,29 @@ func Generate(seed int64) *Case {
 		g.opsOwner = r.Intn(nAlgs)
 	}
 
+	c.Prog = g.genProgram(nAlgs)
+	c.Scopes = g.genScopes(c)
+	g.genTrace(c)
+	return c
+}
+
+// GenerateStateful produces the deterministic stateful-streaming case for
+// a seed. Unlike Generate, every algorithm carries per-flow state — a
+// global register array indexed by the flow field and extern dicts keyed
+// by it, some with guarded data-plane inserts — and the trace is a long
+// flow-ordered capture over a small flow population, partitioned into
+// Feed chunks, so the oracle's streaming cross-check exercises state that
+// must survive across batch boundaries and lane fan-out.
+func GenerateStateful(seed int64) *Case {
+	r := rng(seed)
+	g := &generator{r: r, stateful: true}
+	c := &Case{Seed: seed, Entries: map[string][]Entry{}, FlowField: "base.flow"}
+	c.Topo = g.genTopo()
+	nAlgs := 1 + r.Intn(2)
+	g.opsOwner = -1
+	if r.Intn(2) == 0 {
+		g.opsOwner = r.Intn(nAlgs)
+	}
 	c.Prog = g.genProgram(nAlgs)
 	c.Scopes = g.genScopes(c)
 	g.genTrace(c)
@@ -305,7 +340,11 @@ func (g *generator) genTopo() *TopoSpec {
 // parse graph, pipelines, and nAlgs algorithms.
 func (g *generator) genProgram(nAlgs int) *ast.Program {
 	p := &ast.Program{}
-	baseFields := []ast.Field{ast.F(16, "kind"), ast.F(32, "a"), ast.F(32, "b"), ast.F(32, "c")}
+	baseFields := []ast.Field{ast.F(16, "kind")}
+	if g.stateful {
+		baseFields = append(baseFields, ast.F(32, "flow"))
+	}
+	baseFields = append(baseFields, ast.F(32, "a"), ast.F(32, "b"), ast.F(32, "c"))
 	for i := 0; i < nAlgs; i++ {
 		baseFields = append(baseFields, ast.F(32, fmt.Sprintf("out%d", i)))
 	}
@@ -355,7 +394,7 @@ func (g *generator) genAlgorithm(i int, name string) *ast.Algorithm {
 		body = append(body, ast.List(ast.F(32, "ip"), 64, ln))
 		g.lists = append(g.lists, ln)
 	}
-	if g.r.Intn(2) == 0 {
+	if g.stateful || g.r.Intn(2) == 0 {
 		g.reg = fmt.Sprintf("reg%d", i)
 		body = append(body, ast.Global(ast.BitsArray(32, 16), g.reg))
 	}
@@ -363,9 +402,28 @@ func (g *generator) genAlgorithm(i int, name string) *ast.Algorithm {
 	for s := 0; s < n; s++ {
 		body = append(body, g.genStmt(2)...)
 	}
+	if g.stateful {
+		// Guarantee cross-packet statefulness: a per-flow counter whose
+		// value the flow's next packet observes.
+		idx := g.flowIdx()
+		body = append(body,
+			ast.Set(ast.Idx(ast.ID(g.reg), idx),
+				ast.Bin(ast.OpAdd, ast.Idx(ast.ID(g.reg), idx), ast.Num(1))),
+			ast.Set(g.out(), ast.Idx(ast.ID(g.reg), idx)))
+	}
 	// Guarantee at least one observable output.
 	body = append(body, g.ownedWrite())
 	return ast.NewAlgorithm(name, body...)
+}
+
+// flowFld is the stateful mode's flow key field; flowIdx the register
+// index derived from it. Flow values stay below the register length, so
+// the index IS the flow and index collisions are flow (hence lane)
+// collisions — the lane-affinity contract holds by construction.
+func (g *generator) flowFld() *ast.FieldAccess { return ast.Fld("base", "flow") }
+
+func (g *generator) flowIdx() ast.Expr {
+	return ast.Bin(ast.OpAnd, g.flowFld(), ast.Num(15))
 }
 
 // out returns the algorithm's owned output field.
@@ -421,6 +479,20 @@ func (g *generator) genStmt(depth int) []ast.Stmt {
 		di := g.r.Intn(len(g.dicts))
 		d := g.dicts[di]
 		g.dicts = append(g.dicts[:di], g.dicts[di+1:]...)
+		if g.stateful {
+			// Flow-keyed dict; half the time the miss branch installs an
+			// entry from the data plane, which the flow's next packet then
+			// hits. The read stays ahead of the insert in linearized order
+			// (the NAT-scenario shape), keeping per-stage table access
+			// acyclic on every target.
+			hit := []ast.Stmt{ast.Set(g.out(), ast.Idx(ast.ID(d), g.flowFld()))}
+			if g.r.Intn(2) == 0 {
+				return []ast.Stmt{ast.IfElse(ast.In(g.flowFld(), d), hit,
+					[]ast.Stmt{ast.Do("insert", ast.ID(d), g.flowFld(), g.genLeaf())})}
+			}
+			return []ast.Stmt{ast.IfElse(ast.In(g.flowFld(), d), hit,
+				[]ast.Stmt{ast.Set(g.out(), g.genExpr(1))})}
+		}
 		key := g.pick([]string{"a", "b", "c"})
 		hit := []ast.Stmt{ast.Set(g.out(), ast.Idx(ast.ID(d), ast.Fld("base", key)))}
 		if g.r.Intn(2) == 0 {
@@ -435,7 +507,10 @@ func (g *generator) genStmt(depth int) []ast.Stmt {
 		key := g.pick([]string{"a", "b"})
 		return []ast.Stmt{ast.IfThen(ast.In(ast.Fld("base", key), l), g.ownedWrite())}
 	case k == 9 && g.reg != "":
-		idx := ast.Bin(ast.OpAnd, ast.Fld("base", g.pick([]string{"a", "b"})), ast.Num(15))
+		var idx ast.Expr = ast.Bin(ast.OpAnd, ast.Fld("base", g.pick([]string{"a", "b"})), ast.Num(15))
+		if g.stateful {
+			idx = g.flowIdx()
+		}
 		if g.r.Intn(2) == 0 {
 			return []ast.Stmt{ast.Set(ast.Idx(ast.ID(g.reg), idx),
 				ast.Bin(ast.OpAdd, ast.Idx(ast.ID(g.reg), idx), g.genExpr(1)))}
@@ -633,10 +708,29 @@ func (g *generator) genScopes(c *Case) []ScopeSpec {
 func (g *generator) genTrace(c *Case) {
 	kinds := []uint64{0x10, 0x11, 0x20}
 	n := 4 + g.r.Intn(5)
+	var flows []uint64
+	if g.stateful {
+		// A long capture over a small flow population: flows repeat many
+		// times, so register/dict state built by a flow's early packets
+		// decides its later outputs.
+		n = 12 + g.r.Intn(21)
+		nf := 2 + g.r.Intn(6)
+		seen := map[uint64]bool{}
+		for len(flows) < nf {
+			f := uint64(g.r.Intn(16))
+			if !seen[f] {
+				seen[f] = true
+				flows = append(flows, f)
+			}
+		}
+	}
 	for i := 0; i < n; i++ {
 		tp := TracePacket{Fields: map[string]uint64{}, Valid: []string{"base"}}
 		kind := kinds[g.r.Intn(len(kinds))]
 		tp.Fields["base.kind"] = kind
+		if g.stateful {
+			tp.Fields["base.flow"] = flows[g.r.Intn(len(flows))]
+		}
 		tp.Fields["base.a"] = uint64(g.r.Intn(64))
 		tp.Fields["base.b"] = uint64(g.r.Intn(64))
 		tp.Fields["base.c"] = uint64(g.r.Uint32())
@@ -645,6 +739,18 @@ func (g *generator) genTrace(c *Case) {
 			tp.Fields["opt.x"] = uint64(g.r.Uint32())
 		}
 		c.Trace = append(c.Trace, tp)
+	}
+	if g.stateful {
+		// Random Feed partition; boundaries land mid-flow so the streaming
+		// cross-check sees state crossing batch edges.
+		for rem := n; rem > 0; {
+			k := 1 + g.r.Intn(7)
+			if k > rem {
+				k = rem
+			}
+			c.Chunks = append(c.Chunks, k)
+			rem -= k
+		}
 	}
 	for _, d := range c.ExternDecls() {
 		max := d.Size

@@ -35,6 +35,11 @@ type Options struct {
 	// the one-shot compile — same switch set, same artifacts, same plan
 	// fingerprints — and must actually have reused the solver.
 	Incremental bool
+	// Stateful switches Run's generator to GenerateStateful: flow-keyed
+	// stateful programs with long chunked traces, which additionally put
+	// every case through the streaming oracle (stream-vs-one-shot and
+	// tier-vs-tier, packet by packet, at one and three lanes).
+	Stateful bool
 	// Optimize adds a rewrite-search check: every compiling case is
 	// recompiled under the certified rewrite search, and the optimized
 	// deployment must still match the ORIGINAL program's reference
@@ -373,6 +378,11 @@ func (o *Oracle) equivalent(c *Case, res *lyra.Result) Outcome {
 		owned := c.OutputsOf(alg)
 		ownsOps := c.OwnsPacketOps(alg)
 		for pi, path := range paths {
+			if c.FlowField != "" {
+				if out := o.checkStream(c, res, tables, alg, path, pi); out != nil {
+					return *out
+				}
+			}
 			for ti, tp := range c.Trace {
 				// Fresh deployment per comparison: deployed register state
 				// persists across runs while the reference starts clean, so
@@ -438,6 +448,98 @@ func (o *Oracle) equivalent(c *Case, res *lyra.Result) Outcome {
 		}
 	}
 	return Outcome{Class: Equivalent}
+}
+
+// streamLanes are the lane counts the streaming cross-check replays at:
+// the degenerate single lane and a fan-out that forces inter-lane
+// parallel drains.
+var streamLanes = [...]int{1, 3}
+
+// checkStream is the streaming oracle for flow-keyed stateful cases: the
+// whole trace replays through OpenStream on every executor tier at one
+// and three lanes, fed in the case's chunk partition, against a fresh
+// deployment each time — and every configuration must be byte-identical
+// per packet to a sequential one-shot engine replay. Cross-tier and
+// streaming-vs-one-shot mismatches are execution-engine bugs, so they
+// classify as Crash. Nil means the check passed.
+func (o *Oracle) checkStream(c *Case, res *lyra.Result, tables *lyra.Tables,
+	alg string, path []string, pi int) *Outcome {
+	fail := func(format string, args ...any) *Outcome {
+		return &Outcome{Class: Crash, Detail: fmt.Sprintf("stream: %s path#%d %v: %s",
+			alg, pi, path, fmt.Sprintf(format, args...))}
+	}
+	recs := make([]dataplane.TraceRecord, len(c.Trace))
+	for i, tp := range c.Trace {
+		recs[i] = dataplane.TraceRecord{Valid: tp.Valid, Fields: tp.Fields}
+	}
+	ctx := &lyra.SimContext{SwitchID: 1}
+	refSim, err := res.Simulate(tables)
+	if err != nil {
+		return fail("deploy reference: %v", err)
+	}
+	refEng, err := refSim.Deployment().Engine()
+	if err != nil {
+		return fail("reference engine: %v", err)
+	}
+	ref := refEng.FlattenTrace(recs, "")
+	refEng.RunBatch(path, ctx, ref, 1)
+	for _, tier := range []dataplane.ExecutorTier{
+		dataplane.TierInterpreter, dataplane.TierEngine, dataplane.TierCompiled,
+	} {
+		for _, lanes := range streamLanes {
+			sim, err := res.Simulate(tables)
+			if err != nil {
+				return fail("deploy %v lanes=%d: %v", tier, lanes, err)
+			}
+			dep := sim.Deployment()
+			eng, err := dep.Engine()
+			if err != nil {
+				return fail("engine %v lanes=%d: %v", tier, lanes, err)
+			}
+			key, err := eng.FlowKeyField(c.FlowField)
+			if err != nil {
+				return fail("flow key %q: %v", c.FlowField, err)
+			}
+			s, err := dep.OpenStream(path, dataplane.StreamOptions{
+				Tier: tier, Lanes: lanes, BatchSize: 4, FlowKey: key, Ctx: ctx,
+			})
+			if err != nil {
+				return fail("open %v lanes=%d: %v", tier, lanes, err)
+			}
+			got := eng.FlattenTrace(recs, "")
+			// Feed per the case's chunk partition, defensively capped so a
+			// shrunk or hand-edited bundle with stale chunks still replays.
+			off := 0
+			for _, n := range c.Chunks {
+				if off >= len(got) {
+					break
+				}
+				if n > len(got)-off {
+					n = len(got) - off
+				}
+				if n <= 0 {
+					continue
+				}
+				if err := s.Feed(got[off : off+n]...); err != nil {
+					return fail("%v lanes=%d feed: %v", tier, lanes, err)
+				}
+				off += n
+			}
+			if off < len(got) {
+				if err := s.Feed(got[off:]...); err != nil {
+					return fail("%v lanes=%d feed: %v", tier, lanes, err)
+				}
+			}
+			s.Close()
+			for i := range got {
+				if diffs := dataplane.DiffPackets(ref[i].Packet(), got[i].Packet(), nil); len(diffs) > 0 {
+					return fail("%v lanes=%d packet#%d diverges from one-shot replay: %s",
+						tier, lanes, i, strings.Join(diffs, "; "))
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // divergenceDetail renders a failure report with a per-hop trace showing

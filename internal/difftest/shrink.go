@@ -61,10 +61,12 @@ func cloneCase(c *Case) *Case {
 		return nil // unprintable program: nothing to shrink safely
 	}
 	nc := &Case{
-		Seed:    c.Seed,
-		Prog:    prog,
-		Topo:    c.Topo.Clone(),
-		Entries: map[string][]Entry{},
+		Seed:      c.Seed,
+		Prog:      prog,
+		Topo:      c.Topo.Clone(),
+		Entries:   map[string][]Entry{},
+		FlowField: c.FlowField,
+		Chunks:    append([]int(nil), c.Chunks...),
 	}
 	for _, sc := range c.Scopes {
 		nc.Scopes = append(nc.Scopes, ScopeSpec{
@@ -370,7 +372,8 @@ func setScopeField(sc *ScopeSpec, field int, v []string) {
 	}
 }
 
-// trimTrace drops trace packets while more than one remains.
+// trimTrace drops trace packets while more than one remains, keeping the
+// streaming chunk partition consistent with the shorter trace.
 func (s *shrinker) trimTrace() bool {
 	changed := false
 	for i := 0; i < len(s.cur.Trace) && len(s.cur.Trace) > 1; {
@@ -379,6 +382,7 @@ func (s *shrinker) trimTrace() bool {
 			return changed
 		}
 		cand.Trace = append(cand.Trace[:i], cand.Trace[i+1:]...)
+		cand.Chunks = dropFromChunks(cand.Chunks, i)
 		if s.try(cand) {
 			changed = true
 		} else {
@@ -386,6 +390,28 @@ func (s *shrinker) trimTrace() bool {
 		}
 	}
 	return changed
+}
+
+// dropFromChunks rewrites a Feed partition for a trace that lost packet
+// i: the chunk containing position i shrinks by one, and emptied chunks
+// disappear, so the chunks always sum to the trace length.
+func dropFromChunks(chunks []int, i int) []int {
+	if len(chunks) == 0 {
+		return chunks
+	}
+	out := make([]int, 0, len(chunks))
+	start := 0
+	for _, n := range chunks {
+		end := start + n
+		if i >= start && i < end {
+			n--
+		}
+		start = end
+		if n > 0 {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // trimEntries drops control-plane table entries one at a time.

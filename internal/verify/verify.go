@@ -6,6 +6,7 @@
 package verify
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -24,6 +25,12 @@ type Report struct {
 	Dialect  string
 	OK       bool
 	Problems []string
+	// Capacity is true when the only failure is chip-resource exhaustion
+	// (an asic.AllocError: PHV packing, stages, table counts) — the
+	// program provably does not fit the target, as opposed to emitted
+	// code that fails validation. Callers may surface such failures as
+	// infeasibility rather than as a compiler defect.
+	Capacity bool
 	Alloc    *asic.Allocation
 }
 
@@ -55,12 +62,15 @@ func verifyOne(sw string, art *backend.Artifact) Report {
 	r := Report{Switch: sw, Dialect: art.Dialect, OK: true}
 	if alloc, err := Admit(art.Program); err != nil {
 		r.OK = false
+		var ae *asic.AllocError
+		r.Capacity = errors.As(err, &ae)
 		r.Problems = append(r.Problems, err.Error())
 	} else {
 		r.Alloc = alloc
 	}
 	for _, p := range Lint(art) {
 		r.OK = false
+		r.Capacity = false // lint problems are code defects, never capacity
 		r.Problems = append(r.Problems, p)
 	}
 	return r

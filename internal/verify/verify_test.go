@@ -129,3 +129,28 @@ func TestNPLLint(t *testing.T) {
 		t.Fatal("lint missed missing program block")
 	}
 }
+
+func TestCapacityFlagOnAllocError(t *testing.T) {
+	_, arts := compile(t, src, "filter: [ ToR1 | PER-SW | - ]")
+	art := arts["ToR1"]
+	// Inflate the placed tables beyond chip capacity: admission fails with
+	// an asic.AllocError, which must be classified as a capacity failure.
+	for _, pt := range art.Program.Tables {
+		pt.Entries = 500_000_000
+	}
+	r := verifyOne("ToR1", art)
+	if r.OK {
+		t.Fatal("oversized program must not verify")
+	}
+	if !r.Capacity {
+		t.Fatalf("AllocError must set Capacity, got %+v", r)
+	}
+
+	// A lint defect on top of the same overflow is a code problem and must
+	// clear the flag: the failure is no longer explained by capacity alone.
+	art.Code = strings.Replace(art.Code, "control ingress", "control something_else", 1)
+	r = verifyOne("ToR1", art)
+	if r.OK || r.Capacity {
+		t.Fatalf("lint problem must clear Capacity, got %+v", r)
+	}
+}
