@@ -11,6 +11,7 @@
 //	lyra-bench -experiment stream   # streaming replay: scenario library through OpenStream
 //	lyra-bench -experiment serve    # daemon churn storm (robustness under load)
 //	lyra-bench -experiment optimize # rewrite search: certified program optimization
+//	lyra-bench -experiment scale    # datacenter-scale sweep: lazy paths + symmetry dedup + churn
 //	lyra-bench -experiment phases,ladder -out BENCH_compile.json
 //	lyra-bench -experiment all
 //
@@ -25,7 +26,11 @@
 // nonzero if the storm violated the robustness contract; the optimize
 // experiment appends a provenance-stamped run to the "optimize" key of
 // -optimize-out (default -out) and exits nonzero if the search found no
-// certified improvement.
+// certified improvement; the scale experiment appends a provenance-stamped
+// run to the "scale" key of -scale-out (default -out) and, with
+// -scale-assert, exits nonzero unless symmetry dedup was active, the lazy
+// enumerator bounded the path working set, and the dedup compile beat the
+// no-dedup baseline by the given factor.
 //
 // -cpuprofile and -memprofile write pprof profiles covering whichever
 // experiments ran — the intended workflow for hunting hot spots in the
@@ -50,7 +55,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "comma-separated list of: fig9 | fig10 | phases | ladder | ext | comp | ablation | traffic | stream | serve | optimize | all")
+		experiment = flag.String("experiment", "all", "comma-separated list of: fig9 | fig10 | phases | ladder | ext | comp | ablation | traffic | stream | serve | optimize | scale | all")
 		ks         = flag.String("k", "4,8,16,24,32", "fat-tree sizes for fig10 and phases")
 		parallel   = flag.Int("parallel", 0, "worker pool size for phases (0 = all CPUs)")
 		ladderK    = flag.Int("ladder-k", 16, "fat-tree size for the ladder comparison")
@@ -79,6 +84,14 @@ func main() {
 		serveInflight   = flag.Int("serve-inflight", 4, "daemon MaxInflight during the storm")
 		serveQueue      = flag.Int("serve-queue", 8, "daemon QueueDepth during the storm")
 		serveOut        = flag.String("serve-out", "", "append the storm scores to a JSON artifact (BENCH_serve.json)")
+
+		scaleKs        = flag.String("scale-k", "8,16", "fat-tree sizes for the datacenter-scale sweep (k pods of k switches each)")
+		scaleChurn     = flag.Int("scale-churn", 20, "churn events recompiled per scale point")
+		scaleSeed      = flag.Int64("scale-seed", 1, "churn storm seed for the scale sweep")
+		scalePortfolio = flag.Int("scale-portfolio", 0, "portfolio width per component (0 = canonical solver only)")
+		scaleRepeats   = flag.Int("scale-repeats", 0, "timed-compile repetitions per point, fastest recorded (0 = default 3; plans are byte-identical across repeats)")
+		scaleAssert    = flag.Float64("scale-assert", 0, "fail unless symmetry dedup is active, peak paths held stays bounded, and the dedup compile beats no-dedup by this factor at every k >= 16 (0 = no assertion)")
+		scaleOut       = flag.String("scale-out", "", "append the scale run to this JSON artifact (defaults to -out)")
 
 		optimizeK       = flag.Int("optimize-k", 4, "fat-tree pod size for the rewrite-search experiment")
 		optimizeSeed    = flag.Int64("optimize-seed", 1, "rewrite-search trace seed")
@@ -122,7 +135,7 @@ func main() {
 	// Every name must be a known experiment: a typo that silently selected
 	// nothing used to exit 0 having measured nothing.
 	valid := []string{"fig9", "fig10", "phases", "ladder", "ext", "comp",
-		"ablation", "traffic", "stream", "serve", "optimize", "all"}
+		"ablation", "traffic", "stream", "serve", "optimize", "scale", "all"}
 	known := map[string]bool{}
 	for _, name := range valid {
 		known[name] = true
@@ -354,6 +367,46 @@ func main() {
 				return err
 			}
 			fmt.Printf("appended optimize run to %s\n", dest)
+		}
+		return nil
+	})
+
+	run("scale", func() error {
+		sizes, err := parseKs(*scaleKs)
+		if err != nil {
+			return err
+		}
+		params := eval.ScaleParams{
+			Ks:          sizes,
+			ChurnEvents: *scaleChurn,
+			Seed:        *scaleSeed,
+			Portfolio:   *scalePortfolio,
+			Repeats:     *scaleRepeats,
+		}.WithDefaults()
+		points, err := eval.RunScale(params)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Datacenter scale: lazy paths + symmetry dedup + churn ==")
+		fmt.Print(eval.FormatScale(points))
+		fmt.Println()
+		if *scaleAssert > 0 {
+			if violations := eval.CheckScale(points, *scaleAssert); len(violations) > 0 {
+				return fmt.Errorf("scaling contract violated:\n  %s", strings.Join(violations, "\n  "))
+			}
+			fmt.Printf("scaling contract held (min speedup %.1fx at k >= 16)\n", *scaleAssert)
+		}
+		dest := *scaleOut
+		if dest == "" {
+			dest = *outPath
+		}
+		if dest != "" {
+			entry := eval.ScaleRun{Params: params, Points: points}
+			entry.Stamp()
+			if err := eval.AppendScaleRun(dest, entry); err != nil {
+				return err
+			}
+			fmt.Printf("appended scale run to %s\n", dest)
 		}
 		return nil
 	})

@@ -115,21 +115,41 @@ func Build(plan *encode.Plan) (map[string]*SwitchProgram, error) {
 	}
 	bridgeHeader := buildBridgeHeader(bridgeVars)
 
-	for _, sw := range plan.Input.Net.Switches {
-		var instrs []*ir.Instr
-		placedSet := map[string]map[int]bool{}
-		for alg, m := range plan.Placement {
-			for id, hosts := range m {
-				for _, h := range hosts {
-					if h == sw.Name {
-						if placedSet[alg] == nil {
-							placedSet[alg] = map[int]bool{}
-						}
-						placedSet[alg][id] = true
-					}
+	// Exports indexed by variable, exporters in sorted-switch order, so
+	// importsOf resolves "some other switch exports v" in O(1) per read
+	// instead of rescanning every switch's bridge list.
+	exportsByVar := map[*ir.Var][]bridgeExport{}
+	for _, sw := range bridgeSwitches {
+		for _, bv := range plan.Bridges[sw] {
+			exportsByVar[bv.Var] = append(exportsByVar[bv.Var], bridgeExport{sw: sw, bv: bv})
+		}
+	}
+
+	// The placement inverted once: switch -> algorithm -> placed IDs.
+	// Inverting inside the switch loop rescanned every placement of every
+	// algorithm per switch — quadratic in the switch count on a fat tree.
+	placedBy := map[string]map[string]map[int]bool{}
+	for alg, m := range plan.Placement {
+		for id, hosts := range m {
+			for _, h := range hosts {
+				algs := placedBy[h]
+				if algs == nil {
+					algs = map[string]map[int]bool{}
+					placedBy[h] = algs
 				}
+				set := algs[alg]
+				if set == nil {
+					set = map[int]bool{}
+					algs[alg] = set
+				}
+				set[id] = true
 			}
 		}
+	}
+
+	for _, sw := range plan.Input.Net.Switches {
+		var instrs []*ir.Instr
+		placedSet := placedBy[sw.Name]
 		for _, a := range irp.Algorithms {
 			if set := placedSet[a.Name]; set != nil {
 				for _, in := range a.Instrs {
@@ -157,7 +177,7 @@ func Build(plan *encode.Plan) (map[string]*SwitchProgram, error) {
 		}
 		sp.Tables = filterPlaced(orderTables(plan.Tables[sw.Name]), placed)
 		sp.Exports = plan.Bridges[sw.Name]
-		sp.Imports = importsOf(plan, sw.Name, instrs)
+		sp.Imports = importsOf(exportsByVar, sw.Name, instrs)
 		if len(sp.Exports) > 0 || len(sp.Imports) > 0 {
 			sp.Bridge = bridgeHeader
 		}
@@ -395,12 +415,19 @@ func egressTables(tables []*encode.PlacedTable) map[string]bool {
 	return out
 }
 
+// bridgeExport is one switch's export of a bridge variable, indexed by
+// variable in Build so import resolution is O(1) per read.
+type bridgeExport struct {
+	sw string
+	bv encode.BridgeVar
+}
+
 // importsOf finds bridge variables the switch reads from upstream. A var
 // that is also defined locally is still imported when another switch
 // exports it: shard copies of a split table need the upstream hit signal
 // and value at switch entry (the local copy overwrites them only when it
 // actually executes).
-func importsOf(plan *encode.Plan, sw string, instrs []*ir.Instr) []encode.BridgeVar {
+func importsOf(exportsByVar map[*ir.Var][]bridgeExport, sw string, instrs []*ir.Instr) []encode.BridgeVar {
 	seen := map[*ir.Var]bool{}
 	var out []encode.BridgeVar
 	for _, in := range instrs {
@@ -409,15 +436,11 @@ func importsOf(plan *encode.Plan, sw string, instrs []*ir.Instr) []encode.Bridge
 				continue
 			}
 			// Import if some other switch exports it.
-			for other, bvs := range plan.Bridges {
-				if other == sw {
-					continue
-				}
-				for _, bv := range bvs {
-					if bv.Var == v && !seen[v] {
-						seen[v] = true
-						out = append(out, bv)
-					}
+			for _, e := range exportsByVar[v] {
+				if e.sw != sw {
+					seen[v] = true
+					out = append(out, e.bv)
+					break
 				}
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"lyra/internal/asic"
 	"lyra/internal/encode"
@@ -82,8 +83,9 @@ func Translate(plan *encode.Plan, opts *Options) (map[string]*Artifact, error) {
 		targets = append(targets, sw)
 	}
 	arts := make([]*Artifact, len(targets))
+	cache := &cpCache{}
 	par.For(len(targets), opts.Parallelism, func(i int) {
-		arts[i] = emitSwitch(plan, programs[targets[i]], opts.P4Dialect)
+		arts[i] = emitSwitch(plan, programs[targets[i]], opts.P4Dialect, cache)
 	})
 	out := map[string]*Artifact{}
 	for i, sw := range targets {
@@ -94,7 +96,7 @@ func Translate(plan *encode.Plan, opts *Options) (map[string]*Artifact, error) {
 
 // emitSwitch renders one switch's program: data-plane code in the chip's
 // language, the control-plane stubs, and the Figure 9 metrics.
-func emitSwitch(plan *encode.Plan, sp *SwitchProgram, dialect Dialect) *Artifact {
+func emitSwitch(plan *encode.Plan, sp *SwitchProgram, dialect Dialect, cache *cpCache) *Artifact {
 	art := &Artifact{
 		Switch:  sp.Switch,
 		Model:   sp.Model,
@@ -112,7 +114,7 @@ func emitSwitch(plan *encode.Plan, sp *SwitchProgram, dialect Dialect) *Artifact
 		art.Dialect = "P4_14"
 		art.Code = EmitP414(sp)
 	}
-	art.ControlPlane = EmitControlPlane(plan, sp)
+	art.ControlPlane = emitControlPlane(plan, sp, cache)
 	art.Tables = len(sp.Tables)
 	for _, t := range sp.Tables {
 		art.Actions += len(t.Actions)
@@ -179,11 +181,59 @@ func logicLines(code string) int {
 	return n
 }
 
+// cpCache memoizes the per-extern shard-documentation block across the
+// switches of one Translate call. The block lists every switch holding a
+// shard — identical text in every artifact — so rendering it per switch
+// made control-plane emission O(switches x shard hosts), the second
+// quadratic hot spot of a datacenter-scale compile.
+type cpCache struct {
+	mu     sync.Mutex
+	blocks map[string]string
+}
+
+// shardDoc renders (or recalls) the shard-split comment block for one
+// extern. A nil cache renders inline.
+func (c *cpCache) shardDoc(plan *encode.Plan, name string, shardCount int) string {
+	key := fmt.Sprintf("%s/%d", name, shardCount)
+	if c != nil {
+		c.mu.Lock()
+		if doc, ok := c.blocks[key]; ok {
+			c.mu.Unlock()
+			return doc
+		}
+		c.mu.Unlock()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s is split across %d switches:\n", name, shardCount)
+	hosts := make([]string, 0, len(plan.Shards[name]))
+	for sw := range plan.Shards[name] {
+		hosts = append(hosts, sw)
+	}
+	sort.Strings(hosts)
+	for _, sw := range hosts {
+		fmt.Fprintf(&b, "#   %-8s holds %d entries\n", sw, plan.Shards[name][sw])
+	}
+	doc := b.String()
+	if c != nil {
+		c.mu.Lock()
+		if c.blocks == nil {
+			c.blocks = map[string]string{}
+		}
+		c.blocks[key] = doc
+		c.mu.Unlock()
+	}
+	return doc
+}
+
 // EmitControlPlane generates the §5.8 control-plane interface: for each
 // extern table placed on the switch, empty Python entry-manipulation
 // functions plus shard documentation, so operators fill tables without
 // knowing how they were split or placed.
 func EmitControlPlane(plan *encode.Plan, sp *SwitchProgram) string {
+	return emitControlPlane(plan, sp, nil)
+}
+
+func emitControlPlane(plan *encode.Plan, sp *SwitchProgram, cache *cpCache) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# Control-plane interface for switch %s, generated by Lyra.\n", sp.Switch)
 	fmt.Fprintf(&b, "# Fill these in to manipulate table entries; Lyra has already\n")
@@ -196,15 +246,7 @@ func EmitControlPlane(plan *encode.Plan, sp *SwitchProgram) string {
 		seen[pt.Extern.Name] = true
 		name := pt.Extern.Name
 		if pt.ShardCount > 1 {
-			fmt.Fprintf(&b, "# %s is split across %d switches:\n", name, pt.ShardCount)
-			var hosts []string
-			for sw := range plan.Shards[name] {
-				hosts = append(hosts, sw)
-			}
-			sort.Strings(hosts)
-			for _, sw := range hosts {
-				fmt.Fprintf(&b, "#   %-8s holds %d entries\n", sw, plan.Shards[name][sw])
-			}
+			b.WriteString(cache.shardDoc(plan, name, pt.ShardCount))
 		}
 		keys := fieldNames(pt.Extern.Keys)
 		vals := fieldNames(pt.Extern.Values)

@@ -53,6 +53,21 @@ type Request struct {
 	// proceeds through the normal pipeline. The search's account lands in
 	// Result.Optimization.
 	Optimize *rewrite.Options
+
+	// LazyPaths resolves MULTI-SW scopes without materializing their flow
+	// paths: the encoder streams paths from the lazy enumerator instead.
+	// Required for datacenter-scale scopes whose path count dwarfs memory.
+	LazyPaths bool
+	// MaxPaths caps flow-path enumeration per scope (0 = the default
+	// budget). Exceeding it surfaces a typed diagnostic wrapping
+	// topo.ErrPathLimit instead of exhausting memory.
+	MaxPaths int64
+	// NoSymmetryDedup disables symmetry-aware component deduplication (the
+	// measurement baseline; plans are byte-identical either way).
+	NoSymmetryDedup bool
+	// Portfolio, when > 1, races that many solver configurations per
+	// placement component (see encode.Options.Portfolio).
+	Portfolio int
 }
 
 // Result is a successful compilation, exposing every intermediate product
@@ -156,7 +171,9 @@ func CompileContext(ctx context.Context, req Request) (*Result, error) {
 		if err != nil {
 			return fmt.Errorf("scope: %w", err)
 		}
-		if scopes, err = spec.Resolve(req.Network); err != nil {
+		if scopes, err = spec.ResolveWith(req.Network, scope.ResolveOpts{
+			LazyPaths: req.LazyPaths, MaxPaths: req.MaxPaths,
+		}); err != nil {
 			return fmt.Errorf("scope: %w", err)
 		}
 		return nil
@@ -208,7 +225,9 @@ func Recompile(ctx context.Context, prev *Result, req Request, net *topo.Network
 		if err != nil {
 			return fmt.Errorf("scope: %w", err)
 		}
-		if scopes, err = spec.ResolveWith(net, scope.ResolveOpts{AllowMissing: true}); err != nil {
+		if scopes, err = spec.ResolveWith(net, scope.ResolveOpts{
+			AllowMissing: true, LazyPaths: req.LazyPaths, MaxPaths: req.MaxPaths,
+		}); err != nil {
 			return fmt.Errorf("scope: %w", err)
 		}
 		return nil
@@ -233,6 +252,8 @@ func solveAndTranslate(ctx context.Context, req Request, irp *ir.Program, net *t
 	opts.PreferSwitch = req.PreferSwitch
 	opts.Ctx = ctx
 	opts.Parallelism = req.Parallelism
+	opts.NoSymmetryDedup = req.NoSymmetryDedup
+	opts.Portfolio = req.Portfolio
 	if req.SolveBudget > 0 {
 		opts.TimeBudget = req.SolveBudget
 	}

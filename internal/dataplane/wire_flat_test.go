@@ -103,9 +103,9 @@ func FuzzWireFlatRoundTrip(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(chained)
-	f.Add(full[:7])      // truncated mid-ethernet
-	f.Add([]byte{})      // empty wire
-	f.Add([]byte{0xff})  // one junk byte
+	f.Add(full[:7])     // truncated mid-ethernet
+	f.Add([]byte{})     // empty wire
+	f.Add([]byte{0xff}) // one junk byte
 	f.Fuzz(func(t *testing.T, data []byte) {
 		checkWireFlatAgreement(t, eng, data)
 	})

@@ -107,6 +107,32 @@ func TestCampaignOptimizeOracle(t *testing.T) {
 	}
 }
 
+// TestCampaignScaleOracle is the datacenter-scale acceptance campaign: 150
+// generated cases, each compiling case additionally recompiled with
+// symmetry dedup disabled, under a 2-way solver portfolio, and with lazy
+// path enumeration. All three modes must land byte-identical to the
+// default compile — same switch sets, artifacts, and plan fingerprints —
+// so zero unexplained cases certifies the scale machinery plan-neutral
+// across the campaign.
+func TestCampaignScaleOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("150-case scale campaign skipped in -short mode")
+	}
+	sum := Run(150, 11, Options{SkipShrink: true, Scale: true}, nil)
+	if sum.Cases != 150 {
+		t.Fatalf("ran %d cases, want 150", sum.Cases)
+	}
+	if n := sum.Unexplained(); n != 0 {
+		for _, f := range sum.Failures {
+			t.Errorf("case %d (seed %d): %s", f.Index, f.Seed, f.Outcome)
+		}
+		t.Fatalf("%d unexplained cases under the scale oracle", n)
+	}
+	if sum.Counts[Equivalent] == 0 {
+		t.Fatal("campaign produced no equivalent cases — scale coverage is vacuous")
+	}
+}
+
 // TestEngineCampaign200 is the bytecode-engine acceptance campaign: 200
 // generated cases executed through the oracle, which now runs every
 // deployed path on the engine and cross-checks the interpreter packet by

@@ -48,6 +48,13 @@ type Options struct {
 	// independent trace, so a certification hole shows up as a
 	// divergence here.
 	Optimize bool
+	// Scale adds the datacenter-scale-mode check: every compiling case is
+	// recompiled with symmetry dedup disabled, with a 2-way solver
+	// portfolio, and with lazy path enumeration. All three are pure
+	// performance features — plans and artifacts must stay byte-identical
+	// to the default compile, so any observable difference is a solver
+	// bug, never a tradeoff.
+	Scale bool
 }
 
 func (o Options) withDefaults() Options {
@@ -243,6 +250,11 @@ func (o *Oracle) Check(c *Case) Outcome {
 			return *out
 		}
 	}
+	if o.opts.Scale {
+		if out := o.checkScale(c, compiled[0].res); out != nil {
+			return *out
+		}
+	}
 	for _, k := range compiled {
 		for _, rep := range k.res.Reports {
 			if !rep.OK {
@@ -279,6 +291,41 @@ func (o *Oracle) checkIncremental(base *lyra.Result) *Outcome {
 	if st := inc.SolverStats; st.SolveCalls < 2*st.Encodes {
 		return &Outcome{Class: SolverDisagreement,
 			Detail: fmt.Sprintf("incremental: identity recompile re-encoded instead of reusing the solver (SolveCalls=%d Encodes=%d)", st.SolveCalls, st.Encodes)}
+	}
+	return nil
+}
+
+// checkScale recompiles the case through each datacenter-scale compilation
+// mode and demands the result land byte-identical to the default compile:
+// symmetry dedup disabled (the measurement baseline — the default compile
+// already dedups, so this is dedup-vs-no-dedup), a 2-way solver portfolio
+// (the canonical racer must win and keep the plan unchanged), and lazy
+// path enumeration (streamed paths must encode exactly what materialized
+// paths did). A nil return means the check passed.
+func (o *Oracle) checkScale(c *Case, base *lyra.Result) *Outcome {
+	net, err := c.Network()
+	if err != nil {
+		return &Outcome{Class: GeneratorError, Detail: err.Error()}
+	}
+	modes := []struct {
+		name string
+		opt  lyra.Option
+	}{
+		{"no-dedup", lyra.WithoutSymmetryDedup()},
+		{"portfolio", lyra.WithPortfolio(2)},
+		{"lazy-paths", lyra.WithLazyPaths(0)},
+	}
+	for _, m := range modes {
+		res, err := lyra.New(lyra.WithDialect(o.opts.Dialects[0]), lyra.WithParallelism(1), m.opt).
+			Compile(context.Background(), c.Source(), c.ScopeText(), net)
+		if err != nil {
+			return &Outcome{Class: SolverDisagreement,
+				Detail: fmt.Sprintf("scale: %s compile failed where default compiled: %v", m.name, err)}
+		}
+		if d := diffResults(base, res); d != "" {
+			return &Outcome{Class: SolverDisagreement,
+				Detail: fmt.Sprintf("scale: %s compile diverges from default: %s", m.name, d)}
+		}
 	}
 	return nil
 }

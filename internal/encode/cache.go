@@ -9,6 +9,12 @@ import (
 	"lyra/internal/ir"
 )
 
+// DefaultCacheEntries bounds the solver cache when the caller does not pick
+// a size: generous enough to hold every component of a large compile, small
+// enough that a long churn loop over many distinct topology states cannot
+// grow the resident set without bound (each entry pins a full solver).
+const DefaultCacheEntries = 128
+
 // Cache retains solved components' encoders — persistent SMT solvers with
 // their learnt clauses, VSIDS activity, and saved phases — so a later Solve
 // over an unchanged component (typically a Recompile whose topology delta
@@ -22,12 +28,18 @@ import (
 // scope switch. Any delta that touches one of those produces a different key
 // and the component encodes fresh.
 //
-// Take/put transfers ownership: take removes the entry, so two concurrent
-// solves can never share one solver, and the encoder is only put back after
-// a successful solve leaves it in a reusable state.
+// The cache is bounded: once the entry cap is reached, inserting a new key
+// evicts the least-recently-used entry. Take/put transfers ownership: take
+// removes the entry, so two concurrent solves can never share one solver,
+// and the encoder is only put back after a successful solve leaves it in a
+// reusable state.
 type Cache struct {
 	mu      sync.Mutex
-	entries map[cacheKey]*encoder
+	entries map[cacheKey]*cacheEntry
+	cap     int
+	tick    uint64
+	hits    int64
+	evicted int64
 }
 
 type cacheKey struct {
@@ -35,9 +47,18 @@ type cacheKey struct {
 	key  string
 }
 
-// NewCache returns an empty solver cache.
-func NewCache() *Cache {
-	return &Cache{entries: map[cacheKey]*encoder{}}
+type cacheEntry struct {
+	enc      *encoder
+	lastUsed uint64
+}
+
+// NewCache returns an empty solver cache bounded to DefaultCacheEntries.
+func NewCache() *Cache { return NewCacheLimited(DefaultCacheEntries) }
+
+// NewCacheLimited returns an empty solver cache holding at most maxEntries
+// encoders (LRU eviction). maxEntries <= 0 means unbounded.
+func NewCacheLimited(maxEntries int) *Cache {
+	return &Cache{entries: map[cacheKey]*cacheEntry{}, cap: maxEntries}
 }
 
 // Len reports the number of cached component encoders.
@@ -50,6 +71,26 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
+// Hits reports the number of successful takes over the cache's lifetime.
+func (c *Cache) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Evictions reports the number of entries dropped by the LRU bound.
+func (c *Cache) Evictions() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
+}
+
 func (c *Cache) take(root *ir.Program, key string) *encoder {
 	if c == nil {
 		return nil
@@ -58,24 +99,51 @@ func (c *Cache) take(root *ir.Program, key string) *encoder {
 	defer c.mu.Unlock()
 	k := cacheKey{root, key}
 	e := c.entries[k]
+	if e == nil {
+		return nil
+	}
 	delete(c.entries, k)
-	return e
+	c.hits++
+	return e.enc
 }
 
-func (c *Cache) put(root *ir.Program, key string, e *encoder) {
+// put inserts an encoder, reporting whether the LRU bound evicted another
+// entry to make room.
+func (c *Cache) put(root *ir.Program, key string, e *encoder) (evicted bool) {
 	if c == nil || e == nil {
-		return
+		return false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries[cacheKey{root, key}] = e
+	k := cacheKey{root, key}
+	if _, present := c.entries[k]; !present && c.cap > 0 && len(c.entries) >= c.cap {
+		// Evict the least-recently-used entry. The scan is O(entries), which
+		// the small cap keeps trivial next to a single solver's footprint.
+		var oldest cacheKey
+		var oldestTick uint64
+		first := true
+		for ck, ce := range c.entries {
+			if first || ce.lastUsed < oldestTick {
+				oldest, oldestTick, first = ck, ce.lastUsed, false
+			}
+		}
+		delete(c.entries, oldest)
+		c.evicted++
+		evicted = true
+	}
+	c.tick++
+	c.entries[k] = &cacheEntry{enc: e, lastUsed: c.tick}
+	return evicted
 }
 
 // componentKey renders the encoding-relevant content of a component input:
 // algorithm names (IR content is covered by the root pointer), each scope's
 // deployment mode, switch list and flow paths, and the ASIC model of every
 // scope switch (capacity facts learned by the resource theory are permanent
-// clauses, so a changed chip spec must miss).
+// clauses, so a changed chip spec must miss). Paths render through EachPath
+// so lazy scopes key on the same content as materialized ones; a scope whose
+// enumeration overflows its budget keys as such (and will fail encoding the
+// same way on every attempt).
 func componentKey(in *Input) string {
 	var b strings.Builder
 	algs := make([]string, 0, len(in.IR.Algorithms))
@@ -88,7 +156,14 @@ func componentKey(in *Input) string {
 	for _, name := range algs {
 		fmt.Fprintf(&b, "alg %s", name)
 		if rs := in.Scopes[name]; rs != nil {
-			fmt.Fprintf(&b, " deploy=%d switches=%v paths=%v", rs.Deploy, rs.Switches, rs.Paths)
+			fmt.Fprintf(&b, " deploy=%d switches=%v paths=[", rs.Deploy, rs.Switches)
+			if err := rs.EachPath(func(p []string) bool {
+				fmt.Fprintf(&b, "%v ", p)
+				return true
+			}); err != nil {
+				b.WriteString("overflow")
+			}
+			b.WriteByte(']')
 			for _, sw := range rs.Switches {
 				if !seenSw[sw] {
 					seenSw[sw] = true

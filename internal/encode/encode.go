@@ -123,6 +123,19 @@ type Options struct {
 	// It exists as the baseline for benchmarking the incremental path and
 	// disables Cache reuse.
 	ReencodeEachAttempt bool
+	// NoSymmetryDedup disables symmetry-aware component deduplication:
+	// every component is solved from scratch even when it is isomorphic
+	// (modulo switch renaming) to an already-solved one. The zero value
+	// keeps dedup on; the flag exists as the measurement baseline and
+	// produces byte-identical plans (see symmetry.go for the argument).
+	NoSymmetryDedup bool
+	// Portfolio, when > 1, races that many solver configurations per
+	// component: the canonical incremental-ladder solver plus seeded VSIDS
+	// variants on fresh encoders. The canonical result always wins when it
+	// succeeds (keeping plans byte-identical to the sequential path); a
+	// seeded racer's plan is adopted, deterministically by seed order, only
+	// when the canonical attempt fails where a racer succeeded.
+	Portfolio int
 }
 
 // DefaultOptions returns the standard solver configuration.
@@ -181,6 +194,27 @@ type Plan struct {
 	// Instances counts the independent SMT instances solved (the number of
 	// disjoint components the placement problem split into).
 	Instances int
+	// Classes counts the symmetry equivalence classes actually solved;
+	// Replayed counts the components whose placement was replayed from an
+	// isomorphic representative instead of solved (Instances = Classes +
+	// Replayed when dedup ran).
+	Classes  int
+	Replayed int
+	// PathsEnumerated totals the flow paths walked by the lazy enumerator
+	// across all components; PeakPathsHeld is the largest number of
+	// materialized (unique candidate-hop) path slices any single component
+	// held at once — the bounded-memory guarantee of lazy enumeration.
+	PathsEnumerated int64
+	PeakPathsHeld   int64
+	// EncodedVars/EncodedClauses total the SMT encoding size over the
+	// instances actually solved.
+	EncodedVars    int64
+	EncodedClauses int64
+	// PortfolioRacers counts seeded racers launched; PortfolioAdopted the
+	// components whose plan came from a racer rather than the canonical
+	// solver.
+	PortfolioRacers  int
+	PortfolioAdopted int
 	// Diagnostics is the fallback-ladder trail: one entry per solve
 	// attempt, recording what (if anything) was given up to reach a plan.
 	Diagnostics *Diagnostics
@@ -221,13 +255,73 @@ func Solve(in *Input, opts *Options) (*Plan, error) {
 
 	comps := Partition(in)
 	results := make([]componentResult, len(comps))
-	par.For(len(comps), opts.Parallelism, func(i int) {
+
+	// Symmetry classes: components with identical canonical fingerprints
+	// (same algorithms, same index-renamed scope/path shape, same chip
+	// model per index) are isomorphic SMT instances. Only the first member
+	// of each class — the representative — is solved; every twin's
+	// placement is replayed from it through the switch bijection.
+	repOf := make([]int, len(comps)) // -1 = representative / solve directly
+	for i := range repOf {
+		repOf[i] = -1
+	}
+	if !opts.NoSymmetryDedup && len(comps) > 1 {
+		classOf := map[string]int{}
+		for i, c := range comps {
+			if fp, ok := canonicalFingerprint(c); ok {
+				if j, dup := classOf[fp]; dup {
+					repOf[i] = j
+				} else {
+					classOf[fp] = i
+				}
+			}
+		}
+	}
+	var solveIdx []int
+	for i, r := range repOf {
+		if r < 0 {
+			solveIdx = append(solveIdx, i)
+		}
+	}
+	solveOne := func(i int, label string) (*Plan, time.Duration, time.Duration, error) {
+		if opts.Portfolio > 1 {
+			return solvePortfolio(ctx, comps[i].In, in.IR, opts, deadline, label)
+		}
+		return solveComponent(ctx, comps[i].In, in.IR, opts, deadline, label)
+	}
+	par.For(len(solveIdx), opts.Parallelism, func(k int) {
+		i := solveIdx[k]
 		label := ""
 		if len(comps) > 1 {
 			label = comps[i].Label()
 		}
 		r := &results[i]
-		r.plan, r.enc, r.slv, r.err = solveComponent(ctx, comps[i].In, in.IR, opts, deadline, label)
+		r.plan, r.enc, r.slv, r.err = solveOne(i, label)
+	})
+	// Replay twins from their representatives; a failed replay (which the
+	// isomorphism argument rules out, but fall back soundly anyway) demotes
+	// the twin to a direct solve.
+	var twinIdx []int
+	for i, r := range repOf {
+		if r >= 0 {
+			twinIdx = append(twinIdx, i)
+		}
+	}
+	par.For(len(twinIdx), opts.Parallelism, func(k int) {
+		i := twinIdx[k]
+		rep := &results[repOf[i]]
+		r := &results[i]
+		if rep.err != nil {
+			r.err = rep.err // surfaced via the representative below
+			return
+		}
+		rStart := time.Now()
+		plan, err := replayComponent(comps[i].In, comps[repOf[i]].In, rep.plan)
+		if err == nil {
+			r.plan, r.enc, r.replayed = plan, time.Since(rStart), true
+			return
+		}
+		r.plan, r.enc, r.slv, r.err = solveOne(i, comps[i].Label())
 	})
 	// Deterministic error selection: the lowest-index failing component
 	// wins, regardless of which goroutine finished first.
@@ -245,6 +339,12 @@ func Solve(in *Input, opts *Options) (*Plan, error) {
 		plan = mergePlans(in, results)
 	}
 	plan.Instances = len(comps)
+	plan.Classes = len(solveIdx)
+	for _, r := range results {
+		if r.replayed {
+			plan.Replayed++
+		}
+	}
 
 	// Attribute the wall time of this call to encode vs. solve in
 	// proportion to the (possibly overlapping) per-instance durations, so
@@ -283,6 +383,7 @@ func solveComponent(ctx context.Context, in *Input, rootIR *ir.Program, opts *Op
 
 	var e *encoder
 	cacheKey := ""
+	cacheHit := false
 	if opts.Cache != nil && !opts.ReencodeEachAttempt {
 		cacheKey = componentKey(in)
 		if e = opts.Cache.take(rootIR, cacheKey); e != nil {
@@ -290,6 +391,7 @@ func solveComponent(ctx context.Context, in *Input, rootIR *ir.Program, opts *Op
 			// needs refreshing: the cached encoder was built against the
 			// previous compile's (equal) component input.
 			e.in = in
+			cacheHit = true
 		}
 	}
 	for {
@@ -322,9 +424,14 @@ func solveComponent(ctx context.Context, in *Input, rootIR *ir.Program, opts *Op
 		diags.record(label, step, cfg, aerr, aDur, core)
 		if aerr == nil {
 			p.Diagnostics = diags
+			if cacheHit {
+				p.Stats.CacheHits++
+			}
 			if opts.Cache != nil && !opts.ReencodeEachAttempt {
 				e.solver.Ctx = nil
-				opts.Cache.put(rootIR, cacheKey, e)
+				if opts.Cache.put(rootIR, cacheKey, e) {
+					p.Stats.CacheEvictions++
+				}
 			}
 			return p, enc, slv, nil
 		}
@@ -351,13 +458,15 @@ type componentResult struct {
 	plan     *Plan
 	enc, slv time.Duration
 	err      error
+	replayed bool // placement replayed from an isomorphic representative
 }
 
 // mergePlans unions per-component plans into one whole-program plan.
-// Components touch disjoint switch sets and disjoint algorithms, so the
-// switch-keyed maps union without collisions; Shards is keyed by extern
-// name, which two components may share, so its inner per-switch maps union
-// element-wise.
+// Components touch disjoint switch sets, so the switch-keyed maps union
+// without collisions; Shards is keyed by extern name, which two components
+// may share, so its inner per-switch maps union element-wise. After a scope
+// split the same algorithm may appear in several components (one per switch
+// group), so Placement unions its per-instruction host lists as well.
 func mergePlans(in *Input, results []componentResult) *Plan {
 	merged := &Plan{
 		Input:       in,
@@ -371,7 +480,13 @@ func mergePlans(in *Input, results []componentResult) *Plan {
 	for _, r := range results {
 		p := r.plan
 		for alg, m := range p.Placement {
-			merged.Placement[alg] = m
+			if ex := merged.Placement[alg]; ex == nil {
+				merged.Placement[alg] = m
+			} else {
+				for id, hosts := range m {
+					ex[id] = mergeHosts(ex[id], hosts)
+				}
+			}
 		}
 		for sw, ts := range p.Tables {
 			merged.Tables[sw] = ts
@@ -391,6 +506,14 @@ func mergePlans(in *Input, results []componentResult) *Plan {
 			}
 		}
 		merged.Stats.Add(p.Stats)
+		merged.PathsEnumerated += p.PathsEnumerated
+		if p.PeakPathsHeld > merged.PeakPathsHeld {
+			merged.PeakPathsHeld = p.PeakPathsHeld
+		}
+		merged.EncodedVars += p.EncodedVars
+		merged.EncodedClauses += p.EncodedClauses
+		merged.PortfolioRacers += p.PortfolioRacers
+		merged.PortfolioAdopted += p.PortfolioAdopted
 		if d := p.Diagnostics; d != nil {
 			merged.Diagnostics.Attempts = append(merged.Diagnostics.Attempts, d.Attempts...)
 			for _, deg := range d.Degraded {
@@ -406,6 +529,34 @@ func mergePlans(in *Input, results []componentResult) *Plan {
 		}
 	}
 	return merged
+}
+
+// mergeHosts unions two sorted host lists into a sorted list.
+func mergeHosts(a, b []string) []string {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // attemptCfg is the mutable configuration one ladder rung can relax.
@@ -488,6 +639,9 @@ func solveAttempt(ctx context.Context, enc *encoder, cfg attemptCfg, deadline ti
 	}
 	plan := enc.extractPlan(model)
 	plan.Stats = s.Statistics()
+	plan.PathsEnumerated, plan.PeakPathsHeld = enc.pathMetrics()
+	plan.EncodedVars = int64(s.NumVars())
+	plan.EncodedClauses = int64(s.NumClauses())
 	return plan, nil
 }
 
@@ -538,6 +692,12 @@ type encoder struct {
 	p4  map[string]*synth.Result
 	npl map[string]*synth.Result
 
+	// prep holds the per-algorithm encoding preparation: candidate switches
+	// and the deduplicated candidate-hop sequences of the scope's flow
+	// paths. It is what the constraint emitters and the resource theory
+	// iterate instead of materialized path slices.
+	prep map[string]*algPrep
+
 	// sharedExternInstrs marks instructions reading split-capable externs.
 	sharedInstr map[string]map[int]bool
 	// replicable marks the algorithms eligible for the RelaxReplication
@@ -580,6 +740,121 @@ func newEncoder(in *Input) (*encoder, error) {
 		e.npl[a.Name] = synth.SynthesizeNPL(in.IR, a)
 	}
 	return e, nil
+}
+
+// algPrep is one algorithm's encoding preparation.
+type algPrep struct {
+	// candidates are the programmable switches of the scope, in scope
+	// (sorted) order; isCand indexes them.
+	candidates []string
+	isCand     map[string]bool
+	// onPath marks candidates traversed by at least one flow path.
+	onPath map[string]bool
+	// hops are the unique programmable-hop sequences of the scope's flow
+	// paths, in first-encounter enumeration order. Distinct paths routing
+	// through the same candidates in the same order collapse to one entry:
+	// they emit identical constraint sets, and in the shard-credit loop the
+	// duplicate is a no-op (its demand is already covered). This is what
+	// bounds memory under lazy enumeration — a k-pod fat tree walks every
+	// ECMP path but holds only the distinct hop shapes.
+	hops [][]string
+	// enumerated counts the flow paths walked (before dedup).
+	enumerated int64
+}
+
+// prepare computes every algorithm's prep: shared-instruction marking,
+// candidate switches, and the deduplicated candidate-hop sequences streamed
+// from the scope's (possibly lazy) path set. It never materializes the full
+// path list.
+func (e *encoder) prepare() error {
+	if e.prep != nil {
+		return nil
+	}
+	prep := map[string]*algPrep{}
+	for _, a := range e.in.IR.Algorithms {
+		rs := e.in.Scopes[a.Name]
+		// Mark extern-reading instructions as shareable: in MULTI-SW mode
+		// their backing table may be split across switches, so copies of
+		// the lookup exist on every shard host (§5.6).
+		shared := map[int]bool{}
+		if rs.Deploy == scope.MultiSwitch {
+			for _, inst := range a.Instrs {
+				if inst.Op == ir.IMember || inst.Op == ir.ILookup {
+					shared[inst.ID] = true
+				}
+			}
+		}
+		e.sharedInstr[a.Name] = shared
+
+		// Candidate switches: programmable members of the region.
+		p := &algPrep{isCand: map[string]bool{}, onPath: map[string]bool{}}
+		for _, sw := range rs.Switches {
+			s := e.in.Net.Switch(sw)
+			if s == nil {
+				return fmt.Errorf("encode: scope of %q references unknown switch %q", a.Name, sw)
+			}
+			if s.ASIC.Programmable {
+				p.candidates = append(p.candidates, sw)
+				p.isCand[sw] = true
+			}
+		}
+		if len(p.candidates) == 0 {
+			return fmt.Errorf("encode: scope of %q has no programmable switch", a.Name)
+		}
+
+		if rs.Deploy == scope.MultiSwitch {
+			seen := map[string]bool{}
+			var key strings.Builder
+			var badPath []string
+			err := rs.EachPath(func(path []string) bool {
+				p.enumerated++
+				key.Reset()
+				n := 0
+				for _, sw := range path {
+					if p.isCand[sw] {
+						n++
+						key.WriteString(sw)
+						key.WriteByte(0)
+					}
+				}
+				if n == 0 {
+					badPath = append([]string(nil), path...)
+					return false
+				}
+				if k := key.String(); !seen[k] {
+					seen[k] = true
+					hop := make([]string, 0, n)
+					for _, sw := range path {
+						if p.isCand[sw] {
+							hop = append(hop, sw)
+							p.onPath[sw] = true
+						}
+					}
+					p.hops = append(p.hops, hop)
+				}
+				return true
+			})
+			if badPath != nil {
+				return fmt.Errorf("encode: path %v of %q has no programmable hop", badPath, a.Name)
+			}
+			if err != nil {
+				return fmt.Errorf("encode: scope of %q: %w", a.Name, err)
+			}
+		}
+		prep[a.Name] = p
+	}
+	e.prep = prep
+	return nil
+}
+
+// pathMetrics sums the enumeration counters over the encoder's algorithms:
+// total flow paths walked, and unique hop sequences held in memory.
+func (e *encoder) pathMetrics() (enumerated, held int64) {
+	for _, p := range e.prep {
+		enumerated += p.enumerated
+		held += int64(len(p.hops))
+	}
+	return enumerated, held
 }
 
 // sel returns (creating on first use) the selector literal of a named
@@ -656,35 +931,13 @@ func (e *encoder) lit(alg string, instr int, sw string) (smt.Lit, bool) {
 }
 
 func (e *encoder) encode() error {
+	if err := e.prepare(); err != nil {
+		return err
+	}
 	for _, a := range e.in.IR.Algorithms {
 		rs := e.in.Scopes[a.Name]
-		// Mark extern-reading instructions as shareable: in MULTI-SW mode
-		// their backing table may be split across switches, so copies of
-		// the lookup exist on every shard host (§5.6).
-		shared := map[int]bool{}
-		if rs.Deploy == scope.MultiSwitch {
-			for _, inst := range a.Instrs {
-				if inst.Op == ir.IMember || inst.Op == ir.ILookup {
-					shared[inst.ID] = true
-				}
-			}
-		}
-		e.sharedInstr[a.Name] = shared
-
-		// Candidate switches: programmable members of the region.
-		var candidates []string
-		for _, sw := range rs.Switches {
-			s := e.in.Net.Switch(sw)
-			if s == nil {
-				return fmt.Errorf("encode: scope of %q references unknown switch %q", a.Name, sw)
-			}
-			if s.ASIC.Programmable {
-				candidates = append(candidates, sw)
-			}
-		}
-		if len(candidates) == 0 {
-			return fmt.Errorf("encode: scope of %q has no programmable switch", a.Name)
-		}
+		p := e.prep[a.Name]
+		candidates := p.candidates
 
 		e.vars[a.Name] = map[int]map[string]smt.Lit{}
 		for _, inst := range a.Instrs {
@@ -693,7 +946,7 @@ func (e *encoder) encode() error {
 				l := e.solver.NewBool(fmt.Sprintf("f[%s,%d,%s]", a.Name, inst.ID, sw))
 				e.vars[a.Name][inst.ID][sw] = l
 				e.placeVars = append(e.placeVars, &placeVar{
-					alg: a.Name, instr: inst.ID, sw: sw, lit: l, shared: shared[inst.ID],
+					alg: a.Name, instr: inst.ID, sw: sw, lit: l, shared: e.sharedInstr[a.Name][inst.ID],
 				})
 			}
 		}
@@ -707,9 +960,7 @@ func (e *encoder) encode() error {
 				}
 			}
 		case scope.MultiSwitch:
-			if err := e.encodeMultiSwitch(a, rs, candidates); err != nil {
-				return err
-			}
+			e.encodeMultiSwitch(a, p)
 		}
 
 		// Global-variable co-location (Appendix B.2): all instructions
@@ -727,37 +978,21 @@ func (e *encoder) encode() error {
 	return nil
 }
 
-// encodeMultiSwitch adds flow-path coverage and ordering constraints.
-func (e *encoder) encodeMultiSwitch(a *ir.Algorithm, rs *scope.Resolved, candidates []string) error {
-	onPath := map[string]bool{}
-	for _, p := range rs.Paths {
-		for _, sw := range p {
-			onPath[sw] = true
-		}
-	}
+// encodeMultiSwitch adds flow-path coverage and ordering constraints over
+// the prepared unique hop sequences. Emitting per hop sequence rather than
+// per path is clause-for-clause equivalent: two paths with the same
+// candidate hops would emit identical coverage, exactly-one, and ordering
+// constraints.
+func (e *encoder) encodeMultiSwitch(a *ir.Algorithm, p *algPrep) {
 	// Instructions cannot sit on switches no flow traverses.
 	for _, inst := range a.Instrs {
-		for _, sw := range candidates {
-			if !onPath[sw] {
+		for _, sw := range p.candidates {
+			if !p.onPath[sw] {
 				e.guarded("scope:"+a.Name, e.vars[a.Name][inst.ID][sw].Not())
 			}
 		}
 	}
-	isCandidate := map[string]bool{}
-	for _, sw := range candidates {
-		isCandidate[sw] = true
-	}
-	for _, p := range rs.Paths {
-		// Programmable switches along the path, in order.
-		var hops []string
-		for _, sw := range p {
-			if isCandidate[sw] {
-				hops = append(hops, sw)
-			}
-		}
-		if len(hops) == 0 {
-			return fmt.Errorf("encode: path %v of %q has no programmable hop", p, a.Name)
-		}
+	for _, hops := range p.hops {
 		for _, inst := range a.Instrs {
 			lits := make([]smt.Lit, 0, len(hops))
 			for _, sw := range hops {
@@ -804,7 +1039,6 @@ func (e *encoder) encodeMultiSwitch(a *ir.Algorithm, rs *scope.Resolved, candida
 			}
 		}
 	}
-	return nil
 }
 
 // encodeGlobalGroups forces all instructions accessing one global variable
@@ -816,7 +1050,8 @@ func (e *encoder) encodeGlobalGroups(a *ir.Algorithm, candidates []string) {
 			groups[inst.Table] = append(groups[inst.Table], inst.ID)
 		}
 	}
-	for _, ids := range groups {
+	for _, g := range sortedKeys(groups) {
+		ids := groups[g]
 		if len(ids) < 2 {
 			continue
 		}
@@ -843,7 +1078,8 @@ func (e *encoder) encodeExternGroups(a *ir.Algorithm, candidates []string) {
 			groups[inst.Table] = append(groups[inst.Table], inst.ID)
 		}
 	}
-	for _, ids := range groups {
+	for _, g := range sortedKeys(groups) {
+		ids := groups[g]
 		if len(ids) < 2 {
 			continue
 		}

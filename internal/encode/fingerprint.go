@@ -5,8 +5,111 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
+
+	"lyra/internal/ir"
 )
+
+// fpCtx is the shared, plan-wide part of switch fingerprinting, computed
+// once per Fingerprints call: the placement index inverted to per-switch
+// form, the digested global bridge layout, and the set of switches whose
+// placed instructions read a variable some other switch exports. Building
+// it is O(plan); without it each SwitchFingerprint call rescans every
+// placement of every algorithm, which made hashing a k-pod fat tree
+// quadratic in the switch count (and the dominant cost of a large compile).
+type fpCtx struct {
+	// placedIDs maps switch -> algorithm -> sorted placed instruction IDs.
+	placedIDs map[string]map[string][]int
+	// algs is the sorted algorithm order placements render in.
+	algs []string
+	// bridgeDigest is the hash of the rendered global lyra_bridge field
+	// list. Layout-sensitive switches mix in the digest rather than the
+	// full field list, so per-switch hashing cost stays independent of how
+	// many variables bridge network-wide.
+	bridgeDigest string
+	// involved marks switches sensitive to the bridge layout: exporters,
+	// plus any switch hosting an instruction that reads a variable another
+	// switch exports.
+	involved map[string]bool
+	// scratch is the reusable render buffer for sequential fingerprinting.
+	scratch []byte
+}
+
+func (p *Plan) fingerprintCtx() *fpCtx {
+	ctx := &fpCtx{
+		placedIDs: map[string]map[string][]int{},
+		algs:      sortedKeys(p.Placement),
+		involved:  map[string]bool{},
+	}
+	for _, alg := range ctx.algs {
+		for id, hosts := range p.Placement[alg] {
+			for _, h := range hosts {
+				m := ctx.placedIDs[h]
+				if m == nil {
+					m = map[string][]int{}
+					ctx.placedIDs[h] = m
+				}
+				m[alg] = append(m[alg], id)
+			}
+		}
+	}
+	for _, m := range ctx.placedIDs {
+		for _, ids := range m {
+			sort.Ints(ids)
+		}
+	}
+
+	// Bridge layout and involvement. exporters[v] records how many switches
+	// export variable v and (when unique) which one, so "some other switch
+	// exports v" resolves in O(1) per read.
+	type exp struct {
+		count int
+		only  string
+	}
+	exporters := map[*ir.Var]exp{}
+	var fields []string
+	for sw, bvs := range p.Bridges {
+		if len(bvs) > 0 {
+			ctx.involved[sw] = true
+		}
+		for _, bv := range bvs {
+			fields = append(fields, fmt.Sprintf("%s.%s:%d", bv.Alg, bv.Var, bv.Bits))
+			e := exporters[bv.Var]
+			e.count++
+			e.only = sw
+			exporters[bv.Var] = e
+		}
+	}
+	sort.Strings(fields)
+	layout := sha256.Sum256([]byte(fmt.Sprintf("bridge-layout=%v\n", fields)))
+	ctx.bridgeDigest = "bridge-digest=" + hex.EncodeToString(layout[:]) + "\n"
+	if len(exporters) > 0 {
+		for _, a := range p.Input.IR.Algorithms {
+			placed := p.Placement[a.Name]
+			if placed == nil {
+				continue
+			}
+			for _, in := range a.Instrs {
+				hosts := placed[in.ID]
+				if len(hosts) == 0 {
+					continue
+				}
+				for _, v := range in.Reads() {
+					e, ok := exporters[v]
+					if !ok {
+						continue
+					}
+					for _, h := range hosts {
+						if e.count > 1 || e.only != h {
+							ctx.involved[h] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return ctx
+}
 
 // SwitchFingerprint content-hashes one switch's slice of the plan:
 // everything that determines the artifact generated for it — the chip
@@ -17,105 +120,81 @@ import (
 // assigning a switch identical fingerprints generate byte-identical code
 // for it, so incremental recompilation can skip reprogramming the device.
 func (p *Plan) SwitchFingerprint(sw string) string {
-	var b strings.Builder
-	net := p.Input.Net
-	if s := net.Switch(sw); s != nil {
-		fmt.Fprintf(&b, "model=%s\n", s.ASIC.Name)
+	return p.switchFingerprint(p.fingerprintCtx(), sw)
+}
+
+// switchFingerprint renders one switch's content into the context's
+// scratch buffer and hashes it. The rendering is hand-rolled appends, not
+// fmt: this runs once per programmed switch per compile, and fmt's
+// reflection overhead was a measurable slice of a datacenter-scale
+// compile. Fingerprints are only ever compared to fingerprints computed by
+// the same code in the same process, so the exact byte layout is free to
+// change as long as it stays injective on the hashed facts.
+func (p *Plan) switchFingerprint(ctx *fpCtx, sw string) string {
+	b := ctx.scratch[:0]
+	if s := p.Input.Net.Switch(sw); s != nil {
+		b = append(b, "model="...)
+		b = append(b, s.ASIC.Name...)
+		b = append(b, '\n')
 	}
-	for _, alg := range sortedKeys(p.Placement) {
-		var ids []int
-		for id, hosts := range p.Placement[alg] {
-			for _, h := range hosts {
-				if h == sw {
-					ids = append(ids, id)
-					break
-				}
-			}
-		}
+	placed := ctx.placedIDs[sw]
+	for _, alg := range ctx.algs {
+		ids := placed[alg]
 		if len(ids) == 0 {
 			continue
 		}
-		sort.Ints(ids)
-		fmt.Fprintf(&b, "alg=%s ids=%v\n", alg, ids)
+		b = append(b, "alg="...)
+		b = append(b, alg...)
+		b = append(b, " ids="...)
+		for _, id := range ids {
+			b = strconv.AppendInt(b, int64(id), 10)
+			b = append(b, ',')
+		}
+		b = append(b, '\n')
 	}
 	for _, pt := range p.Tables[sw] {
-		fmt.Fprintf(&b, "table=%s entries=%d shard=%d/%d\n",
-			pt.Name, pt.Entries, pt.ShardIndex, pt.ShardCount)
+		b = append(b, "table="...)
+		b = append(b, pt.Name...)
+		b = append(b, " entries="...)
+		b = strconv.AppendInt(b, int64(pt.Entries), 10)
+		b = append(b, " shard="...)
+		b = strconv.AppendInt(b, int64(pt.ShardIndex), 10)
+		b = append(b, '/')
+		b = strconv.AppendInt(b, int64(pt.ShardCount), 10)
+		b = append(b, '\n')
 	}
 	for _, bv := range p.Bridges[sw] {
-		fmt.Fprintf(&b, "export=%s.%s bits=%d hit=%v\n", bv.Alg, bv.Var, bv.Bits, bv.Hit)
+		b = append(b, "export="...)
+		b = append(b, bv.Alg...)
+		b = append(b, '.')
+		b = append(b, bv.Var.String()...)
+		b = append(b, " bits="...)
+		b = strconv.AppendInt(b, int64(bv.Bits), 10)
+		if bv.Hit {
+			b = append(b, " hit\n"...)
+		} else {
+			b = append(b, '\n')
+		}
 	}
 	// Global bridge layout: a switch that imports or exports anything is
 	// sensitive to the full field list of the lyra_bridge header; switches
 	// with no bridge involvement are not invalidated by layout changes.
-	if p.bridgeInvolved(sw) {
-		var fields []string
-		for _, other := range sortedKeys(p.Bridges) {
-			for _, bv := range p.Bridges[other] {
-				fields = append(fields, fmt.Sprintf("%s.%s:%d", bv.Alg, bv.Var, bv.Bits))
-			}
-		}
-		sort.Strings(fields)
-		fmt.Fprintf(&b, "bridge-layout=%v\n", fields)
+	if ctx.involved[sw] {
+		b = append(b, ctx.bridgeDigest...)
 	}
-	sum := sha256.Sum256([]byte(b.String()))
+	ctx.scratch = b
+	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
 }
 
-// bridgeInvolved reports whether a switch touches the lyra_bridge header:
-// it exports a variable, or one of its placed instructions reads a
-// variable some other switch exports (an import, mirroring
-// backend.importsOf).
-func (p *Plan) bridgeInvolved(sw string) bool {
-	if len(p.Bridges[sw]) > 0 {
-		return true
-	}
-	for _, a := range p.Input.IR.Algorithms {
-		placed := p.Placement[a.Name]
-		if placed == nil {
-			continue
-		}
-		for _, in := range a.Instrs {
-			hosted := false
-			for _, h := range placed[in.ID] {
-				if h == sw {
-					hosted = true
-					break
-				}
-			}
-			if !hosted {
-				continue
-			}
-			for _, v := range in.Reads() {
-				for other, bvs := range p.Bridges {
-					if other == sw {
-						continue
-					}
-					for _, bv := range bvs {
-						if bv.Var == v {
-							return true
-						}
-					}
-				}
-			}
-		}
-	}
-	return false
-}
-
-// Fingerprints hashes every switch hosting anything in the plan.
+// Fingerprints hashes every switch hosting anything in the plan. The
+// shared context is built once, so the whole map costs O(plan) instead of
+// O(switches x placements).
 func (p *Plan) Fingerprints() map[string]string {
-	hosts := map[string]bool{}
-	for _, m := range p.Placement {
-		for _, hs := range m {
-			for _, h := range hs {
-				hosts[h] = true
-			}
-		}
-	}
-	out := map[string]string{}
-	for h := range hosts {
-		out[h] = p.SwitchFingerprint(h)
+	ctx := p.fingerprintCtx()
+	out := make(map[string]string, len(ctx.placedIDs))
+	for h := range ctx.placedIDs {
+		out[h] = p.switchFingerprint(ctx, h)
 	}
 	return out
 }

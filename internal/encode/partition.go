@@ -4,18 +4,23 @@ import (
 	"sort"
 	"strings"
 
+	"lyra/internal/ir"
 	"lyra/internal/scope"
+	"lyra/internal/topo"
 )
 
 // Component is one independent slice of the placement problem: a set of
-// algorithms whose resolved scopes touch a switch set disjoint from every
-// other component's. Because chip admission is per-switch and flow paths
-// are confined to a scope's switches, a component can be encoded and solved
-// as its own SMT instance with no loss of precision; the per-component
-// plans merge into exactly the plan a monolithic solve would admit.
+// algorithm scope groups whose switch sets are disjoint from every other
+// component's. Because chip admission is per-switch and flow paths are
+// confined to a scope's switches, a component can be encoded and solved as
+// its own SMT instance with no loss of precision; the per-component plans
+// merge into exactly the plan a monolithic solve would admit.
 type Component struct {
 	// Algs lists the member algorithms in program declaration order.
 	Algs []string
+	// Tag disambiguates same-algorithm components after a scope split (the
+	// component's smallest switch); empty otherwise.
+	Tag string
 	// In is the component's sub-problem: the original input with the
 	// algorithm list and scope map filtered down to the members. The full
 	// network is retained (candidate switches come from the scopes).
@@ -23,34 +28,65 @@ type Component struct {
 }
 
 // Label names the component for diagnostics: the member algorithms joined
-// with "+".
-func (c *Component) Label() string { return strings.Join(c.Algs, "+") }
+// with "+", plus the disambiguating switch tag for split scopes.
+func (c *Component) Label() string {
+	l := strings.Join(c.Algs, "+")
+	if c.Tag != "" {
+		l += "@" + c.Tag
+	}
+	return l
+}
 
-// Partition splits the input into independent components by union-find
-// over algorithms that share a candidate switch. Algorithms with
-// overlapping scopes stay fused — the monolithic fallback — so partitioning
-// never changes what the solver can or cannot prove. The result is ordered
-// by each component's first algorithm in program order, which makes the
-// decomposition (and everything downstream) independent of goroutine
-// scheduling and of the configured parallelism.
+// unit is one schedulable scope fragment: an algorithm bound to one
+// path-connected switch group of its scope (or the whole scope when the
+// scope does not split).
+type unit struct {
+	algIdx int
+	rs     *scope.Resolved
+	split  bool // rs is a proper fragment of the original scope
+}
+
+// Partition splits the input into independent components by union-find over
+// scope fragments that share a candidate switch. Two layers of splitting
+// compose here:
 //
-// Inputs that cannot be meaningfully split — fewer than two algorithms, or
-// an algorithm missing its scope (the encoder owns that error) — come back
-// as a single component wrapping the original input.
+//  1. Scope splitting: a MULTI-SW scope whose flow paths fall into several
+//     path-disconnected switch groups (the pods of a fat tree) splits into
+//     one fragment per group. Every deployment constraint of §5.5 —
+//     coverage, exactly-one, ordering, and the theory's shard sizing — is
+//     per-path, so constraints never couple two groups. Algorithms touching
+//     global variables are exempt (global co-location spans the whole
+//     scope), as are PER-SW scopes (each switch is independent anyway, and
+//     splitting them would only add bookkeeping).
+//  2. Component grouping: fragments (of the same or different algorithms)
+//     whose switch sets overlap fuse into one component — the monolithic
+//     fallback — so partitioning never changes what the solver can prove.
+//
+// The result is ordered by each component's first fragment in (program
+// order, group order), which makes the decomposition — and everything
+// downstream — independent of goroutine scheduling and of the configured
+// parallelism.
 func Partition(in *Input) []*Component {
 	algs := in.IR.Algorithms
 	whole := []*Component{wholeComponent(in)}
-	if len(algs) < 2 {
-		return whole
-	}
 	for _, a := range algs {
 		if in.Scopes[a.Name] == nil {
 			return whole
 		}
 	}
+	var units []unit
+	for i, a := range algs {
+		groups := splitScope(in.Net, a, in.Scopes[a.Name])
+		for _, g := range groups {
+			units = append(units, unit{algIdx: i, rs: g, split: len(groups) > 1})
+		}
+	}
+	if len(units) < 2 {
+		return whole
+	}
 
-	// Union algorithms whose scopes share a switch.
-	parent := make([]int, len(algs))
+	// Union fragments whose switch sets overlap.
+	parent := make([]int, len(units))
 	for i := range parent {
 		parent[i] = i
 	}
@@ -61,9 +97,9 @@ func Partition(in *Input) []*Component {
 		}
 		return parent[i]
 	}
-	owner := map[string]int{} // switch -> first algorithm index seen
-	for i, a := range algs {
-		for _, sw := range in.Scopes[a.Name].Switches {
+	owner := map[string]int{} // switch -> first unit index seen
+	for i, u := range units {
+		for _, sw := range u.rs.Switches {
 			if j, ok := owner[sw]; ok {
 				ri, rj := find(i), find(j)
 				if ri != rj {
@@ -75,9 +111,9 @@ func Partition(in *Input) []*Component {
 		}
 	}
 
-	groups := map[int][]int{} // root -> member indices, ascending
+	groups := map[int][]int{} // root -> member unit indices, ascending
 	var roots []int
-	for i := range algs {
+	for i := range units {
 		r := find(i)
 		if _, ok := groups[r]; !ok {
 			roots = append(roots, r)
@@ -87,7 +123,8 @@ func Partition(in *Input) []*Component {
 	if len(roots) < 2 {
 		return whole
 	}
-	// Order components by their earliest member (program order).
+	// Order components by their earliest member unit (program order, then
+	// group order within a split scope).
 	sort.Slice(roots, func(a, b int) bool { return groups[roots[a]][0] < groups[roots[b]][0] })
 
 	comps := make([]*Component, 0, len(roots))
@@ -96,16 +133,198 @@ func Partition(in *Input) []*Component {
 		sub := *in.IR // shallow copy; only the algorithm list narrows
 		sub.Algorithms = nil
 		scopes := map[string]*scope.Resolved{}
-		for _, i := range groups[r] {
-			a := algs[i]
+		// Collect member fragments per algorithm, preserving program order.
+		byAlg := map[int][]*scope.Resolved{}
+		var algOrder []int
+		anySplit := false
+		for _, ui := range groups[r] {
+			u := units[ui]
+			if _, ok := byAlg[u.algIdx]; !ok {
+				algOrder = append(algOrder, u.algIdx)
+			}
+			byAlg[u.algIdx] = append(byAlg[u.algIdx], u.rs)
+			anySplit = anySplit || u.split
+		}
+		sort.Ints(algOrder)
+		for _, ai := range algOrder {
+			a := algs[ai]
 			c.Algs = append(c.Algs, a.Name)
 			sub.Algorithms = append(sub.Algorithms, a)
-			scopes[a.Name] = in.Scopes[a.Name]
+			scopes[a.Name] = mergeResolved(in.Net, in.Scopes[a.Name], byAlg[ai])
+		}
+		if anySplit {
+			tag := ""
+			for _, rs := range scopes {
+				for _, sw := range rs.Switches {
+					if tag == "" || sw < tag {
+						tag = sw
+					}
+				}
+			}
+			c.Tag = tag
 		}
 		c.In = &Input{IR: &sub, Net: in.Net, Scopes: scopes}
 		comps = append(comps, c)
 	}
 	return comps
+}
+
+// splitScope breaks one resolved scope into its path-connected switch
+// groups. It returns the original scope unchanged (a single fragment) for
+// PER-SW deployments, for algorithms reading or writing globals (their
+// co-location constraint spans the whole scope), when enumeration exceeds
+// the path budget, or when everything is connected anyway. Scope switches no
+// flow traverses carry only exclusion constraints, so they attach to the
+// first group. Fragments are ordered by their smallest switch name.
+func splitScope(net *topo.Network, a *ir.Algorithm, rs *scope.Resolved) []*scope.Resolved {
+	one := []*scope.Resolved{rs}
+	if rs.Deploy != scope.MultiSwitch || len(rs.Switches) < 2 {
+		return one
+	}
+	for _, inst := range a.Instrs {
+		if inst.Op == ir.IGlobalRead || inst.Op == ir.IGlobalWrite {
+			return one
+		}
+	}
+	idx := make(map[string]int, len(rs.Switches))
+	for i, sw := range rs.Switches {
+		idx[sw] = i
+	}
+	parent := make([]int, len(rs.Switches))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	onPath := make([]bool, len(rs.Switches))
+	err := rs.EachPath(func(p []string) bool {
+		first := -1
+		for _, sw := range p {
+			j, ok := idx[sw]
+			if !ok {
+				continue
+			}
+			onPath[j] = true
+			if first < 0 {
+				first = j
+			} else if ri, rj := find(first), find(j); ri != rj {
+				parent[ri] = rj
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return one
+	}
+	members := map[int][]string{} // root -> switch names (scope order = sorted)
+	for i, sw := range rs.Switches {
+		if onPath[i] {
+			members[find(i)] = append(members[find(i)], sw)
+		}
+	}
+	if len(members) < 2 {
+		return one
+	}
+	var heads []string
+	byHead := map[string][]string{}
+	for _, ms := range members {
+		heads = append(heads, ms[0])
+		byHead[ms[0]] = ms
+	}
+	sort.Strings(heads)
+	// Switches on no path attach to the first group: they only ever receive
+	// "no flow traverses you" exclusions.
+	for i, sw := range rs.Switches {
+		if !onPath[i] {
+			byHead[heads[0]] = append(byHead[heads[0]], sw)
+		}
+	}
+	sort.Strings(byHead[heads[0]])
+	out := make([]*scope.Resolved, 0, len(heads))
+	for _, h := range heads {
+		out = append(out, subResolved(net, rs, byHead[h]))
+	}
+	return out
+}
+
+// subResolved narrows a resolved scope to one switch group. Every flow path
+// lies entirely inside one group (that is what defines the groups), so the
+// materialized path list filters by first hop; a lazy scope gets a restricted
+// PathSet over the group's switches and endpoint intersections.
+func subResolved(net *topo.Network, rs *scope.Resolved, members []string) *scope.Resolved {
+	set := make(map[string]bool, len(members))
+	for _, sw := range members {
+		set[sw] = true
+	}
+	sub := &scope.Resolved{Scope: rs.Scope, Switches: members, MaxPaths: rs.MaxPaths}
+	if rs.Paths != nil {
+		var paths [][]string
+		for _, p := range rs.Paths {
+			if len(p) > 0 && set[p[0]] {
+				paths = append(paths, p)
+			}
+		}
+		sub.Paths = paths
+		return sub
+	}
+	if rs.PathSet != nil {
+		sub.PathSet = net.PathSet(intersect(rs.PathSet.From, set), intersect(rs.PathSet.To, set), members)
+	}
+	return sub
+}
+
+// mergeResolved reassembles scope fragments that landed in one component.
+// All fragments derive from the same original scope; when every fragment of
+// the scope is present the original is returned verbatim.
+func mergeResolved(net *topo.Network, orig *scope.Resolved, parts []*scope.Resolved) *scope.Resolved {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	var switches []string
+	total := 0
+	for _, p := range parts {
+		switches = append(switches, p.Switches...)
+		total += len(p.Switches)
+	}
+	if total == len(orig.Switches) {
+		return orig
+	}
+	sort.Strings(switches)
+	set := make(map[string]bool, len(switches))
+	for _, sw := range switches {
+		set[sw] = true
+	}
+	merged := &scope.Resolved{Scope: orig.Scope, Switches: switches, MaxPaths: orig.MaxPaths}
+	if orig.Paths != nil {
+		var paths [][]string
+		for _, p := range parts {
+			paths = append(paths, p.Paths...)
+		}
+		sort.Slice(paths, func(i, j int) bool {
+			return strings.Join(paths[i], ">") < strings.Join(paths[j], ">")
+		})
+		merged.Paths = paths
+		return merged
+	}
+	if orig.PathSet != nil {
+		merged.PathSet = net.PathSet(intersect(orig.PathSet.From, set), intersect(orig.PathSet.To, set), switches)
+	}
+	return merged
+}
+
+func intersect(xs []string, set map[string]bool) []string {
+	var out []string
+	for _, x := range xs {
+		if set[x] {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 func wholeComponent(in *Input) *Component {

@@ -35,10 +35,9 @@ func newResourceTheory(e *encoder) *resourceTheory {
 
 // Check implements smt.Theory.
 func (t *resourceTheory) Check(m *smt.Model) []smt.Lit {
-	e := t.e
 	// 1. Which instructions sit on which switch?
 	placed := map[string]map[string][]int{} // switch -> alg -> instr IDs
-	for _, pv := range e.placeVars {
+	for _, pv := range t.e.placeVars {
 		if !m.Value(pv.lit) {
 			continue
 		}
@@ -47,6 +46,46 @@ func (t *resourceTheory) Check(m *smt.Model) []smt.Lit {
 		}
 		placed[pv.sw][pv.alg] = append(placed[pv.sw][pv.alg], pv.instr)
 	}
+	out, conflict := t.derive(placed)
+	if conflict != nil {
+		t.lastReason = conflict.reason
+		if conflict.path != nil {
+			return t.conflictForPath(m, conflict.alg, conflict.path, conflict.extern)
+		}
+		return t.conflictForSwitch(m, conflict.sw)
+	}
+	t.allocations = out.allocations
+	t.placedTables = out.placedTables
+	t.shards = out.shards
+	return nil
+}
+
+// deriveOut is the resource state a feasible placement implies.
+type deriveOut struct {
+	allocations  map[string]*asic.Allocation
+	placedTables map[string][]*PlacedTable
+	shards       map[string]map[string]int64
+}
+
+// deriveConflict names the infeasibility derive hit: either a switch whose
+// admission failed (sw) or an extern whose entries do not fit along one flow
+// path (alg/path/extern).
+type deriveConflict struct {
+	reason string
+	sw     string
+	alg    string
+	path   []string
+	extern string
+}
+
+// derive runs the model-free half of the theory check: from the placement
+// map (switch -> alg -> instruction IDs) it determines valid tables, splits
+// externs into shards along the flow paths, and admits every switch through
+// its chip allocator. It is deterministic in its input alone, which is what
+// lets symmetry replay re-derive a twin component's allocations from a
+// renamed placement without a solver (see symmetry.go).
+func (t *resourceTheory) derive(placed map[string]map[string][]int) (*deriveOut, *deriveConflict) {
+	e := t.e
 	switches := sortedKeys(placed)
 
 	// 2. Determine per-switch valid tables and extern hosting sets.
@@ -126,8 +165,7 @@ func (t *resourceTheory) Check(m *smt.Model) []smt.Lit {
 		spec := t.buildSpec(sw, valid[sw], shards, splittable, placed[sw])
 		alloc, err := cachedAllocate(model, spec)
 		if err != nil {
-			t.lastReason = err.Error()
-			return t.conflictForSwitch(m, sw)
+			return nil, &deriveConflict{reason: err.Error(), sw: sw}
 		}
 		total := int64(model.Stages) * int64(model.SRAMBlocks)
 		if model.Stages == 0 {
@@ -144,7 +182,6 @@ func (t *resourceTheory) Check(m *smt.Model) []smt.Lit {
 		}
 		decl := externDecl[name]
 		hosts := externHosts[name]
-		algScope := e.in.Scopes[decl.Alg]
 		rowBits := decl.KeyBits() + decl.ValueBits()
 		capOf := func(sw string) int64 {
 			model := e.in.Net.Switch(sw).ASIC
@@ -161,7 +198,11 @@ func (t *resourceTheory) Check(m *smt.Model) []smt.Lit {
 			}
 			return asic.EntriesInBlocks(model, leftoverBlocks[sw], rowBits)
 		}
-		for _, p := range algScope.Paths {
+		// Iterate the unique candidate-hop sequences instead of raw paths:
+		// hosts are always candidates, so crediting and assignment see the
+		// same switches, and a duplicate hop sequence would be a no-op (its
+		// demand is already credited).
+		for _, p := range e.prep[decl.Alg].hops {
 			var need int64 = int64(decl.Size)
 			// Credit shards already assigned on this path.
 			for _, sw := range p {
@@ -200,8 +241,10 @@ func (t *resourceTheory) Check(m *smt.Model) []smt.Lit {
 				need -= take
 			}
 			if need > 0 {
-				t.lastReason = fmt.Sprintf("extern %s: %d entries do not fit along path %v", name, need, p)
-				return t.conflictForPath(m, decl.Alg, p, name)
+				return nil, &deriveConflict{
+					reason: fmt.Sprintf("extern %s: %d entries do not fit along path %v", name, need, p),
+					alg:    decl.Alg, path: p, extern: name,
+				}
 			}
 		}
 		// Hosts that received no shard still run the lookup against an
@@ -222,8 +265,7 @@ func (t *resourceTheory) Check(m *smt.Model) []smt.Lit {
 		spec := t.buildSpecFinal(sw, valid[sw], shards, placed[sw])
 		alloc, err := cachedAllocate(model, spec)
 		if err != nil {
-			t.lastReason = err.Error()
-			return t.conflictForSwitch(m, sw)
+			return nil, &deriveConflict{reason: err.Error(), sw: sw}
 		}
 		allocations[sw] = alloc
 		for _, st := range valid[sw] {
@@ -247,10 +289,7 @@ func (t *resourceTheory) Check(m *smt.Model) []smt.Lit {
 			})
 		}
 	}
-	t.allocations = allocations
-	t.placedTables = placedTables
-	t.shards = shards
-	return nil
+	return &deriveOut{allocations: allocations, placedTables: placedTables, shards: shards}, nil
 }
 
 // swTable pairs a conditional table with the instructions of it that the

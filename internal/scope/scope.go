@@ -174,12 +174,31 @@ func splitTop(s string, sep byte) []string {
 }
 
 // Resolved is a scope bound to a concrete network: the candidate switch
-// set and, for MULTI-SW, the enumerated flow paths (§4.3).
+// set and, for MULTI-SW, the flow paths (§4.3). Paths are backed by a lazy
+// topo.PathSet; by default they are also materialized into Paths (bounded
+// by the path budget), but LazyPaths resolution leaves Paths nil and
+// consumers iterate with EachPath instead — datacenter-scale scopes never
+// hold every simple path in memory at once.
 type Resolved struct {
 	Scope
 	Switches []string   // concrete switch names, sorted
-	Paths    [][]string // flow paths within the scope (MULTI-SW only)
+	Paths    [][]string // materialized flow paths (MULTI-SW only; nil when lazy)
+	// PathSet is the lazy path view (MULTI-SW only). It reflects the
+	// network the scope was resolved against.
+	PathSet *topo.PathSet
+	// MaxPaths is the enumeration budget inherited from resolution;
+	// EachPath surfaces a *topo.PathLimitError past it. 0 means the
+	// default budget.
+	MaxPaths int64
+
+	pathCount int64 // memoized EachPath count (-1 = unknown)
 }
+
+// DefaultMaxPaths bounds path enumeration when the caller does not choose a
+// budget: large enough for every realistic scope, small enough that an
+// exponentially wandering scope surfaces a typed diagnostic instead of
+// consuming the machine.
+const DefaultMaxPaths = 1 << 20
 
 // ResolveOpts tunes scope resolution.
 type ResolveOpts struct {
@@ -188,6 +207,14 @@ type ResolveOpts struct {
 	// spec names explicitly. Resolution still fails if an entire region or
 	// direction endpoint set becomes empty, or no flow path survives.
 	AllowMissing bool
+	// LazyPaths skips materializing MULTI-SW flow paths: Resolved.Paths
+	// stays nil and consumers must iterate Resolved.EachPath. Required for
+	// datacenter-scale scopes whose path sets dwarf memory.
+	LazyPaths bool
+	// MaxPaths caps path enumeration per scope (0 = DefaultMaxPaths).
+	// Exceeding the cap fails resolution (eager) or the first EachPath
+	// (lazy) with an error wrapping topo.ErrPathLimit.
+	MaxPaths int64
 }
 
 // Resolve binds every scope to the network, expanding region patterns and
@@ -220,6 +247,7 @@ func (s *Spec) ResolveWith(net *topo.Network, opts ResolveOpts) (map[string]*Res
 			r.Switches = append(r.Switches, name)
 		}
 		sort.Strings(r.Switches)
+		r.pathCount = -1
 		if sc.Deploy == MultiSwitch {
 			from, err := expand(net, sc.Direct.From, opts)
 			if err != nil {
@@ -229,15 +257,84 @@ func (s *Spec) ResolveWith(net *topo.Network, opts ResolveOpts) (map[string]*Res
 			if err != nil {
 				return nil, fmt.Errorf("scope %s: %w", sc.Alg, err)
 			}
-			r.Paths = net.Paths(from, to, r.Switches)
-			if len(r.Paths) == 0 {
-				return nil, fmt.Errorf("scope %s: no flow path from %v to %v within %v",
-					sc.Alg, sc.Direct.From, sc.Direct.To, r.Switches)
+			r.PathSet = net.PathSet(from, to, r.Switches)
+			r.MaxPaths = opts.MaxPaths
+			if r.MaxPaths <= 0 {
+				r.MaxPaths = DefaultMaxPaths
+			}
+			if opts.LazyPaths {
+				if !r.PathSet.Any() {
+					return nil, fmt.Errorf("scope %s: no flow path from %v to %v within %v",
+						sc.Alg, sc.Direct.From, sc.Direct.To, r.Switches)
+				}
+			} else {
+				paths, err := r.PathSet.Materialize(r.MaxPaths)
+				if err != nil {
+					return nil, fmt.Errorf("scope %s: %w", sc.Alg, err)
+				}
+				r.Paths = paths
+				r.pathCount = int64(len(paths))
+				if len(r.Paths) == 0 {
+					return nil, fmt.Errorf("scope %s: no flow path from %v to %v within %v",
+						sc.Alg, sc.Direct.From, sc.Direct.To, r.Switches)
+				}
 			}
 		}
 		out[sc.Alg] = r
 	}
 	return out, nil
+}
+
+// EachPath iterates the scope's flow paths in deterministic order: the
+// materialized slice when present (its sorted order), otherwise the lazy
+// PathSet in DFS order under the resolution budget. The yielded slice is
+// only valid during the callback — copy to retain. Returning false stops
+// the iteration early.
+func (r *Resolved) EachPath(yield func(path []string) bool) error {
+	if r.Paths != nil {
+		for _, p := range r.Paths {
+			if !yield(p) {
+				return nil
+			}
+		}
+		return nil
+	}
+	if r.PathSet == nil {
+		return nil
+	}
+	limit := r.MaxPaths
+	if limit <= 0 {
+		limit = DefaultMaxPaths
+	}
+	_, err := r.PathSet.Each(limit, yield)
+	return err
+}
+
+// PathCount returns the number of flow paths in the scope (memoized).
+// Hand-built Resolved values (zero pathCount) are handled by preferring the
+// materialized slice and treating 0 as "unknown" for the lazy case.
+func (r *Resolved) PathCount() (int64, error) {
+	if r.Paths != nil {
+		r.pathCount = int64(len(r.Paths))
+		return r.pathCount, nil
+	}
+	if r.pathCount > 0 {
+		return r.pathCount, nil
+	}
+	if r.PathSet == nil {
+		r.pathCount = 0
+		return 0, nil
+	}
+	limit := r.MaxPaths
+	if limit <= 0 {
+		limit = DefaultMaxPaths
+	}
+	n, err := r.PathSet.Count(limit)
+	if err != nil {
+		return n, err
+	}
+	r.pathCount = n
+	return n, nil
 }
 
 func expand(net *topo.Network, patterns []string, opts ResolveOpts) ([]string, error) {

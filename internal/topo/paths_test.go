@@ -1,0 +1,250 @@
+package topo
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"lyra/internal/asic"
+)
+
+// legacyPaths is the pre-PathSet implementation of Network.Paths, kept as
+// the reference for cross-checking the lazy iterator: fresh neighbor sort
+// per visit, per-level append copies, strings.Join sort comparator.
+func legacyPaths(n *Network, from, to []string, within []string) [][]string {
+	allowed := map[string]bool{}
+	if within == nil {
+		for _, s := range n.Switches {
+			allowed[s.Name] = true
+		}
+	} else {
+		for _, w := range within {
+			allowed[w] = true
+		}
+	}
+	targets := map[string]bool{}
+	for _, t := range to {
+		targets[t] = true
+	}
+	neighbors := func(name string) []string {
+		var out []string
+		for nb := range n.adj[name] {
+			out = append(out, nb)
+		}
+		sort.Strings(out)
+		return out
+	}
+	var paths [][]string
+	var dfs func(cur string, visited map[string]bool, path []string)
+	dfs = func(cur string, visited map[string]bool, path []string) {
+		if targets[cur] {
+			paths = append(paths, append([]string(nil), path...))
+			return
+		}
+		for _, nb := range neighbors(cur) {
+			if visited[nb] || !allowed[nb] {
+				continue
+			}
+			visited[nb] = true
+			dfs(nb, visited, append(path, nb))
+			visited[nb] = false
+		}
+	}
+	starts := append([]string(nil), from...)
+	sort.Strings(starts)
+	for _, s := range starts {
+		if !allowed[s] {
+			continue
+		}
+		dfs(s, map[string]bool{s: true}, []string{s})
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		return strings.Join(paths[i], ">") < strings.Join(paths[j], ">")
+	})
+	return paths
+}
+
+func layerNames(n *Network, layer string) []string {
+	var out []string
+	for _, s := range n.Switches {
+		if s.Layer == layer {
+			out = append(out, s.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestPathSetMatchesLegacyDFS cross-checks the lazy enumerator against the
+// legacy materializing DFS on structured and random seeded topologies,
+// including names where one switch name is a prefix of another (ToR1 vs
+// ToR10), which exercises the ">"-join ordering corner.
+func TestPathSetMatchesLegacyDFS(t *testing.T) {
+	type scenario struct {
+		name   string
+		net    *Network
+		from   []string
+		to     []string
+		within []string
+	}
+	var cases []scenario
+
+	tb := Testbed()
+	cases = append(cases,
+		scenario{"testbed-pod2", tb, []string{"Agg3", "Agg4"}, []string{"ToR3", "ToR4"}, []string{"Agg3", "Agg4", "ToR3", "ToR4"}},
+		scenario{"testbed-core", tb, []string{"Core1", "Core2"}, []string{"ToR1", "ToR2", "ToR3", "ToR4"}, nil},
+	)
+
+	// k=20 gives ToR1..ToR10 per pod: name-prefix ordering corner.
+	mp := MultiPodFatTree(3, 20, func(string, int) *asic.Model { return asic.Tofino32Q })
+	within := append(layerNames(mp, "ToR"), layerNames(mp, "Agg")...)
+	cases = append(cases, scenario{"multipod-k20", mp, layerNames(mp, "Agg"), layerNames(mp, "ToR"), within})
+
+	// Seeded random graphs.
+	rng := rand.New(rand.NewSource(7))
+	for g := 0; g < 8; g++ {
+		n := New()
+		sz := 6 + rng.Intn(7)
+		var names []string
+		for i := 0; i < sz; i++ {
+			// Mix of prefix-overlapping names.
+			name := fmt.Sprintf("S%d", i)
+			if i%3 == 0 {
+				name = fmt.Sprintf("S%d0", i/3)
+			}
+			if _, err := n.AddSwitch(name, "L", asic.Tofino32Q); err != nil {
+				continue
+			}
+			names = append(names, name)
+		}
+		for i := 0; i < sz*2; i++ {
+			a := names[rng.Intn(len(names))]
+			b := names[rng.Intn(len(names))]
+			if a != b && !n.HasLink(a, b) {
+				n.AddLink(a, b)
+			}
+		}
+		from := []string{names[rng.Intn(len(names))]}
+		to := []string{names[rng.Intn(len(names))], names[rng.Intn(len(names))]}
+		cases = append(cases, scenario{fmt.Sprintf("rand-%d", g), n, from, to, nil})
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			want := legacyPaths(c.net, c.from, c.to, c.within)
+			got := c.net.Paths(c.from, c.to, c.within)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("Paths mismatch: got %d paths, want %d\ngot:  %v\nwant: %v", len(got), len(want), got, want)
+			}
+			// The iterator yields the same multiset, and Count agrees.
+			ps := c.net.PathSet(c.from, c.to, c.within)
+			var iter [][]string
+			if _, err := ps.Each(0, func(p []string) bool {
+				iter = append(iter, append([]string(nil), p...))
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			cnt, err := ps.Count(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(cnt) != len(want) || len(iter) != len(want) {
+				t.Fatalf("count mismatch: Each=%d Count=%d want %d", len(iter), cnt, len(want))
+			}
+			sort.Slice(iter, func(i, j int) bool { return pathLess(iter[i], iter[j]) })
+			if !reflect.DeepEqual(iter, want) {
+				t.Fatalf("iterated path set differs from legacy")
+			}
+		})
+	}
+}
+
+func TestPathSetBudget(t *testing.T) {
+	mp := MultiPodFatTree(4, 8, func(string, int) *asic.Model { return asic.Tofino32Q })
+	within := append(layerNames(mp, "ToR"), layerNames(mp, "Agg")...)
+	ps := mp.PathSet(layerNames(mp, "Agg"), layerNames(mp, "ToR"), within)
+	total, err := ps.Count(0)
+	if err != nil || total != 4*4*4 {
+		t.Fatalf("Count = %d, %v; want 64", total, err)
+	}
+	if _, err := ps.Materialize(10); err == nil {
+		t.Fatal("Materialize(10) should overflow")
+	} else {
+		var ple *PathLimitError
+		if !errors.As(err, &ple) || !errors.Is(err, ErrPathLimit) {
+			t.Fatalf("want *PathLimitError wrapping ErrPathLimit, got %T %v", err, err)
+		}
+		if ple.Limit != 10 {
+			t.Fatalf("Limit = %d, want 10", ple.Limit)
+		}
+	}
+	if ps.Any() != true {
+		t.Fatal("Any = false")
+	}
+	empty := mp.PathSet([]string{"Core1"}, []string{"nope"}, []string{"Core1"})
+	if empty.Any() {
+		t.Fatal("empty set reports Any")
+	}
+}
+
+func TestPathLessMatchesJoin(t *testing.T) {
+	paths := [][]string{
+		{"ToR1"}, {"ToR10"}, {"ToR1", "Agg1"}, {"ToR10", "Agg1"},
+		{"A", "B"}, {"AB"}, {"A"}, {"A", "B", "C"}, {"ABC"},
+	}
+	for _, a := range paths {
+		for _, b := range paths {
+			want := strings.Join(a, ">") < strings.Join(b, ">")
+			if got := pathLess(a, b); got != want {
+				t.Fatalf("pathLess(%v, %v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func scaleFixture() (*Network, []string, []string, []string) {
+	n := MultiPodFatTree(16, 16, func(string, int) *asic.Model { return asic.Tofino32Q })
+	within := append(layerNames(n, "ToR"), layerNames(n, "Agg")...)
+	return n, layerNames(n, "Agg"), layerNames(n, "ToR"), within
+}
+
+func BenchmarkPaths(b *testing.B) {
+	n, from, to, within := scaleFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := n.Paths(from, to, within); len(got) != 16*8*8 {
+			b.Fatalf("got %d paths", len(got))
+		}
+	}
+}
+
+func BenchmarkPathsIterate(b *testing.B) {
+	n, from, to, within := scaleFixture()
+	ps := n.PathSet(from, to, within)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cnt, err := ps.Count(0)
+		if err != nil || cnt != 16*8*8 {
+			b.Fatalf("count %d err %v", cnt, err)
+		}
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	n, _, _, _ := scaleFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := n.Clone()
+		if len(c.Switches) != len(n.Switches) {
+			b.Fatal("bad clone")
+		}
+	}
+}

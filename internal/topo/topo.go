@@ -23,6 +23,10 @@ type Network struct {
 	Switches []*Switch
 	adj      map[string]map[string]bool
 	byName   map[string]*Switch
+	// sortedAdj caches each switch's sorted neighbor list; path enumeration
+	// hits it once per DFS expansion, so rebuilding (and re-sorting) it per
+	// visit dominated Paths. Any link/switch mutation invalidates the cache.
+	sortedAdj map[string][]string
 }
 
 // New creates an empty network.
@@ -39,6 +43,7 @@ func (n *Network) AddSwitch(name, layer string, model *asic.Model) (*Switch, err
 	n.Switches = append(n.Switches, s)
 	n.byName[name] = s
 	n.adj[name] = map[string]bool{}
+	n.sortedAdj = nil
 	return s, nil
 }
 
@@ -59,6 +64,7 @@ func (n *Network) AddLink(a, b string) error {
 	}
 	n.adj[a][b] = true
 	n.adj[b][a] = true
+	n.sortedAdj = nil
 	return nil
 }
 
@@ -76,6 +82,7 @@ func (n *Network) RemoveSwitch(name string) error {
 		delete(n.adj[nb], name)
 	}
 	delete(n.adj, name)
+	n.sortedAdj = nil
 	kept := n.Switches[:0]
 	for _, s := range n.Switches {
 		if s.Name != name {
@@ -94,6 +101,7 @@ func (n *Network) RemoveLink(a, b string) error {
 	}
 	delete(n.adj[a], b)
 	delete(n.adj[b], a)
+	n.sortedAdj = nil
 	return nil
 }
 
@@ -118,17 +126,26 @@ func (n *Network) DegradeASIC(name string, transform func(*asic.Model) *asic.Mod
 // on the clone leaves the original intact); ASIC models are shared, as they
 // are immutable registry values.
 func (n *Network) Clone() *Network {
-	c := New()
-	for _, s := range n.Switches {
-		cp := *s
-		c.Switches = append(c.Switches, &cp)
-		c.byName[cp.Name] = &cp
-		c.adj[cp.Name] = map[string]bool{}
+	c := &Network{
+		Switches: make([]*Switch, 0, len(n.Switches)),
+		adj:      make(map[string]map[string]bool, len(n.adj)),
+		byName:   make(map[string]*Switch, len(n.byName)),
+	}
+	// One backing array for all switch copies keeps the clone to a handful
+	// of allocations; churn scenarios clone per event.
+	backing := make([]Switch, len(n.Switches))
+	for i, s := range n.Switches {
+		backing[i] = *s
+		cp := &backing[i]
+		c.Switches = append(c.Switches, cp)
+		c.byName[cp.Name] = cp
 	}
 	for a, nbs := range n.adj {
+		m := make(map[string]bool, len(nbs))
 		for b := range nbs {
-			c.adj[a][b] = true
+			m[b] = true
 		}
+		c.adj[a] = m
 	}
 	return c
 }
@@ -141,19 +158,34 @@ func (n *Network) ReplaceWith(other *Network) {
 	n.Switches = other.Switches
 	n.adj = other.adj
 	n.byName = other.byName
+	n.sortedAdj = other.sortedAdj
 }
 
 // Switch returns a switch by name.
 func (n *Network) Switch(name string) *Switch { return n.byName[name] }
 
-// Neighbors returns the sorted neighbor names of a switch.
+// Neighbors returns the sorted neighbor names of a switch. The returned
+// slice is owned by the caller.
 func (n *Network) Neighbors(name string) []string {
-	var out []string
-	for nb := range n.adj[name] {
-		out = append(out, nb)
+	return append([]string(nil), n.sortedNeighbors(name)...)
+}
+
+// sortedNeighbors returns the cached sorted neighbor list; the slice is
+// shared and must not be mutated. The cache is rebuilt lazily after any
+// topology mutation.
+func (n *Network) sortedNeighbors(name string) []string {
+	if n.sortedAdj == nil {
+		n.sortedAdj = make(map[string][]string, len(n.adj))
+		for sw, nbs := range n.adj {
+			ls := make([]string, 0, len(nbs))
+			for nb := range nbs {
+				ls = append(ls, nb)
+			}
+			sort.Strings(ls)
+			n.sortedAdj[sw] = ls
+		}
 	}
-	sort.Strings(out)
-	return out
+	return n.sortedAdj[name]
 }
 
 // Match returns the switches whose names match a region pattern. Patterns
@@ -179,47 +211,7 @@ func (n *Network) Match(pattern string) []*Switch {
 // in to, restricted to the switches in within (the algorithm scope). Paths
 // are returned in deterministic order. A nil within allows all switches.
 func (n *Network) Paths(from, to []string, within []string) [][]string {
-	allowed := map[string]bool{}
-	if within == nil {
-		for name := range n.byName {
-			allowed[name] = true
-		}
-	} else {
-		for _, w := range within {
-			allowed[w] = true
-		}
-	}
-	targets := map[string]bool{}
-	for _, t := range to {
-		targets[t] = true
-	}
-	var paths [][]string
-	var dfs func(cur string, visited map[string]bool, path []string)
-	dfs = func(cur string, visited map[string]bool, path []string) {
-		if targets[cur] {
-			paths = append(paths, append([]string(nil), path...))
-			return
-		}
-		for _, nb := range n.Neighbors(cur) {
-			if visited[nb] || !allowed[nb] {
-				continue
-			}
-			visited[nb] = true
-			dfs(nb, visited, append(path, nb))
-			visited[nb] = false
-		}
-	}
-	starts := append([]string(nil), from...)
-	sort.Strings(starts)
-	for _, s := range starts {
-		if !allowed[s] {
-			continue
-		}
-		dfs(s, map[string]bool{s: true}, []string{s})
-	}
-	sort.Slice(paths, func(i, j int) bool {
-		return strings.Join(paths[i], ">") < strings.Join(paths[j], ">")
-	})
+	paths, _ := n.PathSet(from, to, within).Materialize(0)
 	return paths
 }
 

@@ -271,6 +271,10 @@ type Compiler struct {
 	skipVerify   bool
 	sourceName   string
 	optimize     *rewrite.Options
+	lazyPaths    bool
+	maxPaths     int64
+	noSymDedup   bool
+	portfolio    int
 }
 
 // Option configures a Compiler.
@@ -322,6 +326,32 @@ func WithSkipVerify() Option { return func(c *Compiler) { c.skipVerify = true } 
 // WithSourceName sets the file name used in diagnostics (default
 // "input.lyra").
 func WithSourceName(name string) Option { return func(c *Compiler) { c.sourceName = name } }
+
+// WithLazyPaths resolves MULTI-SW scopes without materializing their flow
+// paths: the placement encoder streams paths from the lazy enumerator and
+// only unique candidate-hop shapes are ever held in memory. Required for
+// datacenter-scale topologies whose simple-path count dwarfs memory; maxPaths
+// caps enumeration per scope (0 keeps the default budget), and exceeding the
+// cap surfaces a typed diagnostic instead of exhausting the machine.
+func WithLazyPaths(maxPaths int64) Option {
+	return func(c *Compiler) {
+		c.lazyPaths = true
+		c.maxPaths = maxPaths
+	}
+}
+
+// WithoutSymmetryDedup disables symmetry-aware component deduplication —
+// every placement component is solved even when it is a switch-renaming of
+// an already-solved one. Plans are byte-identical either way; the option
+// exists as the measurement baseline for the dedup speedup.
+func WithoutSymmetryDedup() Option { return func(c *Compiler) { c.noSymDedup = true } }
+
+// WithPortfolio races n solver configurations per placement component: the
+// canonical incremental solver plus n−1 deterministically seeded variants.
+// The canonical result always wins when it succeeds (plans stay
+// byte-identical to the sequential path); a seeded variant's plan is adopted,
+// in seed order, only where the canonical attempt failed.
+func WithPortfolio(n int) Option { return func(c *Compiler) { c.portfolio = n } }
 
 // WithOptimize enables the rewrite search: before placement, the compiler
 // explores semantics-preserving merge/split/reorder/reshape/widen variants
@@ -380,18 +410,22 @@ func (c *Compiler) Recompile(ctx context.Context, prev *Result, sc Scenario) (re
 // request.
 func (c *Compiler) coreRequest(source, scopeSpec string, net *Network) core.Request {
 	return core.Request{
-		Source:       source,
-		SourceName:   c.sourceName,
-		ScopeSpec:    scopeSpec,
-		Network:      net,
-		Dialect:      c.dialect,
-		Objective:    c.objective,
-		PreferSwitch: c.preferSwitch,
-		SolveBudget:  c.solveBudget,
-		SkipVerify:   c.skipVerify,
-		Parallelism:  c.parallelism,
-		Observer:     c.observer,
-		Optimize:     c.optimize,
+		Source:          source,
+		SourceName:      c.sourceName,
+		ScopeSpec:       scopeSpec,
+		Network:         net,
+		Dialect:         c.dialect,
+		Objective:       c.objective,
+		PreferSwitch:    c.preferSwitch,
+		SolveBudget:     c.solveBudget,
+		SkipVerify:      c.skipVerify,
+		Parallelism:     c.parallelism,
+		Observer:        c.observer,
+		Optimize:        c.optimize,
+		LazyPaths:       c.lazyPaths,
+		MaxPaths:        c.maxPaths,
+		NoSymmetryDedup: c.noSymDedup,
+		Portfolio:       c.portfolio,
 	}
 }
 
